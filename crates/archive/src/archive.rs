@@ -1,0 +1,321 @@
+//! The archive façade: one handle over every modality plus its catalog.
+//!
+//! Downstream code (the engines, the workflow loop, applications) needs a
+//! single object that owns the datasets and keeps the catalog consistent
+//! with what is actually stored. `Archive` provides typed registration and
+//! lookup per modality, automatic catalog maintenance, and the
+//! metadata-level screening entry point (the coarsest rung of the
+//! abstraction ladder).
+
+use crate::catalog::{Catalog, DatasetId, DatasetMeta, Modality};
+use crate::dem::Dem;
+use crate::error::ArchiveError;
+use crate::extent::GeoExtent;
+use crate::gis::PointLayer;
+use crate::scene::Scene;
+use crate::series::TimeSeries;
+use crate::temporal::TemporalStack;
+use crate::weather::WeatherDay;
+use crate::welllog::WellLog;
+use std::collections::BTreeMap;
+
+/// A multi-modal archive: datasets by id, catalog kept in sync.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_archive::archive::Archive;
+/// use mbir_archive::catalog::Modality;
+/// use mbir_archive::scene::SyntheticScene;
+///
+/// let mut archive = Archive::new();
+/// archive.add_scene("tm-1", "July scene", SyntheticScene::new(1, 32, 32).generate());
+/// assert_eq!(archive.catalog().by_modality(Modality::Imagery).len(), 1);
+/// assert!(archive.scene(&"tm-1".into()).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    catalog: Catalog,
+    scenes: BTreeMap<DatasetId, Scene>,
+    dems: BTreeMap<DatasetId, Dem>,
+    weather: BTreeMap<DatasetId, TimeSeries<WeatherDay>>,
+    wells: BTreeMap<DatasetId, WellLog>,
+    stacks: BTreeMap<DatasetId, TemporalStack>,
+    gis: BTreeMap<DatasetId, PointLayer>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Archive::default()
+    }
+
+    /// The catalog (metadata of everything registered).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Total number of datasets.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Whether the archive has no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+
+    /// Registers a multi-band scene.
+    pub fn add_scene(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, scene: Scene) {
+        let id = id.into();
+        self.catalog.register(
+            DatasetMeta::new(id.clone(), name, Modality::Imagery)
+                .with_extent(*scene.extent())
+                .with_tuples((scene.rows() * scene.cols() * scene.band_count()) as u64),
+        );
+        self.scenes.insert(id, scene);
+    }
+
+    /// Registers a DEM.
+    pub fn add_dem(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, dem: Dem) {
+        let id = id.into();
+        self.catalog.register(
+            DatasetMeta::new(id.clone(), name, Modality::Elevation)
+                .with_extent(*dem.grid().extent())
+                .with_tuples(dem.grid().len() as u64),
+        );
+        self.dems.insert(id, dem);
+    }
+
+    /// Registers a weather feed.
+    pub fn add_weather(
+        &mut self,
+        id: impl Into<DatasetId>,
+        name: impl Into<String>,
+        series: TimeSeries<WeatherDay>,
+    ) {
+        let id = id.into();
+        let first = series.start_day();
+        let last = series.day_of(series.len() - 1);
+        self.catalog.register(
+            DatasetMeta::new(id.clone(), name, Modality::SeriesFeed)
+                .with_days(first, last)
+                .with_tuples(series.len() as u64),
+        );
+        self.weather.insert(id, series);
+    }
+
+    /// Registers a well log.
+    pub fn add_well(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, well: WellLog) {
+        let id = id.into();
+        self.catalog.register(
+            DatasetMeta::new(id.clone(), name, Modality::WellLog)
+                .with_tuples(well.len() as u64),
+        );
+        self.wells.insert(id, well);
+    }
+
+    /// Registers a temporal raster stack.
+    pub fn add_stack(
+        &mut self,
+        id: impl Into<DatasetId>,
+        name: impl Into<String>,
+        stack: TemporalStack,
+    ) {
+        let id = id.into();
+        let (rows, cols) = stack.shape();
+        let days = stack
+            .iter()
+            .fold(None::<(i64, i64)>, |acc, (d, _)| match acc {
+                None => Some((d, d)),
+                Some((lo, hi)) => Some((lo.min(d), hi.max(d))),
+            })
+            .unwrap_or((0, 0));
+        self.catalog.register(
+            DatasetMeta::new(id.clone(), name, Modality::Imagery)
+                .with_days(days.0, days.1)
+                .with_tuples((rows * cols * stack.len()) as u64),
+        );
+        self.stacks.insert(id, stack);
+    }
+
+    /// Registers a GIS point layer.
+    pub fn add_gis(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, layer: PointLayer) {
+        let id = id.into();
+        let mut meta = DatasetMeta::new(id.clone(), name, Modality::Gis)
+            .with_tuples(layer.len() as u64);
+        if let Some(extent) = layer.extent() {
+            meta = meta.with_extent(extent);
+        }
+        self.catalog.register(meta);
+        self.gis.insert(id, layer);
+    }
+
+    /// Scene lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn scene(&self, id: &DatasetId) -> Result<&Scene, ArchiveError> {
+        self.scenes
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// DEM lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn dem(&self, id: &DatasetId) -> Result<&Dem, ArchiveError> {
+        self.dems
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// Weather feed lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn weather(&self, id: &DatasetId) -> Result<&TimeSeries<WeatherDay>, ArchiveError> {
+        self.weather
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// Well-log lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn well(&self, id: &DatasetId) -> Result<&WellLog, ArchiveError> {
+        self.wells
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// Temporal-stack lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn stack(&self, id: &DatasetId) -> Result<&TemporalStack, ArchiveError> {
+        self.stacks
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// GIS-layer lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] when absent.
+    pub fn gis(&self, id: &DatasetId) -> Result<&PointLayer, ArchiveError> {
+        self.gis
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// All wells, in id order — the archive view knowledge-model retrieval
+    /// consumes.
+    pub fn wells(&self) -> impl Iterator<Item = (&DatasetId, &WellLog)> + '_ {
+        self.wells.iter()
+    }
+
+    /// All weather feeds, in id order.
+    pub fn weather_feeds(&self) -> impl Iterator<Item = (&DatasetId, &TimeSeries<WeatherDay>)> + '_ {
+        self.weather.iter()
+    }
+
+    /// Metadata-level screen: ids of datasets whose extent intersects the
+    /// region of interest (the cheapest rung of the abstraction ladder —
+    /// nothing but catalog rows are touched).
+    pub fn covering(&self, roi: &GeoExtent) -> Vec<&DatasetMeta> {
+        self.catalog.covering(roi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SyntheticScene;
+    use crate::weather::WeatherGenerator;
+
+    fn sample_archive() -> Archive {
+        let mut a = Archive::new();
+        a.add_scene("tm-1", "scene", SyntheticScene::new(1, 16, 16).generate());
+        a.add_dem("dem-1", "terrain", Dem::synthetic(2, 16, 16, 0.0, 100.0));
+        a.add_weather("wx-1", "station", WeatherGenerator::new(3).generate(100, 30));
+        a.add_well("well-1", "wildcat", WellLog::synthetic(4, 100.0));
+        let mut stack = TemporalStack::new(4, 4);
+        stack
+            .push(0, crate::grid::Grid2::filled(4, 4, 1.0))
+            .unwrap();
+        a.add_stack("stack-1", "movie", stack);
+        let mut layer = PointLayer::new("houses");
+        layer.push(crate::gis::PointFeature::new(0.5, 0.5));
+        a.add_gis("gis-1", "houses", layer);
+        a
+    }
+
+    #[test]
+    fn registration_populates_catalog() {
+        let a = sample_archive();
+        assert_eq!(a.len(), 6);
+        assert!(!a.is_empty());
+        assert_eq!(a.catalog().by_modality(Modality::Imagery).len(), 2); // scene + stack
+        assert_eq!(a.catalog().by_modality(Modality::WellLog).len(), 1);
+        // Weather day range recorded.
+        let meta = a.catalog().get(&"wx-1".into()).unwrap();
+        assert_eq!(meta.day_range, (100, 129));
+        assert_eq!(meta.tuple_count, 30);
+    }
+
+    #[test]
+    fn typed_lookups_and_errors() {
+        let a = sample_archive();
+        assert!(a.scene(&"tm-1".into()).is_ok());
+        assert!(a.dem(&"dem-1".into()).is_ok());
+        assert!(a.weather(&"wx-1".into()).is_ok());
+        assert!(a.well(&"well-1".into()).is_ok());
+        assert!(a.stack(&"stack-1".into()).is_ok());
+        assert!(a.gis(&"gis-1".into()).is_ok());
+        // Cross-modality lookups miss.
+        assert!(matches!(
+            a.scene(&"dem-1".into()),
+            Err(ArchiveError::UnknownDataset(_))
+        ));
+        assert!(a.well(&"nope".into()).is_err());
+    }
+
+    #[test]
+    fn iterators_cover_registered_items() {
+        let mut a = sample_archive();
+        a.add_well("well-2", "offset", WellLog::synthetic(9, 50.0));
+        let ids: Vec<&str> = a.wells().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["well-1", "well-2"]);
+        assert_eq!(a.weather_feeds().count(), 1);
+    }
+
+    #[test]
+    fn metadata_screen_uses_extents() {
+        let a = sample_archive();
+        // Scenes/DEMs default to the unit extent; a far-away ROI sees only
+        // datasets with degenerate/unit extents that still intersect.
+        let far = GeoExtent::new(100.0, 100.0, 101.0, 101.0);
+        assert!(a.covering(&far).is_empty() || a.covering(&far).len() < a.len());
+        let unit = GeoExtent::unit();
+        assert!(!a.covering(&unit).is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut a = Archive::new();
+        a.add_well("w", "first", WellLog::synthetic(1, 50.0));
+        a.add_well("w", "second", WellLog::synthetic(2, 80.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.catalog().get(&"w".into()).unwrap().name, "second");
+        assert_eq!(a.well(&"w".into()).unwrap().len(), 160);
+    }
+}

@@ -1,0 +1,272 @@
+//! Archive metadata catalog — the coarsest abstraction level.
+//!
+//! The paper's progressive representation ladder tops out at *metadata*:
+//! before touching any pixel, a retrieval can discard whole datasets whose
+//! modality, extent, or time range cannot satisfy the model. The catalog is
+//! that ladder rung.
+
+use crate::error::ArchiveError;
+use crate::extent::GeoExtent;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a dataset in a catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(String);
+
+impl DatasetId {
+    /// Creates an id from any string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        DatasetId(id.into())
+    }
+
+    /// The id text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DatasetId {
+    fn from(s: &str) -> Self {
+        DatasetId(s.to_owned())
+    }
+}
+
+/// Data modality of a catalogued dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Modality {
+    /// Multi-spectral imagery (satellite scenes).
+    Imagery,
+    /// Elevation rasters.
+    Elevation,
+    /// Station time series (weather, sensors).
+    SeriesFeed,
+    /// Depth-indexed well logs.
+    WellLog,
+    /// Vector point/polygon layers.
+    Gis,
+    /// Tabular records (credit files, incident reports).
+    Tabular,
+}
+
+impl fmt::Display for Modality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Modality::Imagery => "imagery",
+            Modality::Elevation => "elevation",
+            Modality::SeriesFeed => "series-feed",
+            Modality::WellLog => "well-log",
+            Modality::Gis => "gis",
+            Modality::Tabular => "tabular",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Descriptive metadata for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// Dataset identifier.
+    pub id: DatasetId,
+    /// Human-readable name.
+    pub name: String,
+    /// Data modality.
+    pub modality: Modality,
+    /// Geographic coverage.
+    pub extent: GeoExtent,
+    /// Ground resolution in map units per cell (0 for non-raster data).
+    pub resolution: f64,
+    /// Covered day range `[first, last]`.
+    pub day_range: (i64, i64),
+    /// Approximate size in tuples/pixels, used for query planning.
+    pub tuple_count: u64,
+}
+
+impl DatasetMeta {
+    /// Creates metadata with unit extent, zero resolution, empty day range.
+    pub fn new(id: impl Into<DatasetId>, name: impl Into<String>, modality: Modality) -> Self {
+        DatasetMeta {
+            id: id.into(),
+            name: name.into(),
+            modality,
+            extent: GeoExtent::unit(),
+            resolution: 0.0,
+            day_range: (0, 0),
+            tuple_count: 0,
+        }
+    }
+
+    /// Sets the geographic extent (builder style).
+    pub fn with_extent(mut self, extent: GeoExtent) -> Self {
+        self.extent = extent;
+        self
+    }
+
+    /// Sets the day range (builder style).
+    pub fn with_days(mut self, first: i64, last: i64) -> Self {
+        self.day_range = (first.min(last), first.max(last));
+        self
+    }
+
+    /// Sets the tuple count (builder style).
+    pub fn with_tuples(mut self, tuple_count: u64) -> Self {
+        self.tuple_count = tuple_count;
+        self
+    }
+}
+
+/// The archive catalog: id -> metadata, with query helpers.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_archive::catalog::{Catalog, DatasetMeta, Modality};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(DatasetMeta::new("tm-scene-1", "Landsat scene", Modality::Imagery));
+/// assert_eq!(catalog.by_modality(Modality::Imagery).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: BTreeMap<DatasetId, DatasetMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a dataset, returning any previous entry.
+    pub fn register(&mut self, meta: DatasetMeta) -> Option<DatasetMeta> {
+        self.entries.insert(meta.id.clone(), meta)
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metadata lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownDataset`] for an unregistered id.
+    pub fn get(&self, id: &DatasetId) -> Result<&DatasetMeta, ArchiveError> {
+        self.entries
+            .get(id)
+            .ok_or_else(|| ArchiveError::UnknownDataset(id.to_string()))
+    }
+
+    /// All datasets of one modality, in id order.
+    pub fn by_modality(&self, modality: Modality) -> Vec<&DatasetMeta> {
+        self.entries
+            .values()
+            .filter(|m| m.modality == modality)
+            .collect()
+    }
+
+    /// Datasets whose extent intersects `extent` — the metadata-level screen
+    /// used before touching data.
+    pub fn covering(&self, extent: &GeoExtent) -> Vec<&DatasetMeta> {
+        self.entries
+            .values()
+            .filter(|m| m.extent.intersects(extent))
+            .collect()
+    }
+
+    /// Datasets overlapping a day range.
+    pub fn in_days(&self, first: i64, last: i64) -> Vec<&DatasetMeta> {
+        let (lo, hi) = (first.min(last), first.max(last));
+        self.entries
+            .values()
+            .filter(|m| m.day_range.0 <= hi && lo <= m.day_range.1)
+            .collect()
+    }
+
+    /// Iterator over all metadata in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetMeta> + '_ {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            DatasetMeta::new("tm1", "scene a", Modality::Imagery)
+                .with_extent(GeoExtent::new(0.0, 0.0, 1.0, 1.0))
+                .with_days(0, 100)
+                .with_tuples(512 * 512),
+        );
+        c.register(
+            DatasetMeta::new("dem1", "terrain", Modality::Elevation)
+                .with_extent(GeoExtent::new(0.5, 0.5, 2.0, 2.0))
+                .with_days(0, 10_000),
+        );
+        c.register(
+            DatasetMeta::new("wx1", "station", Modality::SeriesFeed)
+                .with_extent(GeoExtent::new(5.0, 5.0, 5.1, 5.1))
+                .with_days(200, 565),
+        );
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = sample_catalog();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&DatasetId::new("tm1")).unwrap().name, "scene a");
+        assert!(matches!(
+            c.get(&DatasetId::new("nope")),
+            Err(ArchiveError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = sample_catalog();
+        let old = c.register(DatasetMeta::new("tm1", "scene b", Modality::Imagery));
+        assert_eq!(old.unwrap().name, "scene a");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn modality_filter() {
+        let c = sample_catalog();
+        assert_eq!(c.by_modality(Modality::Imagery).len(), 1);
+        assert_eq!(c.by_modality(Modality::WellLog).len(), 0);
+    }
+
+    #[test]
+    fn extent_screen() {
+        let c = sample_catalog();
+        let roi = GeoExtent::new(0.0, 0.0, 0.4, 0.4);
+        let hits = c.covering(&roi);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id.as_str(), "tm1");
+    }
+
+    #[test]
+    fn day_screen() {
+        let c = sample_catalog();
+        assert_eq!(c.in_days(50, 60).len(), 2);
+        assert_eq!(c.in_days(150, 180).len(), 1); // only dem1's wide range
+        assert_eq!(c.in_days(300, 300).len(), 2); // dem1 + wx1
+    }
+}

@@ -1,0 +1,244 @@
+//! Paged tile store over a raster, with access accounting and optional
+//! fault injection.
+//!
+//! Large archives are read in pages; the paper's speedups hinge on touching
+//! fewer of them. `TileStore` partitions a [`Grid2`] into square tiles,
+//! counts every tile materialization through a shared [`AccessStats`], and
+//! can be configured to fail specific pages to exercise error paths.
+
+use crate::error::ArchiveError;
+use crate::extent::CellCoord;
+use crate::grid::Grid2;
+use crate::stats::AccessStats;
+use std::collections::HashSet;
+
+/// A paged, counted view over a grid.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_archive::grid::Grid2;
+/// use mbir_archive::tile::TileStore;
+///
+/// let grid = Grid2::from_fn(8, 8, |r, c| (r * 8 + c) as f64);
+/// let store = TileStore::new(grid, 4).unwrap();
+/// let v = store.read(1, 5).unwrap();
+/// assert_eq!(v, 13.0);
+/// assert_eq!(store.stats().pages_read(), 1);
+/// assert_eq!(store.stats().tuples_touched(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileStore {
+    grid: Grid2<f64>,
+    tile: usize,
+    tiles_per_row: usize,
+    stats: AccessStats,
+    failing_pages: HashSet<usize>,
+}
+
+impl TileStore {
+    /// Wraps a grid in a store with `tile x tile` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::EmptyDimension`] if `tile == 0`.
+    pub fn new(grid: Grid2<f64>, tile: usize) -> Result<Self, ArchiveError> {
+        if tile == 0 {
+            return Err(ArchiveError::EmptyDimension);
+        }
+        let tiles_per_row = grid.cols().div_ceil(tile);
+        Ok(TileStore {
+            grid,
+            tile,
+            tiles_per_row,
+            stats: AccessStats::new(),
+            failing_pages: HashSet::new(),
+        })
+    }
+
+    /// Shares an existing stats handle (builder style) so multiple stores
+    /// aggregate into one counter set.
+    pub fn with_stats(mut self, stats: AccessStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Marks a page index as failing: reads touching it return
+    /// [`ArchiveError::PageIo`]. Used by failure-injection tests.
+    pub fn fail_page(&mut self, page: usize) {
+        self.failing_pages.insert(page);
+    }
+
+    /// The shared stats handle.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Number of rows in the underlying grid.
+    pub fn rows(&self) -> usize {
+        self.grid.rows()
+    }
+
+    /// Number of columns in the underlying grid.
+    pub fn cols(&self) -> usize {
+        self.grid.cols()
+    }
+
+    /// Tile edge length in cells.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Total number of pages.
+    pub fn page_count(&self) -> usize {
+        self.grid.rows().div_ceil(self.tile) * self.tiles_per_row
+    }
+
+    /// Page index containing cell `(row, col)`.
+    pub fn page_of(&self, row: usize, col: usize) -> usize {
+        (row / self.tile) * self.tiles_per_row + col / self.tile
+    }
+
+    /// Reads one cell, accounting one tuple and one page access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::OutOfBounds`] outside the grid and
+    /// [`ArchiveError::PageIo`] for injected page failures.
+    pub fn read(&self, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        let v = *self.grid.get(row, col)?;
+        let page = self.page_of(row, col);
+        if self.failing_pages.contains(&page) {
+            return Err(ArchiveError::PageIo { page });
+        }
+        self.stats.record_tuples(1);
+        self.stats.record_pages(1);
+        Ok(v)
+    }
+
+    /// Reads an entire page as `(coord, value)` tuples, accounting one page
+    /// and `len` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::OutOfBounds`] for an invalid page index and
+    /// [`ArchiveError::PageIo`] for injected failures.
+    pub fn read_page(&self, page: usize) -> Result<Vec<(CellCoord, f64)>, ArchiveError> {
+        if page >= self.page_count() {
+            return Err(ArchiveError::OutOfBounds {
+                row: page,
+                col: 0,
+                rows: self.page_count(),
+                cols: 1,
+            });
+        }
+        if self.failing_pages.contains(&page) {
+            return Err(ArchiveError::PageIo { page });
+        }
+        let tr = page / self.tiles_per_row;
+        let tc = page % self.tiles_per_row;
+        let r0 = tr * self.tile;
+        let c0 = tc * self.tile;
+        let r1 = (r0 + self.tile).min(self.grid.rows());
+        let c1 = (c0 + self.tile).min(self.grid.cols());
+        let mut out = Vec::with_capacity((r1 - r0) * (c1 - c0));
+        for r in r0..r1 {
+            for c in c0..c1 {
+                out.push((CellCoord::new(r, c), *self.grid.at(r, c)));
+            }
+        }
+        self.stats.record_pages(1);
+        self.stats.record_tuples(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Scans every page in order, calling `f` per tuple. This is the
+    /// sequential-scan baseline cost model: every page, every tuple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injected page failures; tuples before the failure have
+    /// already been delivered to `f`.
+    pub fn scan<F: FnMut(CellCoord, f64)>(&self, mut f: F) -> Result<(), ArchiveError> {
+        for page in 0..self.page_count() {
+            for (coord, v) in self.read_page(page)? {
+                f(coord, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_4x4() -> TileStore {
+        TileStore::new(Grid2::from_fn(4, 4, |r, c| (r * 4 + c) as f64), 2).unwrap()
+    }
+
+    #[test]
+    fn page_layout() {
+        let s = store_4x4();
+        assert_eq!(s.page_count(), 4);
+        assert_eq!(s.page_of(0, 0), 0);
+        assert_eq!(s.page_of(0, 3), 1);
+        assert_eq!(s.page_of(3, 0), 2);
+        assert_eq!(s.page_of(3, 3), 3);
+    }
+
+    #[test]
+    fn read_page_contents() {
+        let s = store_4x4();
+        let page = s.read_page(3).unwrap();
+        let values: Vec<f64> = page.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![10.0, 11.0, 14.0, 15.0]);
+        assert_eq!(s.stats().pages_read(), 1);
+        assert_eq!(s.stats().tuples_touched(), 4);
+        assert!(s.read_page(4).is_err());
+    }
+
+    #[test]
+    fn ragged_edges_are_partial_pages() {
+        let s = TileStore::new(Grid2::from_fn(5, 3, |r, c| (r * 3 + c) as f64), 2).unwrap();
+        assert_eq!(s.page_count(), 6);
+        // Bottom-right page covers only cell (4, 2).
+        let page = s.read_page(5).unwrap();
+        assert_eq!(page.len(), 1);
+        assert_eq!(page[0].0, CellCoord::new(4, 2));
+        assert_eq!(page[0].1, 14.0);
+    }
+
+    #[test]
+    fn scan_visits_every_tuple_once() {
+        let s = store_4x4();
+        let mut seen = Vec::new();
+        s.scan(|coord, v| seen.push((coord, v))).unwrap();
+        assert_eq!(seen.len(), 16);
+        let mut coords: Vec<CellCoord> = seen.iter().map(|(c, _)| *c).collect();
+        coords.sort();
+        coords.dedup();
+        assert_eq!(coords.len(), 16);
+        assert_eq!(s.stats().pages_read(), 4);
+        assert_eq!(s.stats().tuples_touched(), 16);
+    }
+
+    #[test]
+    fn fault_injection_surfaces_page_io() {
+        let mut s = store_4x4();
+        s.fail_page(2);
+        assert!(matches!(
+            s.read(3, 0),
+            Err(ArchiveError::PageIo { page: 2 })
+        ));
+        let mut count = 0;
+        let err = s.scan(|_, _| count += 1).unwrap_err();
+        assert_eq!(err, ArchiveError::PageIo { page: 2 });
+        assert_eq!(count, 8, "pages 0 and 1 delivered before the failure");
+    }
+
+    #[test]
+    fn zero_tile_rejected() {
+        assert!(TileStore::new(Grid2::filled(2, 2, 0.0), 0).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! E6 bench: naive scan vs progressive-model vs progressive-data vs
+//! combined engines on the HPS world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_bench::{hps_world, wide_model_world};
+use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_engine");
+    group.sample_size(20);
+    let side = 256usize;
+    let k = 10;
+
+    let (pyramids, model, progressive) = hps_world(5, side, side);
+    group.bench_with_input(BenchmarkId::new("naive_hps", side), &side, |b, _| {
+        b.iter(|| naive_grid_top_k(model.model(), black_box(&pyramids), k).expect("valid"))
+    });
+    group.bench_with_input(BenchmarkId::new("pyramid_hps", side), &side, |b, _| {
+        b.iter(|| pyramid_top_k(model.model(), black_box(&pyramids), k).expect("valid"))
+    });
+    group.bench_with_input(BenchmarkId::new("combined_hps", side), &side, |b, _| {
+        b.iter(|| combined_top_k(&progressive, black_box(&pyramids), k).expect("valid"))
+    });
+
+    // Wide-model world exercises the staged tuple engine.
+    let (wide_pyramids, _, wide_progressive) = wide_model_world(11, 128, 128, 12);
+    let tuples: Vec<Vec<f64>> = (0..128 * 128)
+        .map(|i| {
+            wide_pyramids
+                .iter()
+                .map(|p| p.cell(0, i / 128, i % 128).expect("in-bounds").mean)
+                .collect()
+        })
+        .collect();
+    group.bench_function("staged_wide_128", |b| {
+        b.iter(|| staged_top_k(&wide_progressive, black_box(&tuples), k).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

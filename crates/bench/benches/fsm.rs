@@ -1,0 +1,54 @@
+//! F1 bench: full fire-ants FSM runs vs coarse block-summary screening.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbir_archive::weather::WeatherGenerator;
+use mbir_models::fsm::fire_ants::{detect_fly_days, may_have_fly_event, BlockSummary};
+use std::hint::black_box;
+
+fn bench_fsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_fire_ants");
+    group.sample_size(20);
+    let regions: Vec<_> = (0..100u64)
+        .map(|seed| {
+            let mean_temp = 5.0 + (seed % 20) as f64;
+            WeatherGenerator::new(seed)
+                .with_temperature(mean_temp, 8.0, 2.0)
+                .generate(0, 365)
+        })
+        .collect();
+    // Pre-computed block summaries (these live in the coarse archive level).
+    let summaries: Vec<BlockSummary> = regions
+        .iter()
+        .map(|series| {
+            series
+                .values()
+                .chunks(30)
+                .map(BlockSummary::of)
+                .reduce(|a, b| a.merge(&b))
+                .expect("non-empty")
+        })
+        .collect();
+
+    group.bench_function("fsm_all_regions", |b| {
+        b.iter(|| {
+            regions
+                .iter()
+                .map(|s| detect_fly_days(black_box(s)).expect("total machine").len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("screen_then_fsm", |b| {
+        b.iter(|| {
+            regions
+                .iter()
+                .zip(&summaries)
+                .filter(|(_, summary)| may_have_fly_event(summary))
+                .map(|(s, _)| detect_fly_days(black_box(s)).expect("total machine").len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fsm);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E1 bench: Onion top-K vs sequential scan on 3-attribute Gaussian data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_bench::onion_workload;
+use mbir_index::onion::OnionIndex;
+use mbir_index::scan::scan_top_k;
+use std::hint::black_box;
+
+fn bench_onion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_onion");
+    for n in [10_000usize, 100_000] {
+        let (points, dir) = onion_workload(1, n);
+        let index = OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7)
+            .expect("valid workload");
+        for k in [1usize, 10] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("scan_n{n}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        scan_top_k(black_box(&points), k, |p| {
+                            dir.iter().zip(p).map(|(a, v)| a * v).sum()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("onion_n{n}"), k),
+                &k,
+                |b, &k| b.iter(|| index.top_k_max(black_box(&dir), k).expect("valid query")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_onion);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 bench: full-resolution vs progressive classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_bench::classification_world;
+use std::hint::black_box;
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_classification");
+    group.sample_size(20);
+    for side in [128usize, 256] {
+        let (bands, pyramids, clf) = classification_world(2, side, side);
+        group.bench_with_input(BenchmarkId::new("full", side), &side, |b, _| {
+            b.iter(|| {
+                let mut work = 0u64;
+                clf.classify_grid(black_box(&bands), &mut work)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("progressive", side), &side, |b, _| {
+            b.iter(|| clf.classify_progressive(black_box(&pyramids)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

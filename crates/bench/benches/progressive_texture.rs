@@ -1,0 +1,56 @@
+//! E3 bench: naive vs progressive texture matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_archive::extent::CellCoord;
+use mbir_bench::texture_world;
+use mbir_progressive::features::{progressive_texture_match, tile_features, TileFeatures};
+use std::hint::black_box;
+
+fn bench_texture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_texture");
+    group.sample_size(20);
+    for side in [256usize, 512] {
+        let tile = 32;
+        let (fine, coarse, tile) = texture_world(3, side, tile);
+        let planted = (side / tile - 2, side / tile - 1);
+        let query_fine = TileFeatures::of(
+            &fine
+                .window(CellCoord::new(planted.0 * tile, planted.1 * tile), tile, tile)
+                .expect("planted tile in range"),
+        );
+        let query_coarse = TileFeatures::of(
+            &coarse
+                .window(
+                    CellCoord::new(planted.0 * tile / 2, planted.1 * tile / 2),
+                    tile / 2,
+                    tile / 2,
+                )
+                .expect("planted tile in range"),
+        );
+        group.bench_with_input(BenchmarkId::new("naive_all_tiles", side), &side, |b, _| {
+            b.iter(|| {
+                let feats = tile_features(black_box(&fine), tile);
+                feats.into_iter().min_by(|a, b| {
+                    a.2.distance(&query_fine).total_cmp(&b.2.distance(&query_fine))
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("progressive", side), &side, |b, _| {
+            b.iter(|| {
+                progressive_texture_match(
+                    black_box(&fine),
+                    &coarse,
+                    &query_coarse,
+                    &query_fine,
+                    tile,
+                    1,
+                    2.0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_texture);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 bench: R*-tree range queries and best-first top-K vs Onion and scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_bench::onion_workload;
+use mbir_index::onion::OnionIndex;
+use mbir_index::rstar::{RStarTree, Rect};
+use mbir_index::scan::scan_top_k;
+use std::hint::black_box;
+
+fn bench_rstar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_rstar");
+    group.sample_size(20);
+    let n = 20_000usize;
+    let (points, dir) = onion_workload(13, n);
+    let rstar = RStarTree::bulk(points.clone()).expect("valid points");
+    let onion =
+        OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7).expect("valid");
+
+    for k in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("scan_topk", k), &k, |b, &k| {
+            b.iter(|| {
+                scan_top_k(black_box(&points), k, |p| {
+                    dir.iter().zip(p).map(|(a, v)| a * v).sum()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rstar_topk", k), &k, |b, &k| {
+            b.iter(|| rstar.top_k_max(black_box(&dir), k).expect("valid query"))
+        });
+        group.bench_with_input(BenchmarkId::new("onion_topk", k), &k, |b, &k| {
+            b.iter(|| onion.top_k_max(black_box(&dir), k).expect("valid query"))
+        });
+    }
+
+    // The R*-tree's home game: spatial range queries.
+    let query = Rect::new(&[0.0, 0.0, 0.0], &[0.5, 0.5, 0.5]);
+    group.bench_function("rstar_range", |b| {
+        b.iter(|| rstar.range(black_box(&query)))
+    });
+    group.bench_function("scan_range", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| query.contains(p))
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rstar);
+criterion_main!(benches);

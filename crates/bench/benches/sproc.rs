@@ -1,0 +1,40 @@
+//! E4 bench: brute force vs SPROC DP vs sorted-list frontier walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_bench::sproc_workload;
+use mbir_index::sproc::SprocIndex;
+use std::hint::black_box;
+
+fn bench_sproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_sproc");
+    group.sample_size(20);
+    // Small instance where all three strategies are feasible.
+    let small = SprocIndex::new(sproc_workload(4, 3, 24)).expect("valid workload");
+    group.bench_function("brute_L24_M3_K5", |b| {
+        b.iter(|| {
+            small
+                .brute_force(black_box(5), None, 100_000_000)
+                .expect("within limit")
+        })
+    });
+    group.bench_function("dp_L24_M3_K5", |b| {
+        b.iter(|| small.top_k_dp(black_box(5), None).expect("valid query"))
+    });
+    group.bench_function("fast_L24_M3_K5", |b| {
+        b.iter(|| small.top_k_independent(black_box(5)).expect("valid query"))
+    });
+    // Larger instances: DP vs fast.
+    for l in [200usize, 1000] {
+        let index = SprocIndex::new(sproc_workload(9, 3, l)).expect("valid workload");
+        group.bench_with_input(BenchmarkId::new("dp", l), &l, |b, _| {
+            b.iter(|| index.top_k_dp(black_box(10), None).expect("valid query"))
+        });
+        group.bench_with_input(BenchmarkId::new("fast", l), &l, |b, _| {
+            b.iter(|| index.top_k_independent(black_box(10)).expect("valid query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sproc);
+criterion_main!(benches);

@@ -1,0 +1,734 @@
+//! The progressive execution engine (paper §3.1 / §4.2).
+//!
+//! Three exact engines, each reporting its work in model multiply-adds so
+//! the §4.2 ratios are measurable:
+//!
+//! * [`staged_top_k`] — **progressive model** over flat tuples: evaluate
+//!   contribution-ranked terms one stage at a time, pruning candidates
+//!   whose sound upper bound falls under the current K-th lower bound.
+//!   Its reduction ratio is the paper's `p_m`.
+//! * [`pyramid_top_k`] — **progressive data**: best-first quad-descent over
+//!   aggregate pyramids, bounding the full model over each region box.
+//!   Its reduction ratio is `p_d`.
+//! * [`combined_top_k`] — both at once: coarse regions are bounded with
+//!   *truncated* models (fewer terms ⇒ cheaper bound), refining both the
+//!   region and the model together; the paper's `O(nN/(p_m p_d))`.
+//!
+//! Every engine returns exactly the scores a naive full scan returns
+//! (property-tested); only the work differs.
+
+use crate::error::CoreError;
+use crate::query::{Objective, TopKQuery};
+use mbir_archive::extent::CellCoord;
+use mbir_index::scan::TopKHeap;
+use mbir_index::stats::ScoredItem;
+use mbir_models::linear::{LinearModel, ProgressiveLinearModel};
+use mbir_progressive::pyramid::AggregatePyramid;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Work accounting in model multiply-adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EffortReport {
+    /// Multiply-adds actually spent.
+    pub multiply_adds: u64,
+    /// Multiply-adds a naive full-model full-data scan would spend
+    /// (`n * N` in §4.2).
+    pub naive_multiply_adds: u64,
+}
+
+impl EffortReport {
+    /// The §4.2 speedup `naive / actual` (∞-safe: 0 work reports 1.0).
+    pub fn speedup(&self) -> f64 {
+        if self.multiply_adds == 0 {
+            return 1.0;
+        }
+        self.naive_multiply_adds as f64 / self.multiply_adds as f64
+    }
+}
+
+/// A scored grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredCell {
+    /// Base-resolution cell.
+    pub cell: CellCoord,
+    /// Exact model value at the cell.
+    pub score: f64,
+}
+
+/// Result of a grid engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTopK {
+    /// Top-K cells, descending score.
+    pub results: Vec<ScoredCell>,
+    /// Work accounting.
+    pub effort: EffortReport,
+}
+
+/// Result of a tuple engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleTopK {
+    /// Top-K tuples, descending score.
+    pub results: Vec<ScoredItem>,
+    /// Work accounting.
+    pub effort: EffortReport,
+}
+
+/// Progressive-model scan over flat tuples (the `p_m` engine).
+///
+/// Terms are added one stage at a time in contribution order; after each
+/// stage, candidates whose upper bound is below the K-th best lower bound
+/// are dropped. Each stage costs one multiply-add per surviving candidate,
+/// so the total is `Σ_s alive(s)` against the naive `n·N`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Query`] for `k == 0` or an empty tuple list, and
+/// [`CoreError::Model`] for arity mismatches.
+pub fn staged_top_k(
+    model: &ProgressiveLinearModel,
+    tuples: &[Vec<f64>],
+    k: usize,
+) -> Result<TupleTopK, CoreError> {
+    if k == 0 {
+        return Err(CoreError::Query("k must be >= 1".into()));
+    }
+    if tuples.is_empty() {
+        return Err(CoreError::Query("no tuples to search".into()));
+    }
+    let n_terms = model.stages();
+    for t in tuples {
+        if t.len() != n_terms {
+            return Err(CoreError::Model(
+                mbir_models::error::ModelError::ArityMismatch {
+                    expected: n_terms,
+                    actual: t.len(),
+                },
+            ));
+        }
+    }
+    let order = model.term_order();
+    let coeffs = model.model().coefficients();
+    let ranges = model.ranges();
+
+    // Incremental partial sums: one multiply-add per stage per candidate.
+    let mut alive: Vec<usize> = (0..tuples.len()).collect();
+    let mut partial: Vec<f64> = vec![model.model().intercept(); tuples.len()];
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: (n_terms * tuples.len()) as u64,
+    };
+    for stage in 1..=n_terms {
+        let term = order[stage - 1];
+        let (rlo, rhi) = ranges[term];
+        for &idx in &alive {
+            partial[idx] += coeffs[term] * tuples[idx][term].clamp(rlo, rhi);
+            effort.multiply_adds += 1;
+        }
+        if stage == n_terms {
+            break;
+        }
+        // Interval for candidate idx: partial + suffix_mid ± residual —
+        // reconstructed via the model's stage bound helpers through one
+        // representative evaluation (cheap: residual and suffix midpoint
+        // are stage constants).
+        let probe = model.evaluate_stage(&tuples[alive[0]], stage);
+        let center_offset = probe.lo + probe.hi;
+        let probe_partial = partial[alive[0]];
+        let suffix_mid = center_offset / 2.0 - probe_partial;
+        let half_width = (probe.hi - probe.lo) / 2.0;
+
+        // K-th largest lower bound among the alive.
+        let mut lows: Vec<f64> = alive
+            .iter()
+            .map(|&idx| partial[idx] + suffix_mid - half_width)
+            .collect();
+        if lows.len() > k {
+            lows.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+            let floor = lows[k - 1];
+            alive.retain(|&idx| partial[idx] + suffix_mid + half_width >= floor);
+        }
+    }
+    let mut heap = TopKHeap::new(k);
+    for &idx in &alive {
+        heap.offer(ScoredItem {
+            index: idx,
+            score: partial[idx],
+        });
+    }
+    Ok(TupleTopK {
+        results: heap.into_sorted(),
+        effort,
+    })
+}
+
+#[derive(Debug)]
+struct Region {
+    ub: f64,
+    level: usize,
+    row: usize,
+    col: usize,
+}
+
+impl PartialEq for Region {
+    fn eq(&self, other: &Self) -> bool {
+        self.ub == other.ub
+    }
+}
+impl Eq for Region {}
+impl PartialOrd for Region {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Region {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ub.total_cmp(&other.ub)
+    }
+}
+
+/// Progressive-data engine (the `p_d` engine): best-first quad-descent over
+/// per-attribute aggregate pyramids with full-model box bounds.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Query`] for `k == 0`, empty/misaligned pyramids, or
+/// a pyramid/model arity mismatch.
+pub fn pyramid_top_k(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+) -> Result<GridTopK, CoreError> {
+    let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
+    let (rows, cols) = shape;
+    let n = model.arity() as u64;
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * (rows * cols) as u64,
+    };
+    let mut heap = TopKHeap::new(k);
+    let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
+    let top = levels - 1;
+    let root_bound = region_bound(model, pyramids, top, 0, 0, &mut effort)?;
+    frontier.push(Region {
+        ub: root_bound,
+        level: top,
+        row: 0,
+        col: 0,
+    });
+    let mut results = Vec::new();
+    while let Some(region) = frontier.pop() {
+        if let Some(floor) = heap.floor() {
+            if floor >= region.ub {
+                break;
+            }
+        }
+        if region.level == 0 {
+            // Exact evaluation at base resolution.
+            let x: Vec<f64> = pyramids
+                .iter()
+                .map(|p| {
+                    p.cell(0, region.row, region.col)
+                        .map(|s| s.mean)
+                        .expect("tracked in-bounds")
+                })
+                .collect();
+            effort.multiply_adds += n;
+            heap.offer(ScoredItem {
+                index: region.row * cols + region.col,
+                score: model.evaluate(&x),
+            });
+            continue;
+        }
+        for child in pyramids[0].children(region.level, region.row, region.col) {
+            let ub = region_bound(model, pyramids, region.level - 1, child.row, child.col, &mut effort)?;
+            frontier.push(Region {
+                ub,
+                level: region.level - 1,
+                row: child.row,
+                col: child.col,
+            });
+        }
+    }
+    for item in heap.into_sorted() {
+        results.push(ScoredCell {
+            cell: CellCoord::new(item.index / cols, item.index % cols),
+            score: item.score,
+        });
+    }
+    Ok(GridTopK { results, effort })
+}
+
+/// Combined engine (`p_m · p_d`): quad-descent where coarse levels are
+/// bounded with *truncated* models. Level `l` of `L` uses the first
+/// `ceil(arity · (L - l) / L)` contribution-ranked terms, so the root is
+/// bounded almost for free and bounds sharpen as regions shrink.
+///
+/// # Errors
+///
+/// Same as [`pyramid_top_k`].
+pub fn combined_top_k(
+    model: &ProgressiveLinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+) -> Result<GridTopK, CoreError> {
+    let (shape, levels) = validate_grid_inputs(model.model(), pyramids, k)?;
+    let (rows, cols) = shape;
+    let n_terms = model.stages();
+    let n = n_terms as u64;
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * (rows * cols) as u64,
+    };
+    let stage_for_level = |level: usize| -> usize {
+        if level == 0 {
+            n_terms
+        } else {
+            // Coarser level -> fewer terms, never below 1.
+            let frac = (levels - level) as f64 / levels as f64;
+            ((n_terms as f64 * frac).ceil() as usize).clamp(1, n_terms)
+        }
+    };
+    let mut heap = TopKHeap::new(k);
+    let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
+    let top = levels - 1;
+    let root_ub = staged_region_bound(model, pyramids, top, 0, 0, stage_for_level(top), &mut effort)?;
+    frontier.push(Region {
+        ub: root_ub,
+        level: top,
+        row: 0,
+        col: 0,
+    });
+    let mut results = Vec::new();
+    while let Some(region) = frontier.pop() {
+        if let Some(floor) = heap.floor() {
+            if floor >= region.ub {
+                break;
+            }
+        }
+        if region.level == 0 {
+            let x: Vec<f64> = pyramids
+                .iter()
+                .map(|p| {
+                    p.cell(0, region.row, region.col)
+                        .map(|s| s.mean)
+                        .expect("tracked in-bounds")
+                })
+                .collect();
+            effort.multiply_adds += n;
+            heap.offer(ScoredItem {
+                index: region.row * cols + region.col,
+                score: model.evaluate_exact(&x),
+            });
+            continue;
+        }
+        let child_stage = stage_for_level(region.level - 1);
+        for child in pyramids[0].children(region.level, region.row, region.col) {
+            let ub = staged_region_bound(
+                model,
+                pyramids,
+                region.level - 1,
+                child.row,
+                child.col,
+                child_stage,
+                &mut effort,
+            )?;
+            frontier.push(Region {
+                ub,
+                level: region.level - 1,
+                row: child.row,
+                col: child.col,
+            });
+        }
+    }
+    for item in heap.into_sorted() {
+        results.push(ScoredCell {
+            cell: CellCoord::new(item.index / cols, item.index % cols),
+            score: item.score,
+        });
+    }
+    Ok(GridTopK { results, effort })
+}
+
+/// Naive full scan over the pyramids' base level — the §4.2 `O(nN)`
+/// baseline, exposed so experiments can measure against it directly.
+///
+/// # Errors
+///
+/// Same validation as [`pyramid_top_k`].
+pub fn naive_grid_top_k(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+) -> Result<GridTopK, CoreError> {
+    let ((rows, cols), _) = validate_grid_inputs(model, pyramids, k)?;
+    let n = model.arity() as u64;
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * (rows * cols) as u64,
+    };
+    let mut heap = TopKHeap::new(k);
+    for r in 0..rows {
+        for c in 0..cols {
+            let x: Vec<f64> = pyramids
+                .iter()
+                .map(|p| p.cell(0, r, c).map(|s| s.mean).expect("in-bounds"))
+                .collect();
+            effort.multiply_adds += n;
+            heap.offer(ScoredItem {
+                index: r * cols + c,
+                score: model.evaluate(&x),
+            });
+        }
+    }
+    let results = heap
+        .into_sorted()
+        .into_iter()
+        .map(|item| ScoredCell {
+            cell: CellCoord::new(item.index / cols, item.index % cols),
+            score: item.score,
+        })
+        .collect();
+    Ok(GridTopK { results, effort })
+}
+
+/// Query-directed grid retrieval: dispatches on the [`TopKQuery`]'s
+/// objective by negating the model for minimization (scores reported are
+/// the *original* model values, ascending for a minimizing query).
+///
+/// # Errors
+///
+/// Same as [`pyramid_top_k`].
+pub fn grid_query(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    query: TopKQuery,
+) -> Result<GridTopK, CoreError> {
+    match query.objective() {
+        Objective::Maximize => pyramid_top_k(model, pyramids, query.k()),
+        Objective::Minimize => {
+            let negated = LinearModel::new(
+                model.coefficients().iter().map(|a| -a).collect(),
+                -model.intercept(),
+            )
+            .map_err(CoreError::Model)?;
+            let mut result = pyramid_top_k(&negated, pyramids, query.k())?;
+            for sc in &mut result.results {
+                sc.score = -sc.score;
+            }
+            Ok(result)
+        }
+    }
+}
+
+fn validate_grid_inputs(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+) -> Result<((usize, usize), usize), CoreError> {
+    if k == 0 {
+        return Err(CoreError::Query("k must be >= 1".into()));
+    }
+    if pyramids.is_empty() {
+        return Err(CoreError::Query("no attribute pyramids supplied".into()));
+    }
+    if pyramids.len() != model.arity() {
+        return Err(CoreError::Query(format!(
+            "model arity {} but {} pyramids",
+            model.arity(),
+            pyramids.len()
+        )));
+    }
+    let shape = pyramids[0].base_shape();
+    let levels = pyramids[0].levels();
+    for p in pyramids {
+        if p.base_shape() != shape || p.levels() != levels {
+            return Err(CoreError::Query("pyramids must share a shape".into()));
+        }
+    }
+    Ok((shape, levels))
+}
+
+/// Full-model interval upper bound over a pyramid region.
+fn region_bound(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    level: usize,
+    row: usize,
+    col: usize,
+    effort: &mut EffortReport,
+) -> Result<f64, CoreError> {
+    let ranges: Vec<(f64, f64)> = pyramids
+        .iter()
+        .map(|p| p.cell(level, row, col).map(|s| (s.min, s.max)))
+        .collect::<Result<_, _>>()?;
+    effort.multiply_adds += model.arity() as u64;
+    let (_, hi) = model.bound_over_box(&ranges)?;
+    Ok(hi)
+}
+
+/// Truncated-model interval upper bound: the first `stage` ranked terms use
+/// the region box; the rest contribute their *global* residual envelope.
+fn staged_region_bound(
+    model: &ProgressiveLinearModel,
+    pyramids: &[AggregatePyramid],
+    level: usize,
+    row: usize,
+    col: usize,
+    stage: usize,
+    effort: &mut EffortReport,
+) -> Result<f64, CoreError> {
+    let coeffs = model.model().coefficients();
+    let mut hi = model.model().intercept();
+    for &term in &model.term_order()[..stage] {
+        let s = pyramids[term].cell(level, row, col)?;
+        let a = coeffs[term];
+        hi += if a >= 0.0 { a * s.max } else { a * s.min };
+        effort.multiply_adds += 1;
+    }
+    // Global envelope of the unevaluated suffix, a stage constant baked
+    // into the progressive model: suffix_mid + residual == max suffix.
+    let suffix_hi = suffix_upper(model, stage);
+    Ok(hi + suffix_hi)
+}
+
+/// Max possible contribution of the terms after `stage` (over the global
+/// attribute ranges the progressive model was built with).
+fn suffix_upper(model: &ProgressiveLinearModel, stage: usize) -> f64 {
+    let coeffs = model.model().coefficients();
+    let ranges = model.ranges();
+    model.term_order()[stage..]
+        .iter()
+        .map(|&term| {
+            let a = coeffs[term];
+            let (lo, hi) = ranges[term];
+            if a >= 0.0 {
+                a * hi
+            } else {
+                a * lo
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_archive::grid::Grid2;
+    use proptest::prelude::*;
+
+    fn pseudo_grid(seed: u64, rows: usize, cols: usize) -> Grid2<f64> {
+        Grid2::from_fn(rows, cols, |r, c| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((r * 8191 + c * 127) as u64)
+                .wrapping_mul(2862933555777941757);
+            (h >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        })
+    }
+
+    fn build_inputs(seed: u64, rows: usize, cols: usize, arity: usize) -> (LinearModel, Vec<AggregatePyramid>) {
+        let coeffs: Vec<f64> = (0..arity)
+            .map(|i| match i % 4 {
+                0 => 2.0,
+                1 => -1.0,
+                2 => 0.25,
+                _ => 0.05,
+            })
+            .collect();
+        let model = LinearModel::new(coeffs, 0.5).unwrap();
+        let pyramids: Vec<AggregatePyramid> = (0..arity)
+            .map(|i| AggregatePyramid::build(&pseudo_grid(seed + i as u64, rows, cols)))
+            .collect();
+        (model, pyramids)
+    }
+
+    fn progressive_of(model: &LinearModel, pyramids: &[AggregatePyramid]) -> ProgressiveLinearModel {
+        let ranges: Vec<(f64, f64)> = pyramids
+            .iter()
+            .map(|p| {
+                let root = p.root();
+                (root.min, root.max)
+            })
+            .collect();
+        ProgressiveLinearModel::new(model.clone(), &ranges).unwrap()
+    }
+
+    #[test]
+    fn pyramid_engine_matches_naive() {
+        let (model, pyramids) = build_inputs(1, 40, 56, 3);
+        for k in [1usize, 5, 17] {
+            let fast = pyramid_top_k(&model, &pyramids, k).unwrap();
+            let slow = naive_grid_top_k(&model, &pyramids, k).unwrap();
+            let fs: Vec<f64> = fast.results.iter().map(|r| r.score).collect();
+            let ss: Vec<f64> = slow.results.iter().map(|r| r.score).collect();
+            for (a, b) in fs.iter().zip(&ss) {
+                assert!((a - b).abs() < 1e-9, "k={k}: {fs:?} vs {ss:?}");
+            }
+            // No speedup assertion here: these grids are spatially
+            // uncorrelated noise, the worst case for region bounds (the
+            // smooth-data case below demonstrates the speedup).
+        }
+    }
+
+    #[test]
+    fn pyramid_engine_speeds_up_on_smooth_data() {
+        let rows = 64;
+        let cols = 64;
+        let pyramids: Vec<AggregatePyramid> = (0..3)
+            .map(|i| {
+                AggregatePyramid::build(&Grid2::from_fn(rows, cols, |r, c| {
+                    ((r as f64 / 7.0 + i as f64).sin() + (c as f64 / 13.0).cos()) * 40.0
+                }))
+            })
+            .collect();
+        let model = LinearModel::new(vec![1.0, 0.5, -0.75], 0.0).unwrap();
+        let fast = pyramid_top_k(&model, &pyramids, 3).unwrap();
+        let slow = naive_grid_top_k(&model, &pyramids, 3).unwrap();
+        for (a, b) in fast.results.iter().zip(&slow.results) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        assert!(
+            fast.effort.speedup() > 2.0,
+            "smooth data should prune well, got {}",
+            fast.effort.speedup()
+        );
+    }
+
+    #[test]
+    fn staged_engine_matches_scan() {
+        let (model, pyramids) = build_inputs(3, 24, 24, 4);
+        let prog = progressive_of(&model, &pyramids);
+        let tuples: Vec<Vec<f64>> = (0..24 * 24)
+            .map(|i| {
+                (0..4)
+                    .map(|a| {
+                        pyramids[a]
+                            .cell(0, i / 24, i % 24)
+                            .unwrap()
+                            .mean
+                    })
+                    .collect()
+            })
+            .collect();
+        for k in [1usize, 10] {
+            let fast = staged_top_k(&prog, &tuples, k).unwrap();
+            let slow = mbir_index::scan::scan_top_k(&tuples, k, |t| model.evaluate(t));
+            for (a, b) in fast.results.iter().zip(&slow.results) {
+                assert!((a.score - b.score).abs() < 1e-9, "k={k}");
+            }
+            assert!(
+                fast.effort.multiply_adds < fast.effort.naive_multiply_adds,
+                "pruning must save work"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_engine_matches_naive_and_beats_singletons() {
+        // Smooth data (spatial structure) + skewed coefficients: the regime
+        // where both progressive axes pay off.
+        let rows = 64;
+        let cols = 64;
+        let smooth: Vec<AggregatePyramid> = (0..4)
+            .map(|i| {
+                AggregatePyramid::build(&Grid2::from_fn(rows, cols, |r, c| {
+                    ((r as f64 / 9.0 + i as f64).sin() + (c as f64 / 11.0).cos()) * 50.0 + 100.0
+                }))
+            })
+            .collect();
+        let model = LinearModel::new(vec![5.0, 0.8, 0.1, 0.02], 0.0).unwrap();
+        let prog = progressive_of(&model, &smooth);
+        let k = 5;
+        let naive = naive_grid_top_k(&model, &smooth, k).unwrap();
+        let data_only = pyramid_top_k(&model, &smooth, k).unwrap();
+        let both = combined_top_k(&prog, &smooth, k).unwrap();
+        for (a, b) in both.results.iter().zip(&naive.results) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        for (a, b) in data_only.results.iter().zip(&naive.results) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        assert!(data_only.effort.speedup() > 1.0);
+        assert!(
+            both.effort.multiply_adds <= data_only.effort.multiply_adds,
+            "truncated bounds must not cost more: {} vs {}",
+            both.effort.multiply_adds,
+            data_only.effort.multiply_adds
+        );
+    }
+
+    #[test]
+    fn engines_validate_inputs() {
+        let (model, pyramids) = build_inputs(5, 8, 8, 2);
+        assert!(pyramid_top_k(&model, &pyramids, 0).is_err());
+        assert!(pyramid_top_k(&model, &pyramids[..1], 1).is_err());
+        let prog = progressive_of(&model, &pyramids);
+        assert!(staged_top_k(&prog, &[], 1).is_err());
+        assert!(staged_top_k(&prog, &[vec![1.0]], 1).is_err());
+        let other = AggregatePyramid::build(&pseudo_grid(9, 4, 4));
+        assert!(pyramid_top_k(&model, &[pyramids[0].clone(), other], 1).is_err());
+    }
+
+    #[test]
+    fn grid_query_minimize_mirrors_maximize() {
+        use crate::query::{Objective, TopKQuery};
+        let (model, pyramids) = build_inputs(13, 16, 16, 3);
+        let min_query = TopKQuery::new(5, Objective::Minimize).unwrap();
+        let minimized = grid_query(&model, &pyramids, min_query).unwrap();
+        // Reference: naive scan, ascending.
+        let naive = naive_grid_top_k(
+            &LinearModel::new(
+                model.coefficients().iter().map(|a| -a).collect(),
+                -model.intercept(),
+            )
+            .unwrap(),
+            &pyramids,
+            5,
+        )
+        .unwrap();
+        for (got, want) in minimized.results.iter().zip(&naive.results) {
+            assert!((got.score + want.score).abs() < 1e-9);
+        }
+        // Scores ascend for a minimizing query.
+        for pair in minimized.results.windows(2) {
+            assert!(pair[0].score <= pair[1].score + 1e-12);
+        }
+        // Maximize path delegates to pyramid_top_k.
+        let max_query = TopKQuery::max(5).unwrap();
+        let maximized = grid_query(&model, &pyramids, max_query).unwrap();
+        let direct = pyramid_top_k(&model, &pyramids, 5).unwrap();
+        assert_eq!(maximized.results, direct.results);
+    }
+
+    #[test]
+    fn k_larger_than_grid_returns_all_cells() {
+        let (model, pyramids) = build_inputs(7, 3, 3, 2);
+        let r = pyramid_top_k(&model, &pyramids, 100).unwrap();
+        assert_eq!(r.results.len(), 9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+        #[test]
+        fn prop_all_engines_agree(
+            seed in 0u64..300,
+            rows in 2usize..20,
+            cols in 2usize..20,
+            arity in 1usize..5,
+            k in 1usize..8,
+        ) {
+            let (model, pyramids) = build_inputs(seed, rows, cols, arity);
+            let prog = progressive_of(&model, &pyramids);
+            let naive = naive_grid_top_k(&model, &pyramids, k).unwrap();
+            let fast = pyramid_top_k(&model, &pyramids, k).unwrap();
+            let both = combined_top_k(&prog, &pyramids, k).unwrap();
+            for (a, b) in fast.results.iter().zip(&naive.results) {
+                prop_assert!((a.score - b.score).abs() < 1e-9);
+            }
+            for (a, b) in both.results.iter().zip(&naive.results) {
+                prop_assert!((a.score - b.score).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Unified error type for the retrieval framework.
+
+use mbir_archive::error::ArchiveError;
+use mbir_models::error::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the retrieval engine, metrics, or workflow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An archive-layer failure (I/O, bounds, missing datasets).
+    Archive(ArchiveError),
+    /// A model-layer failure (arity, calibration, invalid values).
+    Model(ModelError),
+    /// Query specification problem (zero K, misaligned inputs, ...).
+    Query(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Archive(e) => write!(f, "archive error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Query(what) => write!(f, "query error: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Archive(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Query(_) => None,
+        }
+    }
+}
+
+impl From<ArchiveError> for CoreError {
+    fn from(e: ArchiveError) -> Self {
+        CoreError::Archive(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = ArchiveError::EmptyDimension.into();
+        assert!(e.to_string().contains("archive error"));
+        let e: CoreError = ModelError::Empty.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::Query("k must be >= 1".into());
+        assert!(e.to_string().contains("k must be"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

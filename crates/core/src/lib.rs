@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # mbir-core
+//!
+//! The model-based information retrieval framework of the ICDCS 2000 paper
+//! (§3): execute a model *progressively* over *progressively represented*
+//! data, with sound pruning, so that top-K retrieval touches a fraction of
+//! the archive.
+//!
+//! * [`engine`] — the progressive execution engine: staged-model scans
+//!   (`p_m`), pyramid quad-descent (`p_d`), and the combined engine whose
+//!   cost is `O(nN / (p_m p_d))` (§4.2). Every engine is *exact*: pruning
+//!   uses sound interval bounds, and equivalence with a full scan is
+//!   property-tested.
+//! * [`metrics`] — §4.1 model accuracy: miss / false-alarm costs `C(x,y)`,
+//!   the weighted total `C_T`, threshold sweeps, and precision/recall of
+//!   top-K retrieval against observed occurrences.
+//! * [`workflow`] — the Fig. 5 loop: hypothesize → calibrate → retrieve →
+//!   revise through relevance feedback → apply to a larger archive.
+//!
+//! ```
+//! use mbir_archive::grid::Grid2;
+//! use mbir_core::engine::pyramid_top_k;
+//! use mbir_models::linear::LinearModel;
+//! use mbir_progressive::pyramid::AggregatePyramid;
+//!
+//! let band = Grid2::from_fn(32, 32, |r, c| (r * 32 + c) as f64);
+//! let pyramids = vec![AggregatePyramid::build(&band)];
+//! let model = LinearModel::new(vec![1.0], 0.0).unwrap();
+//! let report = pyramid_top_k(&model, &pyramids, 3).unwrap();
+//! assert_eq!(report.results[0].cell.row, 31);
+//! assert!(report.effort.speedup() > 1.0);
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod plan;
+pub mod query;
+pub mod temporal;
+pub mod workflow;
+
+pub use engine::{combined_top_k, grid_query, pyramid_top_k, staged_top_k, EffortReport};
+pub use error::CoreError;
+pub use plan::{execute_planned, plan_grid_query, EngineChoice, PlannerConfig, QueryPlan};
+pub use metrics::{precision_recall_at_k, roc_curve, total_cost, CostParams, CostReport, PrReport, RocPoint};
+pub use query::{Objective, TopKQuery};
+pub use temporal::{FrameTopK, TemporalRiskTracker};

@@ -1,0 +1,94 @@
+//! Query specifications for model-based retrieval.
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// Whether the model value is to be maximized or minimized (paper §3: the
+/// linear model "is maximized or minimized").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Retrieve the largest model values.
+    #[default]
+    Maximize,
+    /// Retrieve the smallest model values.
+    Minimize,
+}
+
+impl Objective {
+    /// Sign applied to raw scores so every engine can maximize internally.
+    pub fn sign(&self) -> f64 {
+        match self {
+            Objective::Maximize => 1.0,
+            Objective::Minimize => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::Maximize => f.write_str("maximize"),
+            Objective::Minimize => f.write_str("minimize"),
+        }
+    }
+}
+
+/// A top-K retrieval request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKQuery {
+    k: usize,
+    objective: Objective,
+}
+
+impl TopKQuery {
+    /// Creates a top-K query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Query`] when `k == 0`.
+    pub fn new(k: usize, objective: Objective) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::Query("k must be >= 1".into()));
+        }
+        Ok(TopKQuery { k, objective })
+    }
+
+    /// A maximizing top-K query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Query`] when `k == 0`.
+    pub fn max(k: usize) -> Result<Self, CoreError> {
+        TopKQuery::new(k, Objective::Maximize)
+    }
+
+    /// Number of results requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The optimization direction.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TopKQuery::new(0, Objective::Maximize).is_err());
+        let q = TopKQuery::max(5).unwrap();
+        assert_eq!(q.k(), 5);
+        assert_eq!(q.objective(), Objective::Maximize);
+    }
+
+    #[test]
+    fn objective_signs() {
+        assert_eq!(Objective::Maximize.sign(), 1.0);
+        assert_eq!(Objective::Minimize.sign(), -1.0);
+        assert_eq!(Objective::default(), Objective::Maximize);
+    }
+}

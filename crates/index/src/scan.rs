@@ -1,0 +1,201 @@
+//! Sequential-scan baseline: evaluate the model on every tuple, keep a
+//! top-K heap. Every index speedup in the paper is quoted against this.
+
+use crate::stats::{sort_desc, QueryStats, ScoredItem, TopKResult};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap adapter so the heap root is the current K-th best.
+#[derive(Debug, PartialEq)]
+struct MinScored(ScoredItem);
+
+impl Eq for MinScored {}
+
+impl PartialOrd for MinScored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinScored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse score order (min-heap); reversed index breaks ties so the
+        // *largest* index is evicted first, matching ascending-index ranks.
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then(other.0.index.cmp(&self.0.index))
+    }
+}
+
+/// A bounded top-K accumulator (max scores win).
+#[derive(Debug)]
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<MinScored>,
+    comparisons: u64,
+}
+
+impl TopKHeap {
+    /// Creates an accumulator for the best `k` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-K needs k >= 1");
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            comparisons: 0,
+        }
+    }
+
+    /// Offers an item; returns whether it was kept.
+    pub fn offer(&mut self, item: ScoredItem) -> bool {
+        self.comparisons += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(MinScored(item));
+            return true;
+        }
+        let floor = self.floor().expect("heap is full");
+        if item.score > floor
+            || (item.score == floor
+                && self
+                    .heap
+                    .peek()
+                    .map(|m| item.index < m.0.index)
+                    .unwrap_or(false))
+        {
+            self.heap.pop();
+            self.heap.push(MinScored(item));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current K-th best score (`None` until K items are held). Any
+    /// candidate with an upper bound at or below this cannot change the
+    /// result set's scores.
+    pub fn floor(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|m| m.0.score)
+        }
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Extracts the results in descending score order.
+    pub fn into_sorted(self) -> Vec<ScoredItem> {
+        let mut items: Vec<ScoredItem> = self.heap.into_iter().map(|m| m.0).collect();
+        sort_desc(&mut items);
+        items
+    }
+}
+
+/// Scans `data`, scoring each tuple with `score`, returning the top-K
+/// maximizers with full work accounting.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn scan_top_k<T, F: FnMut(&T) -> f64>(data: &[T], k: usize, mut score: F) -> TopKResult {
+    let mut heap = TopKHeap::new(k);
+    for (index, tuple) in data.iter().enumerate() {
+        heap.offer(ScoredItem {
+            index,
+            score: score(tuple),
+        });
+    }
+    let comparisons = heap.comparisons();
+    TopKResult {
+        results: heap.into_sorted(),
+        stats: QueryStats {
+            tuples_examined: data.len() as u64,
+            nodes_visited: 0,
+            comparisons,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scan_finds_exact_top_k() {
+        let data: Vec<f64> = vec![3.0, 9.0, 1.0, 7.0, 5.0];
+        let r = scan_top_k(&data, 3, |x| *x);
+        assert_eq!(r.indexes(), vec![1, 3, 4]);
+        assert_eq!(r.stats.tuples_examined, 5);
+    }
+
+    #[test]
+    fn k_larger_than_data_returns_everything() {
+        let data = vec![2.0, 1.0];
+        let r = scan_top_k(&data, 10, |x| *x);
+        assert_eq!(r.indexes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_index() {
+        let data = vec![1.0, 1.0, 1.0, 1.0];
+        let r = scan_top_k(&data, 2, |x| *x);
+        assert_eq!(r.indexes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn floor_tracks_kth_best() {
+        let mut heap = TopKHeap::new(2);
+        assert_eq!(heap.floor(), None);
+        heap.offer(ScoredItem { index: 0, score: 5.0 });
+        assert_eq!(heap.floor(), None);
+        heap.offer(ScoredItem { index: 1, score: 9.0 });
+        assert_eq!(heap.floor(), Some(5.0));
+        heap.offer(ScoredItem { index: 2, score: 7.0 });
+        assert_eq!(heap.floor(), Some(7.0));
+        assert!(!heap.offer(ScoredItem { index: 3, score: 6.0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = TopKHeap::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scan_matches_full_sort(
+            data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            k in 1usize..20,
+        ) {
+            let r = scan_top_k(&data, k, |x| *x);
+            let mut all: Vec<ScoredItem> = data
+                .iter()
+                .enumerate()
+                .map(|(index, score)| ScoredItem { index, score: *score })
+                .collect();
+            sort_desc(&mut all);
+            all.truncate(k);
+            prop_assert_eq!(r.results, all);
+        }
+    }
+}

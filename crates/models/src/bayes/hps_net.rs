@@ -1,0 +1,191 @@
+//! The high-risk-house Bayesian network of paper Figs. 2–3.
+//!
+//! "The high risk houses that are vulnerable to Hantavirus Pulmonary
+//! Syndrome can consist of the following rules: area of houses, which are
+//! surrounded by bushes, and has weather pattern of raining season followed
+//! by a dry season." The network (Fig. 3) has observable leaves — `house`,
+//! `bushes`, `unusual raining season`, `dry season` — two intermediate
+//! concepts — `house surrounded by bushes`, `wet season followed by dry
+//! season` — and the query node `high risk house`.
+//!
+//! The model is multi-modal: house/bush evidence comes from imagery, season
+//! evidence from weather feeds.
+
+use crate::bayes::{noisy_and_cpt, BayesNet, NodeId};
+use crate::error::ModelError;
+
+/// Node handles for the HPS house-risk network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpsNet {
+    /// Observable: a house is present (imagery).
+    pub house: NodeId,
+    /// Observable: bushes detected around the location (imagery).
+    pub bushes: NodeId,
+    /// Observable: unusually wet raining season (weather archive).
+    pub wet_season: NodeId,
+    /// Observable: subsequent dry season (weather archive).
+    pub dry_season: NodeId,
+    /// Intermediate: house surrounded by bushes.
+    pub house_surrounded: NodeId,
+    /// Intermediate: wet season followed by dry season.
+    pub wet_then_dry: NodeId,
+    /// Query node: high-risk house.
+    pub high_risk: NodeId,
+}
+
+/// Builds the Fig. 3 network with standard priors and noisy-AND gates.
+///
+/// Priors reflect a rural study area (houses sparse, bushes common); the
+/// AND gates are noisy because image classification of bushes and season
+/// segmentation both carry error.
+pub fn hps_network() -> (BayesNet, HpsNet) {
+    let mut net = BayesNet::new();
+    let house = net
+        .add_node("house", &[], vec![0.05])
+        .expect("valid prior");
+    let bushes = net
+        .add_node("bushes", &[], vec![0.35])
+        .expect("valid prior");
+    let wet_season = net
+        .add_node("unusual raining season", &[], vec![0.25])
+        .expect("valid prior");
+    let dry_season = net
+        .add_node("dry season", &[], vec![0.5])
+        .expect("valid prior");
+    let house_surrounded = net
+        .add_node(
+            "house surrounded by bushes",
+            &[house, bushes],
+            noisy_and_cpt(&[0.95, 0.9], 0.01),
+        )
+        .expect("valid gate");
+    let wet_then_dry = net
+        .add_node(
+            "wet season followed by dry season",
+            &[wet_season, dry_season],
+            noisy_and_cpt(&[0.9, 0.9], 0.02),
+        )
+        .expect("valid gate");
+    let high_risk = net
+        .add_node(
+            "high risk house",
+            &[house_surrounded, wet_then_dry],
+            noisy_and_cpt(&[0.9, 0.85], 0.01),
+        )
+        .expect("valid gate");
+    (
+        net,
+        HpsNet {
+            house,
+            bushes,
+            wet_season,
+            dry_season,
+            house_surrounded,
+            wet_then_dry,
+            high_risk,
+        },
+    )
+}
+
+/// Scores a location given hard multi-modal evidence, returning
+/// `P(high risk | evidence)` — the ranking key for top-K retrieval of
+/// vulnerable houses.
+///
+/// # Errors
+///
+/// Propagates [`BayesNet::query`] errors.
+pub fn risk_given_observations(
+    net: &BayesNet,
+    nodes: &HpsNet,
+    house: bool,
+    bushes: bool,
+    wet_season: bool,
+    dry_season: bool,
+) -> Result<f64, ModelError> {
+    net.query(
+        nodes.high_risk,
+        &[
+            (nodes.house, house),
+            (nodes.bushes, bushes),
+            (nodes.wet_season, wet_season),
+            (nodes.dry_season, dry_season),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_evidence_dominates() {
+        let (net, nodes) = hps_network();
+        let all = risk_given_observations(&net, &nodes, true, true, true, true).unwrap();
+        let no_bushes = risk_given_observations(&net, &nodes, true, false, true, true).unwrap();
+        let no_house = risk_given_observations(&net, &nodes, false, true, true, true).unwrap();
+        let no_wet = risk_given_observations(&net, &nodes, true, true, false, true).unwrap();
+        assert!(all > 0.5, "textbook case should be high risk, got {all}");
+        for (name, p) in [("no bushes", no_bushes), ("no house", no_house), ("no wet", no_wet)] {
+            assert!(p < all / 3.0, "{name} should slash the risk: {p} vs {all}");
+        }
+    }
+
+    #[test]
+    fn prior_risk_is_low() {
+        let (net, nodes) = hps_network();
+        let prior = net.query(nodes.high_risk, &[]).unwrap();
+        assert!(prior < 0.05, "unconditioned risk should be rare, got {prior}");
+    }
+
+    #[test]
+    fn risk_is_monotone_in_each_observation() {
+        let (net, nodes) = hps_network();
+        for mask in 0..8u32 {
+            let b = |bit: u32| mask & (1 << bit) != 0;
+            // Flipping any single false->true must not decrease risk.
+            let base =
+                risk_given_observations(&net, &nodes, false, b(0), b(1), b(2)).unwrap();
+            let with_house =
+                risk_given_observations(&net, &nodes, true, b(0), b(1), b(2)).unwrap();
+            assert!(
+                with_house >= base - 1e-12,
+                "house evidence must not lower risk"
+            );
+        }
+    }
+
+    #[test]
+    fn intermediate_nodes_respond_to_their_modality_only() {
+        let (net, nodes) = hps_network();
+        // Imagery evidence moves the imagery intermediate...
+        let p_hsb = net
+            .query(
+                nodes.house_surrounded,
+                &[(nodes.house, true), (nodes.bushes, true)],
+            )
+            .unwrap();
+        assert!(p_hsb > 0.8);
+        // ...but not the weather intermediate.
+        let p_wtd_base = net.query(nodes.wet_then_dry, &[]).unwrap();
+        let p_wtd = net
+            .query(
+                nodes.wet_then_dry,
+                &[(nodes.house, true), (nodes.bushes, true)],
+            )
+            .unwrap();
+        assert!((p_wtd - p_wtd_base).abs() < 1e-9, "modality independence");
+    }
+
+    #[test]
+    fn diagnostic_reasoning_flows_backwards() {
+        let (net, nodes) = hps_network();
+        let p_bushes_prior = net.query(nodes.bushes, &[]).unwrap();
+        let p_bushes_given_risk = net
+            .query(nodes.bushes, &[(nodes.high_risk, true)])
+            .unwrap();
+        assert!(
+            p_bushes_given_risk > p_bushes_prior,
+            "knowing a house is high-risk raises belief in bushes: {p_bushes_given_risk} vs {p_bushes_prior}"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Learning Bayesian network CPTs from data (paper §2.3: "Recently, methods
+//! have been developed to learn Bayesian networks from data").
+//!
+//! Structure is given (parents-first node order, as in [`super::BayesNet`]);
+//! parameters are maximum-a-posteriori estimates with Laplace (add-one)
+//! smoothing, so unseen parent configurations stay usable.
+
+use crate::bayes::BayesNet;
+use crate::error::ModelError;
+
+/// A network structure: for each node (in parents-first order), its name
+/// and parent ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Structure {
+    nodes: Vec<(String, Vec<usize>)>,
+}
+
+impl Structure {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Structure { nodes: Vec::new() }
+    }
+
+    /// Adds a node; parents must reference earlier nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] when a parent id is not yet defined
+    /// (this is the acyclicity guarantee).
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        parents: &[usize],
+    ) -> Result<usize, ModelError> {
+        let id = self.nodes.len();
+        for p in parents {
+            if *p >= id {
+                return Err(ModelError::Unknown(format!(
+                    "parent {p} must precede its child"
+                )));
+            }
+        }
+        self.nodes.push((name.into(), parents.to_vec()));
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Default for Structure {
+    fn default() -> Self {
+        Structure::new()
+    }
+}
+
+/// Fits CPTs for `structure` from complete binary samples (one `Vec<bool>`
+/// per observation, indexed by node id) with add-one smoothing.
+///
+/// # Errors
+///
+/// * [`ModelError::Empty`] — empty structure.
+/// * [`ModelError::InsufficientData`] — no samples.
+/// * [`ModelError::ArityMismatch`] — a sample of the wrong width.
+pub fn fit_cpts(structure: &Structure, samples: &[Vec<bool>]) -> Result<BayesNet, ModelError> {
+    if structure.node_count() == 0 {
+        return Err(ModelError::Empty);
+    }
+    if samples.is_empty() {
+        return Err(ModelError::InsufficientData {
+            samples: 0,
+            parameters: structure.node_count(),
+        });
+    }
+    for s in samples {
+        if s.len() != structure.node_count() {
+            return Err(ModelError::ArityMismatch {
+                expected: structure.node_count(),
+                actual: s.len(),
+            });
+        }
+    }
+    let mut net = BayesNet::new();
+    for (node, (name, parents)) in structure.nodes.iter().enumerate() {
+        let configs = 1usize << parents.len();
+        let mut true_counts = vec![1.0f64; configs]; // Laplace prior
+        let mut totals = vec![2.0f64; configs];
+        for s in samples {
+            let mut config = 0usize;
+            for (j, p) in parents.iter().enumerate() {
+                if s[*p] {
+                    config |= 1 << j;
+                }
+            }
+            totals[config] += 1.0;
+            if s[node] {
+                true_counts[config] += 1.0;
+            }
+        }
+        let cpt: Vec<f64> = true_counts
+            .iter()
+            .zip(&totals)
+            .map(|(t, n)| t / n)
+            .collect();
+        net.add_node(name.clone(), parents, cpt)?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_archive::randx;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn sample_net(net: &BayesNet, rng: &mut StdRng, n: usize) -> Vec<Vec<bool>> {
+        // Ancestral sampling: nodes are in parents-first order.
+        (0..n)
+            .map(|_| {
+                let mut s: Vec<bool> = Vec::with_capacity(net.node_count());
+                for node in 0..net.node_count() {
+                    let mut config = 0usize;
+                    for (j, p) in net.parents(node).iter().enumerate() {
+                        if s[*p] {
+                            config |= 1 << j;
+                        }
+                    }
+                    // Reach into the CPT via a tiny query-free shortcut:
+                    // P(node | parents) computed by a 1-node query on a
+                    // cloned net is overkill; reconstruct via joint ratio.
+                    let mut with_true = s.clone();
+                    with_true.push(true);
+                    let _ = config;
+                    let p_true = conditional_of(net, node, &s);
+                    s.push(rng.random::<f64>() < p_true);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// P(node=true | prefix assignment of its parents).
+    fn conditional_of(net: &BayesNet, node: usize, prefix: &[bool]) -> f64 {
+        // Query with all parents as evidence gives exactly the CPT entry.
+        let evidence: Vec<(usize, bool)> = net
+            .parents(node)
+            .iter()
+            .map(|p| (*p, prefix[*p]))
+            .collect();
+        net.query(node, &evidence).expect("valid query")
+    }
+
+    fn truth_net() -> BayesNet {
+        let mut net = BayesNet::new();
+        let a = net.add_node("a", &[], vec![0.3]).unwrap();
+        let b = net.add_node("b", &[a], vec![0.2, 0.7]).unwrap();
+        let _c = net.add_node("c", &[a, b], vec![0.1, 0.5, 0.4, 0.9]).unwrap();
+        net
+    }
+
+    #[test]
+    fn structure_enforces_parent_order() {
+        let mut s = Structure::new();
+        let a = s.add_node("a", &[]).unwrap();
+        assert!(s.add_node("b", &[a]).is_ok());
+        assert!(s.add_node("c", &[7]).is_err());
+    }
+
+    #[test]
+    fn recovers_planted_cpts() {
+        let truth = truth_net();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = sample_net(&truth, &mut rng, 30_000);
+        let mut structure = Structure::new();
+        let a = structure.add_node("a", &[]).unwrap();
+        let b = structure.add_node("b", &[a]).unwrap();
+        structure.add_node("c", &[a, b]).unwrap();
+        let learned = fit_cpts(&structure, &samples).unwrap();
+        // Compare posteriors on several queries.
+        for (target, evidence) in [
+            (0usize, vec![]),
+            (1, vec![(0usize, true)]),
+            (1, vec![(0, false)]),
+            (2, vec![(0, true), (1, true)]),
+            (2, vec![(0, false), (1, true)]),
+        ] {
+            let t = truth.query(target, &evidence).unwrap();
+            let l = learned.query(target, &evidence).unwrap();
+            assert!(
+                (t - l).abs() < 0.02,
+                "target {target} evidence {evidence:?}: {t} vs {l}"
+            );
+        }
+        // Seed-based check that randx is deterministic for docs elsewhere.
+        let _ = randx::standard_normal(&mut rng);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_configs() {
+        let mut structure = Structure::new();
+        let a = structure.add_node("a", &[]).unwrap();
+        structure.add_node("b", &[a]).unwrap();
+        // Only a=false ever observed; a=true config is unseen.
+        let samples = vec![vec![false, true], vec![false, false]];
+        let net = fit_cpts(&structure, &samples).unwrap();
+        let p = net.query(1, &[(a, true)]).unwrap();
+        assert!((p - 0.5).abs() < 1e-12, "Laplace prior gives 1/2, got {p}");
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let structure = Structure::new();
+        assert!(matches!(fit_cpts(&structure, &[]), Err(ModelError::Empty)));
+        let mut s2 = Structure::new();
+        s2.add_node("a", &[]).unwrap();
+        assert!(matches!(
+            fit_cpts(&s2, &[]),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            fit_cpts(&s2, &[vec![true, false]]),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+    }
+}

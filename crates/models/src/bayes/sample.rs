@@ -1,0 +1,185 @@
+//! Approximate inference by sampling.
+//!
+//! Exact variable elimination (the default in [`super::BayesNet::query`])
+//! is exponential in treewidth; the paper's knowledge models are small, but
+//! a production library needs a path for the larger nets the framework
+//! invites ("Bayesian networks can readily handle incomplete data sets").
+//! This module adds ancestral (prior) sampling and likelihood weighting;
+//! tests verify convergence to the exact posterior.
+
+use crate::bayes::{BayesNet, NodeId};
+use crate::error::ModelError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+impl BayesNet {
+    /// Draws one full assignment by ancestral sampling (nodes are stored
+    /// parents-first, so a single pass suffices).
+    pub fn sample_assignment(&self, rng: &mut StdRng) -> Vec<bool> {
+        let mut assignment: Vec<bool> = Vec::with_capacity(self.node_count());
+        for node in 0..self.node_count() {
+            let p = self.conditional_given(node, &assignment);
+            assignment.push(rng.random::<f64>() < p);
+        }
+        assignment
+    }
+
+    /// `P(node = true | prefix)` where `prefix` holds values for all of
+    /// the node's parents (they precede it by construction).
+    fn conditional_given(&self, node: NodeId, prefix: &[bool]) -> f64 {
+        let mut config = 0usize;
+        for (j, p) in self.parents(node).iter().enumerate() {
+            if prefix[*p] {
+                config |= 1 << j;
+            }
+        }
+        self.cpt_entry(node, config)
+    }
+
+    /// Approximate posterior `P(target = true | evidence)` by likelihood
+    /// weighting with `samples` draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unknown`] for invalid ids,
+    /// [`ModelError::InsufficientData`] for zero samples, and
+    /// [`ModelError::InvalidValue`] when every sample had zero weight
+    /// (evidence of probability ~0).
+    pub fn query_approx(
+        &self,
+        target: NodeId,
+        evidence: &[(NodeId, bool)],
+        samples: usize,
+        seed: u64,
+    ) -> Result<f64, ModelError> {
+        if target >= self.node_count() {
+            return Err(ModelError::Unknown(format!("node {target}")));
+        }
+        for (n, _) in evidence {
+            if *n >= self.node_count() {
+                return Err(ModelError::Unknown(format!("node {n}")));
+            }
+        }
+        if samples == 0 {
+            return Err(ModelError::InsufficientData {
+                samples: 0,
+                parameters: 1,
+            });
+        }
+        let ev: HashMap<NodeId, bool> = evidence.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weighted_true = 0.0f64;
+        let mut weight_total = 0.0f64;
+        for _ in 0..samples {
+            let mut assignment: Vec<bool> = Vec::with_capacity(self.node_count());
+            let mut weight = 1.0f64;
+            for node in 0..self.node_count() {
+                let p = self.conditional_given(node, &assignment);
+                match ev.get(&node) {
+                    Some(&value) => {
+                        weight *= if value { p } else { 1.0 - p };
+                        assignment.push(value);
+                    }
+                    None => assignment.push(rng.random::<f64>() < p),
+                }
+            }
+            weight_total += weight;
+            if assignment[target] {
+                weighted_true += weight;
+            }
+        }
+        if weight_total <= 0.0 {
+            return Err(ModelError::InvalidValue(
+                "all samples had zero weight (impossible evidence?)".into(),
+            ));
+        }
+        Ok(weighted_true / weight_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayes::hps_net::hps_network;
+
+    fn sprinkler() -> (BayesNet, NodeId, NodeId, NodeId, NodeId) {
+        let mut net = BayesNet::new();
+        let cloudy = net.add_node("cloudy", &[], vec![0.5]).unwrap();
+        let sprinkler = net.add_node("sprinkler", &[cloudy], vec![0.5, 0.1]).unwrap();
+        let rain = net.add_node("rain", &[cloudy], vec![0.2, 0.8]).unwrap();
+        let wet = net
+            .add_node("wet", &[sprinkler, rain], vec![0.0, 0.9, 0.9, 0.99])
+            .unwrap();
+        (net, cloudy, sprinkler, rain, wet)
+    }
+
+    #[test]
+    fn ancestral_sampling_matches_priors() {
+        let (net, cloudy, _, rain, _) = sprinkler();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let mut cloudy_count = 0u32;
+        let mut rain_count = 0u32;
+        for _ in 0..n {
+            let a = net.sample_assignment(&mut rng);
+            cloudy_count += u32::from(a[cloudy]);
+            rain_count += u32::from(a[rain]);
+        }
+        assert!((cloudy_count as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((rain_count as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn likelihood_weighting_converges_to_exact() {
+        let (net, cloudy, sprinkler, rain, wet) = sprinkler();
+        for (target, evidence) in [
+            (rain, vec![(wet, true)]),
+            (cloudy, vec![(wet, true), (sprinkler, true)]),
+            (sprinkler, vec![(rain, false), (wet, true)]),
+        ] {
+            let exact = net.query(target, &evidence).unwrap();
+            let approx = net.query_approx(target, &evidence, 60_000, 7).unwrap();
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "target {target} evidence {evidence:?}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn hps_network_sampling_agrees_with_exact() {
+        let (net, nodes) = hps_network();
+        let evidence = vec![
+            (nodes.house, true),
+            (nodes.bushes, true),
+            (nodes.wet_season, true),
+            (nodes.dry_season, true),
+        ];
+        let exact = net.query(nodes.high_risk, &evidence).unwrap();
+        let approx = net
+            .query_approx(nodes.high_risk, &evidence, 60_000, 3)
+            .unwrap();
+        assert!((exact - approx).abs() < 0.02, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn approx_query_validates() {
+        let (net, cloudy, ..) = sprinkler();
+        assert!(net.query_approx(99, &[], 100, 1).is_err());
+        assert!(net.query_approx(cloudy, &[(99, true)], 100, 1).is_err());
+        assert!(net.query_approx(cloudy, &[], 0, 1).is_err());
+    }
+
+    #[test]
+    fn impossible_evidence_surfaces() {
+        let mut net = BayesNet::new();
+        let a = net.add_node("a", &[], vec![1.0]).unwrap();
+        let b = net.add_node("b", &[a], vec![0.0, 1.0]).unwrap();
+        // b = false is impossible: every sample weight is zero.
+        assert!(matches!(
+            net.query_approx(a, &[(b, false)], 1000, 1),
+            Err(ModelError::InvalidValue(_))
+        ));
+    }
+}

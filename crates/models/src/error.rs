@@ -1,0 +1,81 @@
+//! Error type for model construction, calibration and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by model operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A model was constructed with no terms / states / nodes.
+    Empty,
+    /// A coefficient, probability or input was not finite or out of range.
+    InvalidValue(String),
+    /// Input vector length does not match the model arity.
+    ArityMismatch {
+        /// Expected attribute count.
+        expected: usize,
+        /// Supplied attribute count.
+        actual: usize,
+    },
+    /// Calibration had fewer samples than parameters (or none at all).
+    InsufficientData {
+        /// Samples supplied.
+        samples: usize,
+        /// Parameters to estimate.
+        parameters: usize,
+    },
+    /// A linear system was singular (collinear attributes).
+    Singular,
+    /// A named entity (state, node, symbol) was not found.
+    Unknown(String),
+    /// A graph that must be acyclic had a cycle.
+    Cyclic,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "model has no terms"),
+            ModelError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            ModelError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} attributes, got {actual}")
+            }
+            ModelError::InsufficientData {
+                samples,
+                parameters,
+            } => write!(
+                f,
+                "calibration needs at least {parameters} samples, got {samples}"
+            ),
+            ModelError::Singular => write!(f, "singular system: attributes are collinear"),
+            ModelError::Unknown(name) => write!(f, "unknown entity: {name}"),
+            ModelError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::Empty.to_string().contains("no terms"));
+        assert!(ModelError::ArityMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("4"));
+        assert!(ModelError::Singular.to_string().contains("collinear"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,287 @@
+//! Distance between finite-state machines (paper §3):
+//!
+//! > "When the finite state machine extracted from the data is slightly
+//! > different from the target finite state machine, it is also possible to
+//! > define a distance between these two finite state machines based on
+//! > their similarities."
+//!
+//! The distance implemented here is a *language* distance: the weighted
+//! fraction of input strings (up to a length horizon) on which the two
+//! machines disagree about acceptance, computed exactly by dynamic
+//! programming over the product automaton. Weighting length `k` by `2^-k`
+//! and normalizing yields a value in `[0, 1]` where 0 means the machines
+//! agree on every string up to the horizon and 1 means they disagree on all
+//! of them.
+
+use crate::error::ModelError;
+use crate::fsm::Fsm;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Weighted language disagreement between two machines over `alphabet`,
+/// considering strings of length `1..=max_len`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Unknown`] if either machine lacks a start state or
+/// a transition over the alphabet, and [`ModelError::InvalidValue`] when
+/// `max_len == 0` or the alphabet is empty.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_models::fsm::Fsm;
+/// use mbir_models::fsm::distance::language_distance;
+///
+/// let make = |accept_odd: bool| {
+///     let mut f: Fsm<char> = Fsm::new();
+///     let e = f.add_state("e");
+///     let o = f.add_state("o");
+///     f.set_start(e).unwrap();
+///     f.set_accepting(if accept_odd { o } else { e }, true).unwrap();
+///     f.add_transition(e, 'a', o).unwrap();
+///     f.add_transition(o, 'a', e).unwrap();
+///     f
+/// };
+/// let d_same = language_distance(&make(true), &make(true), &['a'], 8).unwrap();
+/// let d_diff = language_distance(&make(true), &make(false), &['a'], 8).unwrap();
+/// assert_eq!(d_same, 0.0);
+/// assert!(d_diff > 0.9); // they disagree on every string
+/// ```
+pub fn language_distance<S: Copy + Eq + Hash + fmt::Debug>(
+    a: &Fsm<S>,
+    b: &Fsm<S>,
+    alphabet: &[S],
+    max_len: usize,
+) -> Result<f64, ModelError> {
+    if max_len == 0 || alphabet.is_empty() {
+        return Err(ModelError::InvalidValue(
+            "need max_len >= 1 and a non-empty alphabet".into(),
+        ));
+    }
+    a.validate(alphabet)?;
+    b.validate(alphabet)?;
+    let start = (
+        a.start().expect("validated"),
+        b.start().expect("validated"),
+    );
+
+    let mut counts: HashMap<(usize, usize), f64> = HashMap::from([(start, 1.0)]);
+    let sigma = alphabet.len() as f64;
+    let mut weighted_disagree = 0.0;
+    let mut weight_total = 0.0;
+    let mut weight = 1.0;
+    for _k in 1..=max_len {
+        let mut next: HashMap<(usize, usize), f64> = HashMap::new();
+        for ((sa, sb), n) in &counts {
+            for sym in alphabet {
+                let ta = a.step(*sa, *sym).expect("validated total");
+                let tb = b.step(*sb, *sym).expect("validated total");
+                *next.entry((ta, tb)).or_insert(0.0) += n;
+            }
+        }
+        counts = next;
+        let total: f64 = counts.values().sum();
+        let disagree: f64 = counts
+            .iter()
+            .filter(|((sa, sb), _)| a.is_accepting(*sa) != b.is_accepting(*sb))
+            .map(|(_, n)| n)
+            .sum();
+        weight /= 2.0;
+        weighted_disagree += weight * disagree / total.max(sigma.powi(-1)); // total = sigma^k > 0
+        weight_total += weight;
+    }
+    Ok(weighted_disagree / weight_total)
+}
+
+/// Structural (transition-set) similarity under the identity state mapping:
+/// the Jaccard index of the two machines' transition sets plus agreement of
+/// their accepting sets. Cheap, and appropriate when both machines were
+/// built over the same state vocabulary (e.g. a calibrated variant of a
+/// reference model). Returns a *distance* in `[0, 1]`.
+pub fn structural_distance<S: Copy + Eq + Hash + fmt::Debug>(
+    a: &Fsm<S>,
+    b: &Fsm<S>,
+    alphabet: &[S],
+) -> f64 {
+    let states = a.state_count().max(b.state_count());
+    let mut shared = 0usize;
+    let mut union = 0usize;
+    for s in 0..states {
+        for sym in alphabet {
+            let ta = a.step(s, *sym);
+            let tb = b.step(s, *sym);
+            match (ta, tb) {
+                (Some(x), Some(y)) if x == y => {
+                    shared += 1;
+                    union += 1;
+                }
+                (None, None) => {}
+                _ => union += 1,
+            }
+        }
+        let aa = a.is_accepting(s);
+        let ba = b.is_accepting(s);
+        if aa || ba {
+            union += 1;
+            if aa && ba {
+                shared += 1;
+            }
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - shared as f64 / union as f64
+    }
+}
+
+/// Ranks candidate machines by language distance to a target — the §3
+/// retrieval semantics for finite-state models: "locate the top-K data
+/// patterns that satisfy a model that can be described by a finite state
+/// machine", tolerating machines "slightly different from the target".
+/// Returns `(candidate index, distance)` ascending (best match first).
+///
+/// # Errors
+///
+/// Propagates [`language_distance`] errors (invalid machines or
+/// parameters).
+pub fn rank_by_similarity<S: Copy + Eq + Hash + fmt::Debug>(
+    target: &Fsm<S>,
+    candidates: &[Fsm<S>],
+    alphabet: &[S],
+    max_len: usize,
+) -> Result<Vec<(usize, f64)>, ModelError> {
+    let mut ranked: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| language_distance(target, c, alphabet, max_len).map(|d| (i, d)))
+        .collect::<Result<_, _>>()?;
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::fire_ants::{fire_ants_fsm, DayClass};
+
+    fn mod_counter(modulus: usize, accept: usize) -> Fsm<char> {
+        let mut f: Fsm<char> = Fsm::new();
+        let states: Vec<_> = (0..modulus).map(|i| f.add_state(format!("s{i}"))).collect();
+        f.set_start(states[0]).unwrap();
+        f.set_accepting(states[accept], true).unwrap();
+        for i in 0..modulus {
+            f.add_transition(states[i], 'a', states[(i + 1) % modulus]).unwrap();
+            f.add_transition(states[i], 'b', states[i]).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn identical_machines_have_zero_distance() {
+        let m = mod_counter(3, 0);
+        assert_eq!(
+            language_distance(&m, &m, &['a', 'b'], 10).unwrap(),
+            0.0
+        );
+        assert_eq!(structural_distance(&m, &m, &['a', 'b']), 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_disagreement() {
+        let base = mod_counter(4, 0);
+        let near = mod_counter(4, 1); // same structure, shifted accept
+        let far = mod_counter(2, 1); // coarser period
+        let d_near = language_distance(&base, &near, &['a', 'b'], 10).unwrap();
+        let d_far = language_distance(&base, &far, &['a', 'b'], 10).unwrap();
+        assert!(d_near > 0.0);
+        assert!(d_far > 0.0);
+        // mod-2 accepting odd disagrees with mod-4 accepting 0 on about half
+        // the strings; mod-4 shifted accept also disagrees but both are
+        // genuine distances in (0, 1].
+        assert!(d_near <= 1.0 && d_far <= 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let x = mod_counter(3, 1);
+        let y = mod_counter(5, 2);
+        let d_xy = language_distance(&x, &y, &['a', 'b'], 8).unwrap();
+        let d_yx = language_distance(&y, &x, &['a', 'b'], 8).unwrap();
+        assert!((d_xy - d_yx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let m = mod_counter(2, 0);
+        assert!(language_distance(&m, &m, &[], 5).is_err());
+        assert!(language_distance(&m, &m, &['a'], 0).is_err());
+    }
+
+    #[test]
+    fn ranking_orders_by_closeness_to_target() {
+        let target = mod_counter(4, 0);
+        let candidates = vec![
+            mod_counter(2, 1),  // far
+            mod_counter(4, 0),  // identical
+            mod_counter(4, 1),  // near (shifted accept)
+        ];
+        let ranked = rank_by_similarity(&target, &candidates, &['a', 'b'], 8).unwrap();
+        assert_eq!(ranked[0].0, 1, "identical machine ranks first");
+        assert_eq!(ranked[0].1, 0.0);
+        assert!(ranked[1].1 <= ranked[2].1);
+        // Empty candidate list is fine.
+        assert!(rank_by_similarity(&target, &[], &['a', 'b'], 8)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn ranking_retrieves_regions_with_fire_ant_dynamics() {
+        // Three "regions" whose behaviour was abstracted into machines: one
+        // true fire-ants machine, one variant, one unrelated parity machine
+        // over the same alphabet. The target retrieval must order them
+        // true < variant < unrelated.
+        let (truth, _) = fire_ants_fsm();
+        let (variant, states) = {
+            let (mut m, s) = fire_ants_fsm();
+            m.add_transition(s.dry1, DayClass::DryWarm, s.fly).unwrap();
+            (m, s)
+        };
+        let _ = states;
+        let mut unrelated: Fsm<DayClass> = Fsm::new();
+        let a = unrelated.add_state("a");
+        let b = unrelated.add_state("b");
+        unrelated.set_start(a).unwrap();
+        unrelated.set_accepting(b, true).unwrap();
+        for sym in DayClass::ALPHABET {
+            unrelated.add_transition(a, sym, b).unwrap();
+            unrelated.add_transition(b, sym, a).unwrap();
+        }
+        let candidates = vec![unrelated, variant, truth.clone()];
+        let ranked =
+            rank_by_similarity(&truth, &candidates, &DayClass::ALPHABET, 10).unwrap();
+        assert_eq!(ranked[0].0, 2, "the true machine first");
+        assert_eq!(ranked[1].0, 1, "the near-variant second");
+        assert_eq!(ranked[2].0, 0, "the unrelated machine last");
+    }
+
+    #[test]
+    fn fire_ants_variant_distance_is_small() {
+        // A mis-specified fire-ants machine requiring only 2 dry days is
+        // close to, but distinct from, the true machine.
+        let (truth, _) = fire_ants_fsm();
+        let (mut variant, states) = fire_ants_fsm();
+        // Short-circuit: from dry-1, a warm dry day already triggers a fly.
+        variant
+            .add_transition(states.dry1, DayClass::DryWarm, states.fly)
+            .unwrap();
+        let d = language_distance(&truth, &variant, &DayClass::ALPHABET, 10).unwrap();
+        assert!(d > 0.0, "variant must be distinguishable");
+        assert!(d < 0.3, "but still close, got {d}");
+        let s = structural_distance(&truth, &variant, &DayClass::ALPHABET);
+        assert!(s > 0.0 && s < 0.2, "one changed edge, got {s}");
+    }
+}

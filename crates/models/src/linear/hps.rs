@@ -1,0 +1,226 @@
+//! The Hantavirus Pulmonary Syndrome risk model (paper §2.1):
+//!
+//! > `R(x,y) = 0.443 X1 + 0.222 X2 + 0.153 X3 + 0.183 X4`, where X1, X2 and
+//! > X3 correspond to the pixel value of band 4, 5 and 7 of the Landsat
+//! > Thematic Mapper image at location (x,y), while X4 corresponds to the
+//! > elevation (in meters) from the corresponding DEM.
+//!
+//! Also provides the temporal recursive form of §3.1,
+//! `R(x,y,t) = a1 X1 + a2 X2 + a3 X3 + a4 R(x,y,t-1)`.
+
+use crate::error::ModelError;
+use crate::linear::LinearModel;
+use mbir_archive::dem::Dem;
+use mbir_archive::grid::Grid2;
+use mbir_archive::scene::{BandId, Scene};
+
+/// The published HPS coefficients for (TM4, TM5, TM7, elevation).
+pub const HPS_COEFFICIENTS: [f64; 4] = [0.443, 0.222, 0.153, 0.183];
+
+/// The HPS risk model bound to its multi-modal inputs.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_models::linear::HpsRiskModel;
+///
+/// let m = HpsRiskModel::paper();
+/// let r = m.risk(120.0, 80.0, 60.0, 1500.0);
+/// assert!(r > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HpsRiskModel {
+    model: LinearModel,
+}
+
+impl HpsRiskModel {
+    /// The model with the paper's published coefficients.
+    pub fn paper() -> Self {
+        HpsRiskModel {
+            model: LinearModel::new(HPS_COEFFICIENTS.to_vec(), 0.0)
+                .expect("published coefficients are valid"),
+        }
+    }
+
+    /// A variant with custom coefficients (e.g. recalibrated by the
+    /// workflow loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] unless exactly 4 coefficients
+    /// are given, or [`ModelError::InvalidValue`] for non-finite ones.
+    pub fn with_coefficients(coefficients: [f64; 4]) -> Result<Self, ModelError> {
+        Ok(HpsRiskModel {
+            model: LinearModel::new(coefficients.to_vec(), 0.0)?,
+        })
+    }
+
+    /// The underlying linear model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+
+    /// Point risk from the four attributes.
+    pub fn risk(&self, tm4: f64, tm5: f64, tm7: f64, elevation_m: f64) -> f64 {
+        self.model.evaluate(&[tm4, tm5, tm7, elevation_m])
+    }
+}
+
+/// Evaluates the HPS model over co-registered scene + DEM, returning the
+/// risk surface. This is the naive `O(nN)` full-archive execution that the
+/// progressive engine is benchmarked against.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ArityMismatch`] when scene and DEM shapes differ
+/// and [`ModelError::Unknown`] when a required band is missing.
+pub fn hps_risk_grid(
+    model: &HpsRiskModel,
+    scene: &Scene,
+    dem: &Dem,
+) -> Result<Grid2<f64>, ModelError> {
+    if scene.rows() != dem.grid().rows() || scene.cols() != dem.grid().cols() {
+        return Err(ModelError::ArityMismatch {
+            expected: scene.rows() * scene.cols(),
+            actual: dem.grid().len(),
+        });
+    }
+    let b4 = scene
+        .band(BandId::TM4)
+        .map_err(|e| ModelError::Unknown(e.to_string()))?;
+    let b5 = scene
+        .band(BandId::TM5)
+        .map_err(|e| ModelError::Unknown(e.to_string()))?;
+    let b7 = scene
+        .band(BandId::TM7)
+        .map_err(|e| ModelError::Unknown(e.to_string()))?;
+    Ok(Grid2::from_fn(scene.rows(), scene.cols(), |r, c| {
+        model.risk(
+            *b4.at(r, c),
+            *b5.at(r, c),
+            *b7.at(r, c),
+            *dem.grid().at(r, c),
+        )
+    }))
+}
+
+/// The temporal-recursive HPS form of §3.1: risk today blends current
+/// observations with yesterday's risk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalHpsModel {
+    /// Weights on (X1, X2, X3).
+    pub observation_coeffs: [f64; 3],
+    /// Weight a4 on `R(x, y, t-1)`.
+    pub persistence: f64,
+}
+
+impl TemporalHpsModel {
+    /// Creates the temporal model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidValue`] for non-finite weights or
+    /// `|persistence| >= 1` (which would make the recursion divergent).
+    pub fn new(observation_coeffs: [f64; 3], persistence: f64) -> Result<Self, ModelError> {
+        if observation_coeffs.iter().any(|c| !c.is_finite()) || !persistence.is_finite() {
+            return Err(ModelError::InvalidValue("weights must be finite".into()));
+        }
+        if persistence.abs() >= 1.0 {
+            return Err(ModelError::InvalidValue(format!(
+                "persistence {persistence} must satisfy |a4| < 1"
+            )));
+        }
+        Ok(TemporalHpsModel {
+            observation_coeffs,
+            persistence,
+        })
+    }
+
+    /// One recursion step: `R_t = a1 X1 + a2 X2 + a3 X3 + a4 R_{t-1}`.
+    pub fn step(&self, observations: [f64; 3], previous_risk: f64) -> f64 {
+        self.observation_coeffs
+            .iter()
+            .zip(&observations)
+            .map(|(a, x)| a * x)
+            .sum::<f64>()
+            + self.persistence * previous_risk
+    }
+
+    /// Runs the recursion over a time series of observations, starting from
+    /// `initial_risk`; returns the risk trajectory (one entry per step).
+    pub fn run(&self, observations: &[[f64; 3]], initial_risk: f64) -> Vec<f64> {
+        let mut risk = initial_risk;
+        observations
+            .iter()
+            .map(|obs| {
+                risk = self.step(*obs, risk);
+                risk
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_archive::scene::SyntheticScene;
+
+    #[test]
+    fn paper_coefficients_are_wired() {
+        let m = HpsRiskModel::paper();
+        assert_eq!(m.model().coefficients(), &HPS_COEFFICIENTS);
+        let r = m.risk(1.0, 1.0, 1.0, 1.0);
+        assert!((r - (0.443 + 0.222 + 0.153 + 0.183)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risk_grid_matches_pointwise() {
+        let scene = SyntheticScene::new(3, 16, 16).generate();
+        let dem = Dem::synthetic(4, 16, 16, 0.0, 2000.0);
+        let m = HpsRiskModel::paper();
+        let grid = hps_risk_grid(&m, &scene, &dem).unwrap();
+        let b4 = scene.band(BandId::TM4).unwrap();
+        let b5 = scene.band(BandId::TM5).unwrap();
+        let b7 = scene.band(BandId::TM7).unwrap();
+        for r in 0..16 {
+            for c in 0..16 {
+                let expected = m.risk(
+                    *b4.at(r, c),
+                    *b5.at(r, c),
+                    *b7.at(r, c),
+                    *dem.grid().at(r, c),
+                );
+                assert!((grid.at(r, c) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn risk_grid_rejects_misaligned_or_missing() {
+        let scene = SyntheticScene::new(3, 16, 16).generate();
+        let dem = Dem::synthetic(4, 8, 8, 0.0, 2000.0);
+        assert!(hps_risk_grid(&HpsRiskModel::paper(), &scene, &dem).is_err());
+        let empty = Scene::new(16, 16);
+        let dem16 = Dem::synthetic(4, 16, 16, 0.0, 2000.0);
+        assert!(matches!(
+            hps_risk_grid(&HpsRiskModel::paper(), &empty, &dem16),
+            Err(ModelError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn temporal_model_converges_for_constant_input() {
+        let m = TemporalHpsModel::new([0.4, 0.3, 0.3], 0.5).unwrap();
+        let obs = [[1.0, 1.0, 1.0]; 60];
+        let trajectory = m.run(&obs, 0.0);
+        // Fixed point: r = 1.0 + 0.5 r -> r = 2.
+        let last = trajectory.last().copied().unwrap();
+        assert!((last - 2.0).abs() < 1e-6, "last {last}");
+    }
+
+    #[test]
+    fn temporal_model_rejects_divergent_persistence() {
+        assert!(TemporalHpsModel::new([0.1, 0.1, 0.1], 1.0).is_err());
+        assert!(TemporalHpsModel::new([0.1, f64::NAN, 0.1], 0.5).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Ordinary least squares calibration — "well known techniques exist in
+//! deriving the 'optimal' weights based on collections of data" (§2.1).
+
+use crate::error::ModelError;
+use crate::linalg::Matrix;
+use crate::linear::LinearModel;
+
+/// Result of an OLS fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// The fitted model (with intercept).
+    pub model: LinearModel,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    /// Residual standard deviation.
+    pub residual_std: f64,
+}
+
+/// Fits `y ~ X` by ordinary least squares with an intercept, solving the
+/// normal equations `(X'X) beta = X'y`.
+///
+/// # Errors
+///
+/// * [`ModelError::Empty`] — no samples or zero-width rows.
+/// * [`ModelError::ArityMismatch`] — `xs` and `ys` lengths differ or rows
+///   are ragged.
+/// * [`ModelError::InsufficientData`] — fewer samples than parameters.
+/// * [`ModelError::Singular`] — collinear attributes.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_models::linear::fit_ols;
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+/// let fit = fit_ols(&xs, &ys)?;
+/// assert!((fit.model.coefficients()[0] - 2.0).abs() < 1e-9);
+/// assert!((fit.model.intercept() - 1.0).abs() < 1e-9);
+/// # Ok::<(), mbir_models::ModelError>(())
+/// ```
+pub fn fit_ols(xs: &[Vec<f64>], ys: &[f64]) -> Result<OlsFit, ModelError> {
+    let first = xs.first().ok_or(ModelError::Empty)?;
+    let dims = first.len();
+    if dims == 0 {
+        return Err(ModelError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(ModelError::ArityMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    let params = dims + 1; // + intercept
+    if xs.len() < params {
+        return Err(ModelError::InsufficientData {
+            samples: xs.len(),
+            parameters: params,
+        });
+    }
+
+    // Design matrix with a leading 1-column for the intercept.
+    let design: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|row| {
+            let mut d = Vec::with_capacity(params);
+            d.push(1.0);
+            d.extend_from_slice(row);
+            d
+        })
+        .collect();
+    let x = Matrix::from_rows(&design)?;
+    let xt = x.transpose();
+    let xtx = xt.mul(&x)?;
+    let xty = xt.mul_vec(ys)?;
+    let beta = xtx.solve(&xty)?;
+
+    let model = LinearModel::new(beta[1..].to_vec(), beta[0])?;
+
+    // Goodness of fit.
+    let mean_y: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (row, y) in xs.iter().zip(ys) {
+        let pred = model.evaluate(row);
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    let residual_std = (ss_res / xs.len() as f64).sqrt();
+    Ok(OlsFit {
+        model,
+        r_squared,
+        residual_std,
+    })
+}
+
+/// Fits `y ~ X` by ridge regression: solves
+/// `(X'X + lambda I) beta = X'y` with the intercept left unpenalized.
+///
+/// Ridge is the productive answer to the collinear-attribute case where
+/// [`fit_ols`] correctly refuses ([`ModelError::Singular`]): multi-spectral
+/// bands are strongly correlated, and workflow refits on small feedback
+/// sets need the stabilizer.
+///
+/// # Errors
+///
+/// Same as [`fit_ols`], except collinearity no longer yields
+/// [`ModelError::Singular`] for `lambda > 0`;
+/// [`ModelError::InvalidValue`] for a negative or non-finite `lambda`.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_models::linear::fit_ridge;
+///
+/// // Perfectly collinear attributes: OLS would be singular.
+/// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+/// let ys: Vec<f64> = (0..10).map(|i| 5.0 * i as f64).collect();
+/// let fit = fit_ridge(&xs, &ys, 0.1)?;
+/// // The fitted model still predicts well even though neither coefficient
+/// // is individually identified.
+/// assert!((fit.model.evaluate(&[4.0, 8.0]) - 20.0).abs() < 0.5);
+/// # Ok::<(), mbir_models::ModelError>(())
+/// ```
+pub fn fit_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<OlsFit, ModelError> {
+    if !(lambda >= 0.0) || !lambda.is_finite() {
+        return Err(ModelError::InvalidValue(format!(
+            "ridge lambda must be finite and non-negative, got {lambda}"
+        )));
+    }
+    let first = xs.first().ok_or(ModelError::Empty)?;
+    let dims = first.len();
+    if dims == 0 {
+        return Err(ModelError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(ModelError::ArityMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    let params = dims + 1;
+    if xs.len() < 2 {
+        return Err(ModelError::InsufficientData {
+            samples: xs.len(),
+            parameters: params,
+        });
+    }
+    let design: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|row| {
+            let mut d = Vec::with_capacity(params);
+            d.push(1.0);
+            d.extend_from_slice(row);
+            d
+        })
+        .collect();
+    let x = Matrix::from_rows(&design)?;
+    let xt = x.transpose();
+    let mut xtx = xt.mul(&x)?;
+    // Penalize every coefficient except the intercept.
+    for i in 1..params {
+        xtx.set(i, i, xtx.get(i, i) + lambda);
+    }
+    let xty = xt.mul_vec(ys)?;
+    let beta = xtx.solve(&xty)?;
+    let model = LinearModel::new(beta[1..].to_vec(), beta[0])?;
+
+    let mean_y: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (row, y) in xs.iter().zip(ys) {
+        let pred = model.evaluate(row);
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Ok(OlsFit {
+        model,
+        r_squared,
+        residual_std: (ss_res / xs.len() as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_archive::randx;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_planted_coefficients_exactly_without_noise() {
+        let truth = [0.443, 0.222, 0.153, 0.183];
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..4).map(|_| randx::standard_normal(&mut rng) * 50.0).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| truth.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() + 5.0)
+            .collect();
+        let fit = fit_ols(&xs, &ys).unwrap();
+        for (est, tru) in fit.model.coefficients().iter().zip(&truth) {
+            assert!((est - tru).abs() < 1e-9, "{est} vs {tru}");
+        }
+        assert!((fit.model.intercept() - 5.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.9999);
+        assert!(fit.residual_std < 1e-9);
+    }
+
+    #[test]
+    fn recovers_coefficients_under_noise() {
+        let truth = [2.0, -1.5];
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Vec<f64>> = (0..2000)
+            .map(|_| vec![randx::standard_normal(&mut rng), randx::standard_normal(&mut rng)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| {
+                truth.iter().zip(x).map(|(a, v)| a * v).sum::<f64>()
+                    + randx::normal(&mut rng, 0.0, 0.5)
+            })
+            .collect();
+        let fit = fit_ols(&xs, &ys).unwrap();
+        for (est, tru) in fit.model.coefficients().iter().zip(&truth) {
+            assert!((est - tru).abs() < 0.05, "{est} vs {tru}");
+        }
+        assert!((fit.residual_std - 0.5).abs() < 0.05);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(fit_ols(&[], &[]), Err(ModelError::Empty)));
+        assert!(fit_ols(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(matches!(
+            fit_ols(&[vec![1.0]], &[1.0]),
+            Err(ModelError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_collinearity() {
+        // Second attribute is exactly twice the first.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(fit_ols(&xs, &ys).unwrap_err(), ModelError::Singular);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(fit_ols(&xs, &ys).unwrap_err(), ModelError::Singular);
+        let fit = fit_ridge(&xs, &ys, 0.01).unwrap();
+        // Predicts on the collinear manifold despite unidentifiable betas.
+        for i in 0..10 {
+            let pred = fit.model.evaluate(&[i as f64, 2.0 * i as f64]);
+            assert!((pred - i as f64).abs() < 0.1, "i={i} pred={pred}");
+        }
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn ridge_at_zero_matches_ols() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![randx::standard_normal(&mut rng), randx::standard_normal(&mut rng)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 0.5).collect();
+        let ols = fit_ols(&xs, &ys).unwrap();
+        let ridge = fit_ridge(&xs, &ys, 0.0).unwrap();
+        for (a, b) in ols
+            .model
+            .coefficients()
+            .iter()
+            .zip(ridge.model.coefficients())
+        {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![randx::standard_normal(&mut rng)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x[0] + randx::normal(&mut rng, 0.0, 0.1))
+            .collect();
+        let small = fit_ridge(&xs, &ys, 0.1).unwrap();
+        let large = fit_ridge(&xs, &ys, 100.0).unwrap();
+        assert!(
+            large.model.coefficients()[0].abs() < small.model.coefficients()[0].abs(),
+            "larger lambda must shrink"
+        );
+    }
+
+    #[test]
+    fn ridge_validates_lambda() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0, 2.0];
+        assert!(matches!(
+            fit_ridge(&xs, &ys, -1.0),
+            Err(ModelError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            fit_ridge(&xs, &ys, f64::NAN),
+            Err(ModelError::InvalidValue(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recovers_1d_line(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+            let ys: Vec<f64> = (0..20).map(|i| a * i as f64 + b).collect();
+            let fit = fit_ols(&xs, &ys).unwrap();
+            prop_assert!((fit.model.coefficients()[0] - a).abs() < 1e-7);
+            prop_assert!((fit.model.intercept() - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The multi-abstraction ladder (paper §3.1): raw data, features,
+//! semantics, metadata — "multiple abstraction level representations rely on
+//! the fact that raw information can be processed into alternate
+//! formulations ... that require lower data volumes at the expense of
+//! fidelity."
+
+use std::fmt;
+
+/// Abstraction levels ordered from cheapest/coarsest to most expensive/
+/// most faithful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractionLevel {
+    /// Catalog metadata only — extent, modality, time range.
+    Metadata,
+    /// Semantic labels (classification maps, contours, lithology runs).
+    Semantics,
+    /// Derived feature vectors (texture, histograms).
+    Features,
+    /// Full-fidelity raw data.
+    Raw,
+}
+
+impl AbstractionLevel {
+    /// All levels, cheapest first.
+    pub const LADDER: [AbstractionLevel; 4] = [
+        AbstractionLevel::Metadata,
+        AbstractionLevel::Semantics,
+        AbstractionLevel::Features,
+        AbstractionLevel::Raw,
+    ];
+
+    /// Typical relative data volume per source pixel at this level, used
+    /// for query planning (raw = 1.0; the others follow the reduction
+    /// ratios of the representations in this crate: one region label per
+    /// 16x16 tile for semantics, one 5-float feature vector per 16x16 tile
+    /// for features, O(1) metadata). Volume strictly increases with detail.
+    pub fn volume_fraction(&self) -> f64 {
+        match self {
+            AbstractionLevel::Metadata => 1e-6,
+            AbstractionLevel::Semantics => 1.0 / 256.0,
+            AbstractionLevel::Features => 5.0 / 256.0,
+            AbstractionLevel::Raw => 1.0,
+        }
+    }
+
+    /// The next-more-detailed level, or `None` at [`AbstractionLevel::Raw`].
+    pub fn refine(&self) -> Option<AbstractionLevel> {
+        match self {
+            AbstractionLevel::Metadata => Some(AbstractionLevel::Semantics),
+            AbstractionLevel::Semantics => Some(AbstractionLevel::Features),
+            AbstractionLevel::Features => Some(AbstractionLevel::Raw),
+            AbstractionLevel::Raw => None,
+        }
+    }
+}
+
+impl fmt::Display for AbstractionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AbstractionLevel::Metadata => "metadata",
+            AbstractionLevel::Semantics => "semantics",
+            AbstractionLevel::Features => "features",
+            AbstractionLevel::Raw => "raw",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A plan of which abstraction levels a progressive query will visit, with
+/// its total data-volume estimate relative to a raw-only scan.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_progressive::abstraction::{AbstractionLevel, ProgressionPlan};
+///
+/// let plan = ProgressionPlan::full_ladder();
+/// assert!(plan.volume_fraction(0.01) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressionPlan {
+    steps: Vec<AbstractionLevel>,
+}
+
+impl ProgressionPlan {
+    /// A plan visiting every ladder rung from metadata to raw.
+    pub fn full_ladder() -> Self {
+        ProgressionPlan {
+            steps: AbstractionLevel::LADDER.to_vec(),
+        }
+    }
+
+    /// A plan over a custom rung sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or not strictly increasing in detail.
+    pub fn new(steps: Vec<AbstractionLevel>) -> Self {
+        assert!(!steps.is_empty(), "plan needs at least one level");
+        assert!(
+            steps.windows(2).all(|w| w[0] < w[1]),
+            "plan levels must strictly increase in detail"
+        );
+        ProgressionPlan { steps }
+    }
+
+    /// The planned levels, coarse to fine.
+    pub fn steps(&self) -> &[AbstractionLevel] {
+        &self.steps
+    }
+
+    /// Estimated total data volume (fraction of a raw scan) when each step
+    /// passes only `survival` of its candidates to the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `survival` is not within `[0, 1]`.
+    pub fn volume_fraction(&self, survival: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&survival), "survival must be in [0,1]");
+        let mut remaining = 1.0;
+        let mut total = 0.0;
+        for level in &self.steps {
+            total += remaining * level.volume_fraction();
+            remaining *= survival;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_cheap_to_expensive() {
+        for pair in AbstractionLevel::LADDER.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].volume_fraction() < pair[1].volume_fraction());
+        }
+    }
+
+    #[test]
+    fn refine_walks_the_ladder() {
+        let mut level = AbstractionLevel::Metadata;
+        let mut seen = vec![level];
+        while let Some(next) = level.refine() {
+            seen.push(next);
+            level = next;
+        }
+        assert_eq!(seen, AbstractionLevel::LADDER.to_vec());
+    }
+
+    #[test]
+    fn plan_volume_decreases_with_selectivity() {
+        let plan = ProgressionPlan::full_ladder();
+        let tight = plan.volume_fraction(0.01);
+        let loose = plan.volume_fraction(0.5);
+        assert!(tight < loose);
+        assert!(loose < 1.0 + plan.steps().len() as f64);
+        // Survival 1.0 means every level touches everything.
+        let worst = plan.volume_fraction(1.0);
+        let sum: f64 = AbstractionLevel::LADDER
+            .iter()
+            .map(|l| l.volume_fraction())
+            .sum();
+        assert!((worst - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn plan_rejects_unordered_steps() {
+        let _ = ProgressionPlan::new(vec![AbstractionLevel::Raw, AbstractionLevel::Features]);
+    }
+
+    #[test]
+    fn single_step_plan_is_valid() {
+        let plan = ProgressionPlan::new(vec![AbstractionLevel::Raw]);
+        assert_eq!(plan.steps().len(), 1);
+        assert!((plan.volume_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_plan_rejected() {
+        let _ = ProgressionPlan::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "survival")]
+    fn survival_out_of_range_rejected() {
+        let _ = ProgressionPlan::full_ladder().volume_fraction(1.5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AbstractionLevel::Semantics.to_string(), "semantics");
+        assert_eq!(AbstractionLevel::Raw.to_string(), "raw");
+    }
+}

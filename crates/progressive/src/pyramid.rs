@@ -1,0 +1,286 @@
+//! Aggregate resolution pyramids with sound interval bounds.
+//!
+//! Progressive model execution needs more than block means: to *prune* a
+//! region soundly, the engine must know an interval guaranteed to contain
+//! every base-resolution value under a pyramid cell. `AggregatePyramid`
+//! stores `(min, max, mean, count)` per cell, so any model monotone in its
+//! attributes gets sound per-region bounds.
+
+use mbir_archive::error::ArchiveError;
+use mbir_archive::extent::CellCoord;
+use mbir_archive::grid::Grid2;
+
+/// Aggregates of the base-resolution values covered by one pyramid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Minimum covered value.
+    pub min: f64,
+    /// Maximum covered value.
+    pub max: f64,
+    /// Mean of covered values.
+    pub mean: f64,
+    /// Number of base cells covered.
+    pub count: u64,
+}
+
+impl CellStats {
+    /// Aggregates a single value.
+    pub fn of_value(v: f64) -> Self {
+        CellStats {
+            min: v,
+            max: v,
+            mean: v,
+            count: 1,
+        }
+    }
+
+    /// Merges two aggregates.
+    pub fn merge(&self, other: &CellStats) -> CellStats {
+        let count = self.count + other.count;
+        CellStats {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean: (self.mean * self.count as f64 + other.mean * other.count as f64)
+                / count as f64,
+            count,
+        }
+    }
+
+    /// Width of the value interval.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// A min/max/mean pyramid over a [`Grid2<f64>`].
+///
+/// Level 0 is base resolution (stats of single cells); each higher level
+/// aggregates 2x2 children (ragged edges aggregate what exists). The
+/// top level is always a single cell.
+///
+/// # Examples
+///
+/// ```
+/// use mbir_archive::grid::Grid2;
+/// use mbir_progressive::pyramid::AggregatePyramid;
+///
+/// let pyr = AggregatePyramid::build(&Grid2::from_fn(32, 32, |r, _| r as f64));
+/// let root = pyr.root();
+/// assert_eq!(root.min, 0.0);
+/// assert_eq!(root.max, 31.0);
+/// assert_eq!(root.count, 32 * 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregatePyramid {
+    levels: Vec<Grid2<CellStats>>,
+}
+
+impl AggregatePyramid {
+    /// Builds the full pyramid (down to 1x1) over `base`.
+    pub fn build(base: &Grid2<f64>) -> Self {
+        let mut levels = vec![base.map(|&v| CellStats::of_value(v))];
+        loop {
+            let prev = levels.last().expect("non-empty by construction");
+            if prev.rows() == 1 && prev.cols() == 1 {
+                break;
+            }
+            let rows = prev.rows().div_ceil(2);
+            let cols = prev.cols().div_ceil(2);
+            let next = Grid2::from_fn(rows, cols, |r, c| {
+                let mut acc: Option<CellStats> = None;
+                for rr in r * 2..(r * 2 + 2).min(prev.rows()) {
+                    for cc in c * 2..(c * 2 + 2).min(prev.cols()) {
+                        let s = prev.at(rr, cc);
+                        acc = Some(match acc {
+                            Some(a) => a.merge(s),
+                            None => *s,
+                        });
+                    }
+                }
+                acc.expect("every parent covers at least one child")
+            });
+            levels.push(next);
+        }
+        AggregatePyramid { levels }
+    }
+
+    /// Number of levels; level 0 is base resolution.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Base grid shape `(rows, cols)`.
+    pub fn base_shape(&self) -> (usize, usize) {
+        (self.levels[0].rows(), self.levels[0].cols())
+    }
+
+    /// Shape of a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn level_shape(&self, level: usize) -> (usize, usize) {
+        let g = &self.levels[level];
+        (g.rows(), g.cols())
+    }
+
+    /// Stats of the cell at `(level, row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::OutOfBounds`] outside the level's shape (a
+    /// `level` beyond the top is reported against the top level's bounds).
+    pub fn cell(&self, level: usize, row: usize, col: usize) -> Result<CellStats, ArchiveError> {
+        let g = self
+            .levels
+            .get(level)
+            .ok_or(ArchiveError::OutOfBounds {
+                row: level,
+                col: 0,
+                rows: self.levels.len(),
+                cols: 1,
+            })?;
+        Ok(*g.get(row, col)?)
+    }
+
+    /// Stats of the single top cell.
+    pub fn root(&self) -> CellStats {
+        *self.levels[self.levels.len() - 1].at(0, 0)
+    }
+
+    /// The children coordinates of `(level, row, col)` at `level - 1`.
+    ///
+    /// Returns an empty vector at level 0.
+    pub fn children(&self, level: usize, row: usize, col: usize) -> Vec<CellCoord> {
+        if level == 0 || level >= self.levels.len() {
+            return Vec::new();
+        }
+        let child = &self.levels[level - 1];
+        let mut out = Vec::with_capacity(4);
+        for rr in row * 2..(row * 2 + 2).min(child.rows()) {
+            for cc in col * 2..(col * 2 + 2).min(child.cols()) {
+                out.push(CellCoord::new(rr, cc));
+            }
+        }
+        out
+    }
+
+    /// The base-resolution cells covered by `(level, row, col)`.
+    pub fn base_cells(&self, level: usize, row: usize, col: usize) -> Vec<CellCoord> {
+        let scale = 1usize << level;
+        let (rows, cols) = self.base_shape();
+        let mut out = Vec::new();
+        for rr in row * scale..((row + 1) * scale).min(rows) {
+            for cc in col * scale..((col + 1) * scale).min(cols) {
+                out.push(CellCoord::new(rr, cc));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let g = Grid2::from_fn(10, 14, |r, c| (r * 14 + c) as f64);
+        let pyr = AggregatePyramid::build(&g);
+        let root = pyr.root();
+        assert_eq!(root.min, 0.0);
+        assert_eq!(root.max, 139.0);
+        assert_eq!(root.count, 140);
+        assert!((root.mean - g.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level0_is_base() {
+        let g = Grid2::from_fn(3, 3, |r, c| (r + c) as f64);
+        let pyr = AggregatePyramid::build(&g);
+        let s = pyr.cell(0, 2, 1).unwrap();
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let g = Grid2::from_fn(5, 5, |r, c| (r * 5 + c) as f64);
+        let pyr = AggregatePyramid::build(&g);
+        for level in 1..pyr.levels() {
+            let (rows, cols) = pyr.level_shape(level);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let parent = pyr.cell(level, r, c).unwrap();
+                    let kids = pyr.children(level, r, c);
+                    assert!(!kids.is_empty());
+                    let merged = kids
+                        .iter()
+                        .map(|k| pyr.cell(level - 1, k.row, k.col).unwrap())
+                        .reduce(|a, b| a.merge(&b))
+                        .unwrap();
+                    assert_eq!(parent.count, merged.count);
+                    assert_eq!(parent.min, merged.min);
+                    assert_eq!(parent.max, merged.max);
+                    assert!((parent.mean - merged.mean).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_cells_match_count() {
+        let g = Grid2::from_fn(7, 9, |r, c| (r * c) as f64);
+        let pyr = AggregatePyramid::build(&g);
+        for level in 0..pyr.levels() {
+            let (rows, cols) = pyr.level_shape(level);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let s = pyr.cell(level, r, c).unwrap();
+                    let cells = pyr.base_cells(level, r, c);
+                    assert_eq!(s.count as usize, cells.len(), "level {level} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let pyr = AggregatePyramid::build(&Grid2::filled(4, 4, 1.0));
+        assert!(pyr.cell(0, 4, 0).is_err());
+        assert!(pyr.cell(99, 0, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounds_are_sound(
+            rows in 1usize..20,
+            cols in 1usize..20,
+            seed in 0u64..1000,
+        ) {
+            // Pseudo-random but deterministic grid from the seed.
+            let g = Grid2::from_fn(rows, cols, |r, c| {
+                let h = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((r * 31 + c) as u64);
+                (h % 1000) as f64 - 500.0
+            });
+            let pyr = AggregatePyramid::build(&g);
+            for level in 0..pyr.levels() {
+                let (lr, lc) = pyr.level_shape(level);
+                for r in 0..lr {
+                    for c in 0..lc {
+                        let s = pyr.cell(level, r, c).unwrap();
+                        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+                        for cell in pyr.base_cells(level, r, c) {
+                            let v = *g.at(cell.row, cell.col);
+                            prop_assert!(v >= s.min && v <= s.max);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Hierarchical aggregates over 1-D series — the time-axis analogue of the
+//! raster [`crate::pyramid`].
+//!
+//! Well logs and weather feeds are 1-D; a model that is monotone in a
+//! series value (gamma above threshold, temperature above 25 °C) can prune
+//! whole intervals from `(min, max, mean)` summaries exactly like the
+//! pyramid engines prune raster regions.
+
+use mbir_archive::error::ArchiveError;
+use mbir_archive::series::TimeSeries;
+
+/// Aggregates of one series interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalStats {
+    /// First sample index covered (inclusive).
+    pub start: usize,
+    /// Number of samples covered.
+    pub len: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+}
+
+impl IntervalStats {
+    fn merge(&self, other: &IntervalStats) -> IntervalStats {
+        let len = self.len + other.len;
+        IntervalStats {
+            start: self.start.min(other.start),
+            len,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean: (self.mean * self.len as f64 + other.mean * other.len as f64) / len as f64,
+        }
+    }
+}
+
+/// A binary aggregate tree over a series (level 0 = single samples; the
+/// top level is a single interval).
+///
+/// # Examples
+///
+/// ```
+/// use mbir_archive::series::TimeSeries;
+/// use mbir_progressive::seriesagg::SeriesPyramid;
+///
+/// let ts = TimeSeries::new(0, 1, vec![3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
+/// let pyr = SeriesPyramid::build(&ts);
+/// let root = pyr.root();
+/// assert_eq!(root.min, 1.0);
+/// assert_eq!(root.max, 5.0);
+/// assert_eq!(root.len, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeriesPyramid {
+    levels: Vec<Vec<IntervalStats>>,
+}
+
+impl SeriesPyramid {
+    /// Builds the full pyramid over a series.
+    pub fn build(series: &TimeSeries<f64>) -> Self {
+        let base: Vec<IntervalStats> = series
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(start, &v)| IntervalStats {
+                start,
+                len: 1,
+                min: v,
+                max: v,
+                mean: v,
+            })
+            .collect();
+        let mut levels = vec![base];
+        while levels.last().map(|l| l.len()).unwrap_or(0) > 1 {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<IntervalStats> = prev
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        pair[0].merge(&pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+            levels.push(next);
+        }
+        SeriesPyramid { levels }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of base samples.
+    pub fn base_len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The single top interval.
+    pub fn root(&self) -> IntervalStats {
+        *self.levels[self.levels.len() - 1]
+            .first()
+            .expect("top level has one interval")
+    }
+
+    /// Interval at `(level, index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::OutOfBounds`] for an invalid address.
+    pub fn interval(&self, level: usize, index: usize) -> Result<IntervalStats, ArchiveError> {
+        self.levels
+            .get(level)
+            .and_then(|l| l.get(index))
+            .copied()
+            .ok_or(ArchiveError::OutOfBounds {
+                row: level,
+                col: index,
+                rows: self.levels.len(),
+                cols: self.levels.first().map(|l| l.len()).unwrap_or(0),
+            })
+    }
+
+    /// Children addresses at `level - 1` (empty at level 0).
+    pub fn children(&self, level: usize, index: usize) -> Vec<(usize, usize)> {
+        if level == 0 || level >= self.levels.len() {
+            return Vec::new();
+        }
+        let child_count = self.levels[level - 1].len();
+        [(level - 1, index * 2), (level - 1, index * 2 + 1)]
+            .into_iter()
+            .filter(|(_, i)| *i < child_count)
+            .collect()
+    }
+
+    /// Indexes of base samples whose values can exceed `threshold`, found
+    /// by interval descent — touching only the intervals whose `max`
+    /// clears the threshold. Returns `(matches, intervals_examined)`.
+    pub fn samples_above(&self, threshold: f64) -> (Vec<usize>, usize) {
+        let mut matches = Vec::new();
+        let mut examined = 0usize;
+        let top = self.levels.len() - 1;
+        let mut stack = vec![(top, 0usize)];
+        while let Some((level, index)) = stack.pop() {
+            examined += 1;
+            let s = self.levels[level][index];
+            if s.max < threshold {
+                continue;
+            }
+            if s.min >= threshold {
+                // Entire interval qualifies — no need to descend.
+                matches.extend(s.start..s.start + s.len);
+                continue;
+            }
+            if level == 0 {
+                matches.push(s.start);
+                continue;
+            }
+            for child in self.children(level, index) {
+                stack.push(child);
+            }
+        }
+        matches.sort_unstable();
+        (matches, examined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series(values: Vec<f64>) -> TimeSeries<f64> {
+        TimeSeries::new(0, 1, values).expect("non-empty")
+    }
+
+    #[test]
+    fn root_aggregates_everything() {
+        let pyr = SeriesPyramid::build(&series(vec![2.0, -1.0, 7.0]));
+        let root = pyr.root();
+        assert_eq!(root.min, -1.0);
+        assert_eq!(root.max, 7.0);
+        assert_eq!(root.len, 3);
+        assert!((root.mean - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_addressing() {
+        let pyr = SeriesPyramid::build(&series(vec![1.0, 2.0, 3.0, 4.0, 5.0]));
+        assert_eq!(pyr.base_len(), 5);
+        let i = pyr.interval(1, 0).unwrap();
+        assert_eq!((i.min, i.max), (1.0, 2.0));
+        // Odd tail carries up unchanged.
+        let tail = pyr.interval(1, 2).unwrap();
+        assert_eq!(tail.len, 1);
+        assert_eq!(tail.min, 5.0);
+        assert!(pyr.interval(9, 0).is_err());
+        assert!(pyr.interval(0, 5).is_err());
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let pyr = SeriesPyramid::build(&series((0..13).map(|i| i as f64).collect()));
+        for level in 1..pyr.levels() {
+            for index in 0..pyr.levels[level].len() {
+                let parent = pyr.interval(level, index).unwrap();
+                let merged = pyr
+                    .children(level, index)
+                    .into_iter()
+                    .map(|(l, i)| pyr.interval(l, i).unwrap())
+                    .reduce(|a, b| a.merge(&b))
+                    .unwrap();
+                assert_eq!(parent.len, merged.len);
+                assert_eq!(parent.min, merged.min);
+                assert_eq!(parent.max, merged.max);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_descent_matches_linear_scan() {
+        let values: Vec<f64> = (0..100)
+            .map(|i| ((i * 37) % 100) as f64)
+            .collect();
+        let pyr = SeriesPyramid::build(&series(values.clone()));
+        let (hits, examined) = pyr.samples_above(80.0);
+        let expected: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v >= 80.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, expected);
+        assert!(examined > 0);
+    }
+
+    #[test]
+    fn descent_prunes_on_coherent_series() {
+        // A long flat series with one spike: descent touches O(log n)
+        // intervals instead of n.
+        let mut values = vec![0.0; 1024];
+        values[700] = 10.0;
+        let pyr = SeriesPyramid::build(&series(values));
+        let (hits, examined) = pyr.samples_above(5.0);
+        assert_eq!(hits, vec![700]);
+        assert!(examined < 64, "examined {examined} of 2047 intervals");
+    }
+
+    #[test]
+    fn fully_qualifying_interval_short_circuits() {
+        let pyr = SeriesPyramid::build(&series(vec![9.0; 256]));
+        let (hits, examined) = pyr.samples_above(5.0);
+        assert_eq!(hits.len(), 256);
+        assert_eq!(examined, 1, "root alone qualifies everything");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_descent_equals_scan(
+            values in proptest::collection::vec(-100.0f64..100.0, 1..200),
+            threshold in -100.0f64..100.0,
+        ) {
+            let pyr = SeriesPyramid::build(&series(values.clone()));
+            let (hits, _) = pyr.samples_above(threshold);
+            let expected: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v >= threshold)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(hits, expected);
+        }
+    }
+}

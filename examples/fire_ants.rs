@@ -1,0 +1,82 @@
+//! Fire ants: the finite-state model of paper Fig. 1.
+//!
+//! Simulates a grid of regions, each with its own weather station feed,
+//! and asks: *where and when will the fire ants fly?* The full FSM answers
+//! exactly; the progressive path first screens regions with coarse block
+//! summaries (a sound necessary-condition test) and only runs the machine
+//! on survivors.
+//!
+//! Run with: `cargo run --example fire_ants`
+
+use mbir::models::fsm::fire_ants::screened_fly_detection;
+use mbir_archive::weather::WeatherGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let regions_per_side = 12;
+    let days = 365;
+    println!(
+        "simulating {}x{} regions, {} days of daily weather each",
+        regions_per_side, regions_per_side, days
+    );
+
+    // Climate varies north (cool) to south (warm): only southern regions
+    // can satisfy the T >= 25 °C condition regularly.
+    let regions: Vec<_> = (0..regions_per_side * regions_per_side)
+        .map(|i| {
+            let row = i / regions_per_side;
+            let mean_temp = 4.0 + 18.0 * row as f64 / (regions_per_side - 1) as f64;
+            WeatherGenerator::new(i as u64)
+                .with_temperature(mean_temp, 9.0, 2.5)
+                .generate(0, days)
+        })
+        .collect();
+
+    // Progressive detection: coarse block summaries screen, the exact
+    // Fig. 1 machine refines the survivors.
+    let (all_events, stats) = screened_fly_detection(&regions, 30)?;
+    let mut total_events = 0usize;
+    let mut firing_regions = Vec::new();
+    for (i, events) in all_events.iter().enumerate() {
+        if !events.is_empty() {
+            total_events += events.len();
+            firing_regions.push((i / regions_per_side, i % regions_per_side, events.clone()));
+        }
+    }
+
+    let total_regions = regions_per_side * regions_per_side;
+    println!("\nprogressive screening:");
+    println!(
+        "  regions screened out by block summaries: {}/{total_regions}",
+        stats.screened_out
+    );
+    println!(
+        "  full FSM runs needed:                    {}/{total_regions}",
+        total_regions - stats.screened_out
+    );
+    println!(
+        "  daily readings avoided:                  {} ({:.1}x data-touched speedup)",
+        stats.readings_total - stats.readings_processed,
+        stats.speedup()
+    );
+
+    println!("\n{total_events} fly events across {} regions; first few:", firing_regions.len());
+    for (row, col, events) in firing_regions.iter().take(8) {
+        let preview: Vec<i64> = events.iter().take(4).copied().collect();
+        println!(
+            "  region ({row:>2}, {col:>2}): {} events, first at days {:?}",
+            events.len(),
+            preview
+        );
+    }
+
+    // Southern (warm) rows should dominate.
+    let southern: usize = firing_regions
+        .iter()
+        .filter(|(row, _, _)| *row >= regions_per_side / 2)
+        .count();
+    println!(
+        "\n{southern}/{} firing regions lie in the warm southern half",
+        firing_regions.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Extracts criterion median times from a `cargo bench` log into a
+Markdown table (used to refresh EXPERIMENTS.md's wall-clock appendix)."""
+import re
+import sys
+
+log = open(sys.argv[1]).read()
+# Criterion prints "<id> time: [lo med hi]" with the id sometimes on the
+# preceding "Benchmarking <id>: Analyzing" line.
+results = []
+current = None
+for line in log.splitlines():
+    m = re.match(r"Benchmarking ([^:]+): Analyzing", line)
+    if m:
+        current = m.group(1)
+        continue
+    m = re.match(r"([\w/ _.-]+)?\s*time:\s+\[\S+ \S+ (\S+ \S+) \S+ \S+\]", line)
+    if m:
+        ident = (m.group(1) or "").strip() or current
+        results.append((ident, m.group(2)))
+        current = None
+
+print("| benchmark | median time |")
+print("|---|---|")
+for ident, med in results:
+    print(f"| `{ident}` | {med} |")

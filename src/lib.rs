@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # mbir — Model-Based Multi-Modal Information Retrieval
+//!
+//! Facade crate re-exporting the whole MBIR workspace: a reproduction of
+//! *"Model-Based Multi-modal Information Retrieval from Large Archives"*
+//! (Li, Chang, Bergman, Smith — ICDCS 2000).
+//!
+//! The paper's thesis: in scientific and business decision support, the
+//! query is a **model** — linear, finite-state, or knowledge/Bayesian — and
+//! the answer is the top-K data subsets that optimize it. Executing models
+//! **progressively** over **progressively represented data** with
+//! **model-specific indexes** turns a full-archive scan into a search that
+//! touches orders of magnitude less data.
+//!
+//! Crate map:
+//!
+//! * [`mbir_archive`] (re-exported as `archive`) — multi-modal containers + synthetic archives
+//! * [`mbir_progressive`] (`progressive`) — wavelets, pyramids, features,
+//!   semantics
+//! * [`mbir_models`] (`models`) — linear / FSM / Bayesian-knowledge models
+//! * [`mbir_index`] (`index`) — Onion, R*-tree, SPROC, scan baselines
+//! * [`mbir_core`] (`core`) — the retrieval engine, metrics, workflow
+
+pub use mbir_archive as archive;
+pub use mbir_core as core;
+pub use mbir_index as index;
+pub use mbir_models as models;
+pub use mbir_progressive as progressive;

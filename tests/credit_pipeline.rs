@@ -1,0 +1,54 @@
+//! End-to-end credit-scoring pipeline: synthetic applicants -> FICO model
+//! -> hinted Onion retrieval of both tails of the score distribution.
+
+use mbir::index::onion::OnionIndex;
+use mbir::index::scan::scan_top_k;
+use mbir::models::linear::{ApplicantGenerator, FicoModel};
+
+#[test]
+fn both_score_tails_retrieve_exactly_with_hints() {
+    let applicants = ApplicantGenerator::new(7).generate(10_000);
+    let model = FicoModel::standard();
+    let attributes: Vec<Vec<f64>> =
+        applicants.iter().map(|a| a.to_vector().to_vec()).collect();
+    let weights = model.penalties().coefficients().to_vec();
+    let negated: Vec<f64> = weights.iter().map(|w| -w).collect();
+    let onion =
+        OnionIndex::build_with_hints(attributes.clone(), &[weights.clone(), negated], 64, 32, 7)
+            .unwrap();
+
+    let k = 10;
+    // Riskiest (max penalty) and safest (min penalty).
+    let riskiest = onion.top_k_max(&weights, k).unwrap();
+    let safest = onion.top_k_min(&weights, k).unwrap();
+    let scan_max = scan_top_k(&attributes, k, |x| {
+        weights.iter().zip(x).map(|(a, v)| a * v).sum()
+    });
+    assert!(riskiest.score_equivalent(&scan_max, 1e-9));
+    let scan_min = scan_top_k(&attributes, k, |x| {
+        -weights.iter().zip(x).map(|(a, v)| a * v).sum::<f64>()
+    });
+    for (got, want) in safest.results.iter().zip(&scan_min.results) {
+        assert!((got.score + want.score).abs() < 1e-9);
+    }
+    // Both directions prune hard thanks to their hints.
+    assert!(
+        riskiest.stats.tuples_examined < 2_000,
+        "examined {}",
+        riskiest.stats.tuples_examined
+    );
+    assert!(
+        safest.stats.tuples_examined < 2_000,
+        "examined {}",
+        safest.stats.tuples_examined
+    );
+
+    // Score semantics: retrieved tails straddle the published thresholds.
+    let worst_score = model.score(&applicants[riskiest.results[0].index]);
+    let best_score = model.score(&applicants[safest.results[0].index]);
+    assert!(worst_score < 620.0, "paper: 8% foreclosure below 620");
+    assert!(best_score > 680.0, "paper: <2% foreclosure above 680");
+    assert!(
+        model.foreclosure_probability(worst_score) > model.foreclosure_probability(best_score)
+    );
+}

@@ -1,0 +1,109 @@
+//! End-to-end fire-ants pipeline: weather archive -> Fig. 1 FSM -> coarse
+//! screening, checked for soundness over a whole grid of climates.
+
+use mbir::models::fsm::fire_ants::{
+    classify_series, coarse_partition, detect_fly_days, fire_ants_fsm, may_have_fly_event,
+    BlockSummary, DayClass,
+};
+use mbir_archive::weather::WeatherGenerator;
+
+#[test]
+fn block_screen_never_drops_a_firing_region() {
+    let mut firing = 0;
+    let mut screened = 0;
+    for seed in 0..120u64 {
+        // Sweep climates from alpine to tropical.
+        let mean_temp = 5.0 + (seed % 12) as f64 * 2.0;
+        let series = WeatherGenerator::new(seed)
+            .with_temperature(mean_temp, 8.0, 2.0)
+            .generate(0, 365);
+        let events = detect_fly_days(&series).unwrap();
+        let summary = series
+            .values()
+            .chunks(30)
+            .map(BlockSummary::of)
+            .reduce(|a, b| a.merge(&b))
+            .unwrap();
+        if !may_have_fly_event(&summary) {
+            screened += 1;
+            assert!(
+                events.is_empty(),
+                "seed {seed}: screen dropped {} events",
+                events.len()
+            );
+        }
+        if !events.is_empty() {
+            firing += 1;
+        }
+    }
+    assert!(firing > 10, "test needs firing regions, got {firing}");
+    assert!(screened > 10, "test needs screened regions, got {screened}");
+}
+
+#[test]
+fn coarse_fsm_screen_is_sound_and_useful() {
+    let (fsm, _) = fire_ants_fsm();
+    let coarse = fsm.coarsen(&coarse_partition()).unwrap();
+    let mut pruned = 0;
+    for seed in 0..60u64 {
+        let mean_temp = 4.0 + (seed % 10) as f64;
+        let series = WeatherGenerator::new(seed)
+            .with_temperature(mean_temp, 6.0, 1.5)
+            .generate(0, 200);
+        let symbols = classify_series(&series);
+        let events = fsm.acceptance_events(&symbols).unwrap();
+        let may = coarse.may_reach_accepting(&symbols);
+        if !events.is_empty() {
+            assert!(may, "seed {seed}: coarse machine missed real events");
+        }
+        if !may {
+            pruned += 1;
+        }
+    }
+    assert!(pruned > 0, "coarse machine should prune some cold regions");
+}
+
+#[test]
+fn fsm_runner_matches_naive_resimulation() {
+    // Re-simulate by hand: track rain/dry-run/temperature exactly as the
+    // paper's text describes, and compare event days with the machine.
+    for seed in 0..30u64 {
+        let series = WeatherGenerator::new(seed)
+            .with_temperature(20.0, 9.0, 2.0)
+            .generate(0, 365);
+        let machine_days = detect_fly_days(&series).unwrap();
+
+        let mut dry_run = 0u32;
+        let mut rained_before = false;
+        let mut airborne = false;
+        let mut naive_days = Vec::new();
+        for (day, w) in series.iter() {
+            if w.rained() {
+                rained_before = true;
+                dry_run = 0;
+                airborne = false;
+            } else {
+                dry_run += 1;
+                if rained_before && !airborne && dry_run >= 3 && w.warm() {
+                    naive_days.push(day);
+                    airborne = true;
+                }
+            }
+        }
+        assert_eq!(machine_days, naive_days, "seed {seed}");
+    }
+}
+
+#[test]
+fn alphabet_classification_is_exhaustive() {
+    let series = WeatherGenerator::new(9).generate(0, 500);
+    let symbols = classify_series(&series);
+    assert_eq!(symbols.len(), 500);
+    for (sym, (_, day)) in symbols.iter().zip(series.iter()) {
+        match sym {
+            DayClass::Rains => assert!(day.rained()),
+            DayClass::DryWarm => assert!(!day.rained() && day.warm()),
+            DayClass::DryCool => assert!(!day.rained() && !day.warm()),
+        }
+    }
+}

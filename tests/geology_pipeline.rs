@@ -1,0 +1,144 @@
+//! End-to-end geology pipeline: synthetic wells -> riverbed knowledge model
+//! -> progressive screening -> SPROC composite queries over well components.
+
+use mbir::index::sproc::SprocIndex;
+use mbir::models::knowledge::geology::RiverbedModel;
+use mbir_archive::lithology::Lithology;
+use mbir_archive::welllog::WellLog;
+
+fn well_archive(n: usize, plant_every: usize) -> (Vec<WellLog>, Vec<usize>) {
+    let wells: Vec<WellLog> = (0..n)
+        .map(|i| {
+            if i % plant_every == 0 {
+                WellLog::synthetic_with_riverbed(i as u64, 600.0)
+            } else {
+                WellLog::synthetic(i as u64, 600.0)
+            }
+        })
+        .collect();
+    let planted = (0..n).step_by(plant_every).collect();
+    (wells, planted)
+}
+
+#[test]
+fn screening_with_structure_bound_is_lossless() {
+    let (wells, _) = well_archive(40, 4);
+    let model = RiverbedModel::paper();
+    // Exact ranking by full scoring.
+    let mut exact: Vec<(usize, f64)> = wells
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, model.well_score(w)))
+        .collect();
+    exact.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let k = 5;
+
+    // Screened evaluation: bound-sorted with early termination.
+    let mut bounds: Vec<(usize, f64)> = wells
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let runs: Vec<(Lithology, f64)> = w
+                .lithology_runs()
+                .iter()
+                .map(|(l, _, t)| (*l, *t))
+                .collect();
+            (i, model.structure_upper_bound(&runs))
+        })
+        .collect();
+    bounds.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    let mut evaluated = 0usize;
+    for &(i, bound) in &bounds {
+        let kth = if scored.len() >= k {
+            scored[k - 1].1
+        } else {
+            f64::NEG_INFINITY
+        };
+        if bound <= kth {
+            break;
+        }
+        evaluated += 1;
+        scored.push((i, model.well_score(&wells[i])));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    }
+    scored.truncate(k);
+    // Same scores as exact top-K.
+    for ((_, a), (_, b)) in scored.iter().zip(exact.iter().take(k)) {
+        assert!((a - b).abs() < 1e-9, "screened {scored:?} vs exact {exact:?}");
+    }
+    assert!(evaluated < wells.len(), "screening must save evaluations");
+}
+
+#[test]
+fn planted_wells_dominate_the_ranking() {
+    let (wells, planted) = well_archive(30, 3);
+    let model = RiverbedModel::paper();
+    let mut ranked: Vec<(usize, f64)> = wells
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, model.well_score(w)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let top10: Vec<usize> = ranked.iter().take(10).map(|(i, _)| *i).collect();
+    let planted_hits = top10.iter().filter(|i| planted.contains(i)).count();
+    assert!(
+        planted_hits >= 5,
+        "top-10 should be dominated by planted wells, got {planted_hits} ({top10:?})"
+    );
+}
+
+#[test]
+fn sproc_assembles_multi_well_prospects() {
+    // A composite prospect: (seal well, reservoir well, source well) with a
+    // chain constraint that consecutive picks are spatially adjacent (here:
+    // index distance <= 3, standing in for map distance).
+    let (wells, _) = well_archive(20, 4);
+    let model = RiverbedModel::paper();
+    // Component scores: seal quality ~ shale fraction; reservoir ~ riverbed
+    // score; source ~ gamma-hot fraction.
+    let seal: Vec<f64> = wells
+        .iter()
+        .map(|w| {
+            let runs = w.lithology_runs();
+            let shale: f64 = runs
+                .iter()
+                .filter(|(l, _, _)| *l == Lithology::Shale)
+                .map(|(_, _, t)| t)
+                .sum();
+            let total: f64 = runs.iter().map(|(_, _, t)| t).sum();
+            shale / total
+        })
+        .collect();
+    let reservoir: Vec<f64> = wells.iter().map(|w| model.well_score(w)).collect();
+    let source: Vec<f64> = wells
+        .iter()
+        .map(|w| {
+            let hot = w.samples().iter().filter(|s| s.gamma_api > 80.0).count();
+            hot as f64 / w.len() as f64
+        })
+        .collect();
+    let index = SprocIndex::new(vec![seal, reservoir, source]).unwrap();
+    let adjacency = |_m: usize, a: usize, b: usize| -> f64 {
+        if a.abs_diff(b) <= 3 && a != b {
+            0.3
+        } else {
+            -0.5
+        }
+    };
+    let k = 4;
+    let brute = index.brute_force(k, Some(&adjacency), 10_000_000).unwrap();
+    let dp = index.top_k_dp(k, Some(&adjacency)).unwrap();
+    assert!(dp.score_equivalent(&brute, 1e-9));
+    assert!(
+        dp.stats.comparisons < brute.stats.comparisons,
+        "SPROC must beat enumeration: {} vs {}",
+        dp.stats.comparisons,
+        brute.stats.comparisons
+    );
+    // The adjacency constraint is honoured by the winner.
+    let best = &dp.assemblies[0];
+    for pair in best.choice.windows(2) {
+        assert!(pair[0].abs_diff(pair[1]) <= 3);
+    }
+}

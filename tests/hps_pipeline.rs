@@ -1,0 +1,136 @@
+//! End-to-end HPS pipeline: synthetic multi-modal archive -> linear risk
+//! model -> progressive retrieval -> accuracy metrics.
+
+use mbir::core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
+use mbir::core::metrics::{precision_recall_at_k, threshold_sweep, total_cost, CostParams};
+use mbir::models::linear::{hps_risk_grid, HpsRiskModel, ProgressiveLinearModel};
+use mbir::progressive::pyramid::AggregatePyramid;
+use mbir_archive::dem::Dem;
+use mbir_archive::scene::{BandId, SyntheticScene};
+use mbir_archive::synth::OccurrenceSampler;
+
+fn world(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+) -> (Vec<AggregatePyramid>, HpsRiskModel, mbir_archive::grid::Grid2<f64>) {
+    let scene = SyntheticScene::new(seed, rows, cols).generate();
+    let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
+    let model = HpsRiskModel::paper();
+    let risk = hps_risk_grid(&model, &scene, &dem).expect("aligned inputs");
+    let pyramids = vec![
+        AggregatePyramid::build(scene.band(BandId::TM4).unwrap()),
+        AggregatePyramid::build(scene.band(BandId::TM5).unwrap()),
+        AggregatePyramid::build(scene.band(BandId::TM7).unwrap()),
+        AggregatePyramid::build(dem.grid()),
+    ];
+    (pyramids, model, risk)
+}
+
+#[test]
+fn all_engines_retrieve_identical_risk_cells() {
+    let (pyramids, model, _) = world(3, 96, 96);
+    let ranges: Vec<(f64, f64)> = pyramids
+        .iter()
+        .map(|p| {
+            let root = p.root();
+            (root.min, root.max)
+        })
+        .collect();
+    let progressive = ProgressiveLinearModel::new(model.model().clone(), &ranges).unwrap();
+
+    for k in [1usize, 10, 37] {
+        let naive = naive_grid_top_k(model.model(), &pyramids, k).unwrap();
+        let data_only = pyramid_top_k(model.model(), &pyramids, k).unwrap();
+        let both = combined_top_k(&progressive, &pyramids, k).unwrap();
+        for (a, b) in data_only.results.iter().zip(&naive.results) {
+            assert!((a.score - b.score).abs() < 1e-9, "k={k}");
+        }
+        for (a, b) in both.results.iter().zip(&naive.results) {
+            assert!((a.score - b.score).abs() < 1e-9, "k={k}");
+        }
+        assert!(
+            data_only.effort.speedup() > 1.0,
+            "smooth satellite fields must prune (k={k}): {}",
+            data_only.effort.speedup()
+        );
+    }
+}
+
+#[test]
+fn staged_tuple_engine_agrees_with_grid_engines() {
+    let (pyramids, model, _) = world(7, 48, 48);
+    let ranges: Vec<(f64, f64)> = pyramids
+        .iter()
+        .map(|p| {
+            let root = p.root();
+            (root.min, root.max)
+        })
+        .collect();
+    let progressive = ProgressiveLinearModel::new(model.model().clone(), &ranges).unwrap();
+    let tuples: Vec<Vec<f64>> = (0..48 * 48)
+        .map(|i| {
+            pyramids
+                .iter()
+                .map(|p| p.cell(0, i / 48, i % 48).unwrap().mean)
+                .collect()
+        })
+        .collect();
+    let staged = staged_top_k(&progressive, &tuples, 10).unwrap();
+    let naive = naive_grid_top_k(model.model(), &pyramids, 10).unwrap();
+    for (a, b) in staged.results.iter().zip(&naive.results) {
+        assert!((a.score - b.score).abs() < 1e-9);
+    }
+    assert!(staged.effort.multiply_adds < staged.effort.naive_multiply_adds);
+}
+
+#[test]
+fn metrics_reward_the_true_model() {
+    let (_, model, risk) = world(11, 64, 64);
+    let normalized = risk.normalized(0.0, 1.0);
+    let occurrences = OccurrenceSampler::new(13)
+        .with_base_rate(2.0)
+        .sample(&normalized.map(|&v| if v > 0.8 { v } else { 0.0 }));
+    // The true model must out-rank a broken one in precision.
+    let pr_true = precision_recall_at_k(&risk, &occurrences, 50).unwrap();
+    let broken = HpsRiskModel::with_coefficients([-0.443, 0.0, -0.153, 0.001]).unwrap();
+    let broken_risk = {
+        // Rebuild broken risk over the same inputs.
+        let scene = SyntheticScene::new(11, 64, 64).generate();
+        let dem = Dem::synthetic(12, 64, 64, 0.0, 2500.0);
+        hps_risk_grid(&broken, &scene, &dem).unwrap()
+    };
+    let pr_broken = precision_recall_at_k(&broken_risk, &occurrences, 50).unwrap();
+    assert!(
+        pr_true.precision > pr_broken.precision,
+        "true {} vs broken {}",
+        pr_true.precision,
+        pr_broken.precision
+    );
+    assert!(model.model().arity() == 4);
+
+    // Cost curve: some interior threshold beats both extremes.
+    let (lo, hi) = risk.min_max().unwrap();
+    let thresholds: Vec<f64> = (0..=8).map(|i| lo + (hi - lo) * i as f64 / 8.0).collect();
+    let sweep = threshold_sweep(&risk, &occurrences, None, 10.0, 1.0, &thresholds).unwrap();
+    let best_cost = sweep
+        .iter()
+        .map(|(_, r)| r.total_cost)
+        .fold(f64::INFINITY, f64::min);
+    let edge_cost = sweep[0].1.total_cost.min(sweep.last().unwrap().1.total_cost);
+    assert!(best_cost <= edge_cost);
+
+    // Direct cost call agrees with the sweep.
+    let direct = total_cost(
+        &risk,
+        &occurrences,
+        None,
+        CostParams {
+            miss_cost: 10.0,
+            false_alarm_cost: 1.0,
+            threshold: thresholds[4],
+        },
+    )
+    .unwrap();
+    assert_eq!(direct, sweep[4].1);
+}
