@@ -109,8 +109,7 @@ impl Archive {
     pub fn add_well(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, well: WellLog) {
         let id = id.into();
         self.catalog.register(
-            DatasetMeta::new(id.clone(), name, Modality::WellLog)
-                .with_tuples(well.len() as u64),
+            DatasetMeta::new(id.clone(), name, Modality::WellLog).with_tuples(well.len() as u64),
         );
         self.wells.insert(id, well);
     }
@@ -140,10 +139,15 @@ impl Archive {
     }
 
     /// Registers a GIS point layer.
-    pub fn add_gis(&mut self, id: impl Into<DatasetId>, name: impl Into<String>, layer: PointLayer) {
+    pub fn add_gis(
+        &mut self,
+        id: impl Into<DatasetId>,
+        name: impl Into<String>,
+        layer: PointLayer,
+    ) {
         let id = id.into();
-        let mut meta = DatasetMeta::new(id.clone(), name, Modality::Gis)
-            .with_tuples(layer.len() as u64);
+        let mut meta =
+            DatasetMeta::new(id.clone(), name, Modality::Gis).with_tuples(layer.len() as u64);
         if let Some(extent) = layer.extent() {
             meta = meta.with_extent(extent);
         }
@@ -224,7 +228,9 @@ impl Archive {
     }
 
     /// All weather feeds, in id order.
-    pub fn weather_feeds(&self) -> impl Iterator<Item = (&DatasetId, &TimeSeries<WeatherDay>)> + '_ {
+    pub fn weather_feeds(
+        &self,
+    ) -> impl Iterator<Item = (&DatasetId, &TimeSeries<WeatherDay>)> + '_ {
         self.weather.iter()
     }
 
@@ -246,7 +252,11 @@ mod tests {
         let mut a = Archive::new();
         a.add_scene("tm-1", "scene", SyntheticScene::new(1, 16, 16).generate());
         a.add_dem("dem-1", "terrain", Dem::synthetic(2, 16, 16, 0.0, 100.0));
-        a.add_weather("wx-1", "station", WeatherGenerator::new(3).generate(100, 30));
+        a.add_weather(
+            "wx-1",
+            "station",
+            WeatherGenerator::new(3).generate(100, 30),
+        );
         a.add_well("well-1", "wildcat", WellLog::synthetic(4, 100.0));
         let mut stack = TemporalStack::new(4, 4);
         stack

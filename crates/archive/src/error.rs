@@ -37,6 +37,13 @@ pub enum ArchiveError {
         /// Page index whose read failed.
         page: usize,
     },
+    /// The page's circuit breaker has tripped: enough consecutive failures
+    /// were observed that the store refuses further attempts and fails
+    /// fast without retrying.
+    PageQuarantined {
+        /// Page index under quarantine.
+        page: usize,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -47,10 +54,7 @@ impl fmt::Display for ArchiveError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "coordinate ({row}, {col}) outside bounds {rows}x{cols}"
-            ),
+            } => write!(f, "coordinate ({row}, {col}) outside bounds {rows}x{cols}"),
             ArchiveError::DimensionMismatch { expected, actual } => write!(
                 f,
                 "buffer length {actual} does not match expected {expected}"
@@ -59,6 +63,9 @@ impl fmt::Display for ArchiveError {
             ArchiveError::Misaligned(what) => write!(f, "datasets misaligned: {what}"),
             ArchiveError::UnknownDataset(id) => write!(f, "unknown dataset id: {id}"),
             ArchiveError::PageIo { page } => write!(f, "i/o failure reading page {page}"),
+            ArchiveError::PageQuarantined { page } => {
+                write!(f, "page {page} is quarantined after repeated failures")
+            }
         }
     }
 }
@@ -83,7 +90,9 @@ mod tests {
             actual: 10,
         };
         assert!(e.to_string().contains("12"));
-        assert!(ArchiveError::EmptyDimension.to_string().contains("non-zero"));
+        assert!(ArchiveError::EmptyDimension
+            .to_string()
+            .contains("non-zero"));
     }
 
     #[test]

@@ -162,12 +162,12 @@ impl<T> Grid2<T> {
 
     /// Applies `f` to every cell, producing a new grid of the same shape and
     /// extent.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Grid2<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Grid2<U> {
         Grid2 {
             rows: self.rows,
             cols: self.cols,
             extent: self.extent,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -280,9 +280,7 @@ impl Grid2<f64> {
     /// Rescales values linearly into `[lo, hi]`. A constant grid maps to `lo`.
     pub fn normalized(&self, lo: f64, hi: f64) -> Grid2<f64> {
         match self.min_max() {
-            Some((mn, mx)) if mx > mn => {
-                self.map(|&v| lo + (v - mn) / (mx - mn) * (hi - lo))
-            }
+            Some((mn, mx)) if mx > mn => self.map(|&v| lo + (v - mn) / (mx - mn) * (hi - lo)),
             _ => self.map(|_| lo),
         }
     }

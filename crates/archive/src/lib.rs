@@ -33,6 +33,7 @@ pub mod catalog;
 pub mod dem;
 pub mod error;
 pub mod extent;
+pub mod fault;
 pub mod gis;
 pub mod grid;
 pub mod lithology;
@@ -52,14 +53,15 @@ pub use catalog::{Catalog, DatasetId, DatasetMeta, Modality};
 pub use dem::Dem;
 pub use error::ArchiveError;
 pub use extent::{CellCoord, GeoExtent};
+pub use fault::{FaultKind, FaultProfile, ResilienceConfig, RetryPolicy};
 pub use gis::{PointFeature, PointLayer};
 pub use grid::Grid2;
+pub use lithology::{ColumnGenerator, Layer, Lithology};
+pub use region::{Polygon, Region, RegionLayer};
 pub use scene::{BandId, Scene};
 pub use series::TimeSeries;
 pub use stats::{AccessStats, IoModel};
-pub use tile::TileStore;
-pub use lithology::{ColumnGenerator, Layer, Lithology};
-pub use region::{Polygon, Region, RegionLayer};
 pub use temporal::TemporalStack;
+pub use tile::TileStore;
 pub use weather::{WeatherDay, WeatherGenerator};
 pub use welllog::WellLog;

@@ -128,8 +128,7 @@ impl ColumnGenerator {
         let mut depth = 0.0;
         let mut current = Lithology::ALL[rng.random_range(0..Lithology::ALL.len())];
         while depth < total_depth_ft {
-            let thickness_ft =
-                randx::exponential(&mut rng, 1.0 / self.mean_thickness_ft).max(2.0);
+            let thickness_ft = randx::exponential(&mut rng, 1.0 / self.mean_thickness_ft).max(2.0);
             layers.push(Layer {
                 lithology: current,
                 thickness_ft,
@@ -139,11 +138,7 @@ impl ColumnGenerator {
         }
         if self.plant_riverbed && layers.len() >= 3 {
             let pos = rng.random_range(0..layers.len().saturating_sub(2));
-            let beds = [
-                Lithology::Shale,
-                Lithology::Sandstone,
-                Lithology::Siltstone,
-            ];
+            let beds = [Lithology::Shale, Lithology::Sandstone, Lithology::Siltstone];
             for (i, lith) in beds.iter().enumerate() {
                 layers[pos + i] = Layer {
                     lithology: *lith,

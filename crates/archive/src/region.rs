@@ -61,9 +61,7 @@ impl Polygon {
         for i in 0..n {
             let (xi, yi) = self.vertices[i];
             let (xj, yj) = self.vertices[j];
-            if ((yi > y) != (yj > y))
-                && (x < (xj - xi) * (y - yi) / (yj - yi) + xi)
-            {
+            if ((yi > y) != (yj > y)) && (x < (xj - xi) * (y - yi) / (yj - yi) + xi) {
                 inside = !inside;
             }
             j = i;
@@ -99,7 +97,12 @@ impl Polygon {
 
 impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Polygon[{} vertices, {}]", self.vertices.len(), self.extent())
+        write!(
+            f,
+            "Polygon[{} vertices, {}]",
+            self.vertices.len(),
+            self.extent()
+        )
     }
 }
 

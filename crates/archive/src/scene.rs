@@ -237,7 +237,7 @@ impl SyntheticScene {
             .map(|j| {
                 let mut w = vec![0.0; k];
                 w[0] += rho;
-                w[j] += if j == 0 { own } else { own };
+                w[j] += own;
                 w
             })
             .collect();
@@ -266,9 +266,15 @@ mod tests {
     #[test]
     fn pixel_vector_uses_ascending_band_order() {
         let mut scene = Scene::new(2, 2);
-        scene.add_band(BandId::TM7, Grid2::filled(2, 2, 7.0)).unwrap();
-        scene.add_band(BandId::TM4, Grid2::filled(2, 2, 4.0)).unwrap();
-        scene.add_band(BandId::TM5, Grid2::filled(2, 2, 5.0)).unwrap();
+        scene
+            .add_band(BandId::TM7, Grid2::filled(2, 2, 7.0))
+            .unwrap();
+        scene
+            .add_band(BandId::TM4, Grid2::filled(2, 2, 4.0))
+            .unwrap();
+        scene
+            .add_band(BandId::TM5, Grid2::filled(2, 2, 5.0))
+            .unwrap();
         assert_eq!(scene.pixel(0, 0).unwrap(), vec![4.0, 5.0, 7.0]);
         assert!(scene.pixel(2, 0).is_err());
     }
@@ -286,7 +292,10 @@ mod tests {
     fn quantized_spans_full_byte_range() {
         let mut scene = Scene::new(1, 3);
         scene
-            .add_band(BandId::TM4, Grid2::from_vec(1, 3, vec![0.0, 0.5, 1.0]).unwrap())
+            .add_band(
+                BandId::TM4,
+                Grid2::from_vec(1, 3, vec![0.0, 0.5, 1.0]).unwrap(),
+            )
             .unwrap();
         let q = scene.quantized(BandId::TM4).unwrap();
         assert_eq!(q.as_slice(), &[0u8, 128, 255]);
@@ -304,7 +313,9 @@ mod tests {
 
     #[test]
     fn synthetic_bands_are_correlated() {
-        let scene = SyntheticScene::new(4, 33, 33).with_correlation(0.9).generate();
+        let scene = SyntheticScene::new(4, 33, 33)
+            .with_correlation(0.9)
+            .generate();
         let a = scene.band(BandId::TM4).unwrap();
         let b = scene.band(BandId::TM5).unwrap();
         let (ma, mb) = (a.mean(), b.mean());

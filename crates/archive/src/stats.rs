@@ -35,6 +35,10 @@ struct Counters {
     tuples: AtomicU64,
     pages: AtomicU64,
     model_evals: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    quarantines: AtomicU64,
+    ticks: AtomicU64,
 }
 
 impl AccessStats {
@@ -58,6 +62,27 @@ impl AccessStats {
         self.inner.model_evals.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` retried page accesses.
+    pub fn record_retries(&self, n: u64) {
+        self.inner.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` failed page-access attempts.
+    pub fn record_failures(&self, n: u64) {
+        self.inner.failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` pages newly quarantined by the circuit breaker.
+    pub fn record_quarantines(&self, n: u64) {
+        self.inner.quarantines.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Advances the virtual I/O clock by `n` ticks (page access costs,
+    /// injected latency, retry backoff).
+    pub fn record_ticks(&self, n: u64) {
+        self.inner.ticks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Tuples touched so far.
     pub fn tuples_touched(&self) -> u64 {
         self.inner.tuples.load(Ordering::Relaxed)
@@ -73,11 +98,37 @@ impl AccessStats {
         self.inner.model_evals.load(Ordering::Relaxed)
     }
 
+    /// Page-access retries so far.
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    /// Failed page-access attempts so far.
+    pub fn failures(&self) -> u64 {
+        self.inner.failures.load(Ordering::Relaxed)
+    }
+
+    /// Pages quarantined so far.
+    pub fn quarantines(&self) -> u64 {
+        self.inner.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Virtual I/O clock: total ticks accrued by page accesses, injected
+    /// latency, and retry backoff. Execution budgets use this as their
+    /// deadline clock.
+    pub fn ticks_elapsed(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.inner.tuples.store(0, Ordering::Relaxed);
         self.inner.pages.store(0, Ordering::Relaxed);
         self.inner.model_evals.store(0, Ordering::Relaxed);
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.failures.store(0, Ordering::Relaxed);
+        self.inner.quarantines.store(0, Ordering::Relaxed);
+        self.inner.ticks.store(0, Ordering::Relaxed);
     }
 
     /// Speedup of `self` relative to `baseline` in tuples touched

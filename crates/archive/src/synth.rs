@@ -97,7 +97,11 @@ impl GaussianField {
             }
             // Square step: edge midpoints.
             for r in (0..n).step_by(half) {
-                let c_start = if (r / half) % 2 == 0 { half } else { 0 };
+                let c_start = if (r / half).is_multiple_of(2) {
+                    half
+                } else {
+                    0
+                };
                 for c in (c_start..n).step_by(step) {
                     let mut sum = 0.0;
                     let mut count = 0.0;
@@ -320,10 +324,17 @@ mod tests {
             }
         }
         let occ = OccurrenceSampler::new(5).with_base_rate(3.0).sample(&risk);
-        let left: u32 = (0..20).map(|r| (0..10).map(|c| occ.at(r, c)).sum::<u32>()).sum();
-        let right: u32 = (0..20).map(|r| (10..20).map(|c| occ.at(r, c)).sum::<u32>()).sum();
+        let left: u32 = (0..20)
+            .map(|r| (0..10).map(|c| occ.at(r, c)).sum::<u32>())
+            .sum();
+        let right: u32 = (0..20)
+            .map(|r| (10..20).map(|c| occ.at(r, c)).sum::<u32>())
+            .sum();
         assert_eq!(left, 0, "zero-risk half must have zero occurrences");
-        assert!(right > 400, "high-risk half should average ~3/cell, got {right}");
+        assert!(
+            right > 400,
+            "high-risk half should average ~3/cell, got {right}"
+        );
     }
 
     #[test]

@@ -1,16 +1,23 @@
-//! Paged tile store over a raster, with access accounting and optional
+//! Paged tile store over a raster, with access accounting and configurable
 //! fault injection.
 //!
 //! Large archives are read in pages; the paper's speedups hinge on touching
 //! fewer of them. `TileStore` partitions a [`Grid2`] into square tiles,
 //! counts every tile materialization through a shared [`AccessStats`], and
-//! can be configured to fail specific pages to exercise error paths.
+//! can be configured with a [`FaultProfile`] (permanent, transient, or
+//! probabilistic page faults plus injected latency) and a
+//! [`ResilienceConfig`] (tick-based retry with exponential backoff, and a
+//! per-page circuit breaker) to exercise degraded-archive behavior.
+//!
+//! With the default (empty) profile and the default resilience config the
+//! store behaves exactly like a fault-free paged reader.
 
 use crate::error::ArchiveError;
 use crate::extent::CellCoord;
+use crate::fault::{AttemptOutcome, FaultProfile, FaultRuntime, ResilienceConfig};
 use crate::grid::Grid2;
 use crate::stats::AccessStats;
-use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// A paged, counted view over a grid.
 ///
@@ -27,13 +34,47 @@ use std::collections::HashSet;
 /// assert_eq!(store.stats().pages_read(), 1);
 /// assert_eq!(store.stats().tuples_touched(), 1);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// Reads under a fault profile retry per the [`ResilienceConfig`]:
+///
+/// ```
+/// use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
+/// use mbir_archive::grid::Grid2;
+/// use mbir_archive::tile::TileStore;
+///
+/// let grid = Grid2::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+/// let store = TileStore::new(grid, 2)
+///     .unwrap()
+///     .with_faults(FaultProfile::new(0).transient(0, 2))
+///     .with_resilience(ResilienceConfig::new(RetryPolicy::retries(3), None));
+/// // Two failing attempts, then the page heals within the retry budget.
+/// assert_eq!(store.read(0, 0).unwrap(), 0.0);
+/// assert_eq!(store.stats().retries(), 2);
+/// assert_eq!(store.stats().failures(), 2);
+/// ```
+#[derive(Debug)]
 pub struct TileStore {
     grid: Grid2<f64>,
     tile: usize,
     tiles_per_row: usize,
     stats: AccessStats,
-    failing_pages: HashSet<usize>,
+    fault: Mutex<FaultRuntime>,
+}
+
+impl Clone for TileStore {
+    /// Clones the store, snapshotting the current fault state (transient
+    /// counters, breaker state, probabilistic RNG position). The stats
+    /// handle is shared, as for any [`AccessStats`] clone.
+    fn clone(&self) -> Self {
+        let runtime = self.fault.lock().expect("fault state lock").clone();
+        TileStore {
+            grid: self.grid.clone(),
+            tile: self.tile,
+            tiles_per_row: self.tiles_per_row,
+            stats: self.stats.clone(),
+            fault: Mutex::new(runtime),
+        }
+    }
 }
 
 impl TileStore {
@@ -52,7 +93,10 @@ impl TileStore {
             tile,
             tiles_per_row,
             stats: AccessStats::new(),
-            failing_pages: HashSet::new(),
+            fault: Mutex::new(FaultRuntime::new(
+                FaultProfile::healthy(),
+                ResilienceConfig::none(),
+            )),
         })
     }
 
@@ -63,10 +107,56 @@ impl TileStore {
         self
     }
 
-    /// Marks a page index as failing: reads touching it return
-    /// [`ArchiveError::PageIo`]. Used by failure-injection tests.
+    /// Installs a fault profile (builder style), resetting any accumulated
+    /// fault state. The resilience config is preserved.
+    pub fn with_faults(self, profile: FaultProfile) -> Self {
+        {
+            let mut rt = self.fault.lock().expect("fault state lock");
+            let config = rt.config();
+            *rt = FaultRuntime::new(profile, config);
+        }
+        self
+    }
+
+    /// Sets the retry/quarantine behavior (builder style). Accumulated
+    /// fault state (transient counters, quarantines) is preserved.
+    pub fn with_resilience(self, config: ResilienceConfig) -> Self {
+        self.fault
+            .lock()
+            .expect("fault state lock")
+            .set_config(config);
+        self
+    }
+
+    /// Marks a page index as permanently failing: reads touching it return
+    /// [`ArchiveError::PageIo`]. Shorthand for a permanent entry in the
+    /// fault profile; used by failure-injection tests.
     pub fn fail_page(&mut self, page: usize) {
-        self.failing_pages.insert(page);
+        self.fault
+            .lock()
+            .expect("fault state lock")
+            .add_permanent(page);
+    }
+
+    /// The active retry/quarantine configuration.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.fault.lock().expect("fault state lock").config()
+    }
+
+    /// Whether `page` is currently quarantined by the circuit breaker.
+    pub fn is_quarantined(&self, page: usize) -> bool {
+        self.fault
+            .lock()
+            .expect("fault state lock")
+            .is_quarantined(page)
+    }
+
+    /// Pages currently under quarantine, sorted ascending.
+    pub fn quarantined_pages(&self) -> Vec<usize> {
+        self.fault
+            .lock()
+            .expect("fault state lock")
+            .quarantined_pages()
     }
 
     /// The shared stats handle.
@@ -99,18 +189,57 @@ impl TileStore {
         (row / self.tile) * self.tiles_per_row + col / self.tile
     }
 
+    /// Runs the fault machinery for one logical page access: attempts the
+    /// read, retries failed attempts per the policy (accruing backoff
+    /// ticks), and trips the circuit breaker on repeated failure. Every
+    /// attempt costs one base tick plus any injected latency.
+    fn access_page(&self, page: usize) -> Result<(), ArchiveError> {
+        let mut rt = self.fault.lock().expect("fault state lock");
+        let policy = rt.config().retry;
+        let mut retry = 0u32;
+        loop {
+            match rt.attempt(page) {
+                AttemptOutcome::Quarantined => {
+                    return Err(ArchiveError::PageQuarantined { page });
+                }
+                AttemptOutcome::Ok { latency_ticks } => {
+                    self.stats.record_ticks(1 + latency_ticks);
+                    return Ok(());
+                }
+                AttemptOutcome::Failed { latency_ticks } => {
+                    self.stats.record_ticks(1 + latency_ticks);
+                    self.stats.record_failures(1);
+                    if rt.is_quarantined(page) {
+                        // This attempt tripped the breaker: report the
+                        // I/O failure itself; later reads fail fast with
+                        // `PageQuarantined`.
+                        self.stats.record_quarantines(1);
+                        return Err(ArchiveError::PageIo { page });
+                    }
+                    if retry < policy.max_retries {
+                        retry += 1;
+                        self.stats.record_retries(1);
+                        self.stats.record_ticks(policy.backoff_ticks(retry));
+                        continue;
+                    }
+                    return Err(ArchiveError::PageIo { page });
+                }
+            }
+        }
+    }
+
     /// Reads one cell, accounting one tuple and one page access.
     ///
     /// # Errors
     ///
-    /// Returns [`ArchiveError::OutOfBounds`] outside the grid and
-    /// [`ArchiveError::PageIo`] for injected page failures.
+    /// Returns [`ArchiveError::OutOfBounds`] outside the grid,
+    /// [`ArchiveError::PageIo`] when the page's fault outlasts the retry
+    /// budget, and [`ArchiveError::PageQuarantined`] once the page's
+    /// circuit breaker has tripped.
     pub fn read(&self, row: usize, col: usize) -> Result<f64, ArchiveError> {
         let v = *self.grid.get(row, col)?;
         let page = self.page_of(row, col);
-        if self.failing_pages.contains(&page) {
-            return Err(ArchiveError::PageIo { page });
-        }
+        self.access_page(page)?;
         self.stats.record_tuples(1);
         self.stats.record_pages(1);
         Ok(v)
@@ -121,8 +250,9 @@ impl TileStore {
     ///
     /// # Errors
     ///
-    /// Returns [`ArchiveError::OutOfBounds`] for an invalid page index and
-    /// [`ArchiveError::PageIo`] for injected failures.
+    /// Returns [`ArchiveError::OutOfBounds`] for an invalid page index,
+    /// [`ArchiveError::PageIo`] when the page's fault outlasts the retry
+    /// budget, and [`ArchiveError::PageQuarantined`] for quarantined pages.
     pub fn read_page(&self, page: usize) -> Result<Vec<(CellCoord, f64)>, ArchiveError> {
         if page >= self.page_count() {
             return Err(ArchiveError::OutOfBounds {
@@ -132,9 +262,7 @@ impl TileStore {
                 cols: 1,
             });
         }
-        if self.failing_pages.contains(&page) {
-            return Err(ArchiveError::PageIo { page });
-        }
+        self.access_page(page)?;
         let tr = page / self.tiles_per_row;
         let tc = page % self.tiles_per_row;
         let r0 = tr * self.tile;
@@ -157,8 +285,8 @@ impl TileStore {
     ///
     /// # Errors
     ///
-    /// Propagates injected page failures; tuples before the failure have
-    /// already been delivered to `f`.
+    /// Propagates page failures that outlast the retry budget; tuples
+    /// before the failure have already been delivered to `f`.
     pub fn scan<F: FnMut(CellCoord, f64)>(&self, mut f: F) -> Result<(), ArchiveError> {
         for page in 0..self.page_count() {
             for (coord, v) in self.read_page(page)? {
@@ -172,6 +300,7 @@ impl TileStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RetryPolicy;
 
     fn store_4x4() -> TileStore {
         TileStore::new(Grid2::from_fn(4, 4, |r, c| (r * 4 + c) as f64), 2).unwrap()
@@ -240,5 +369,113 @@ mod tests {
     #[test]
     fn zero_tile_rejected() {
         assert!(TileStore::new(Grid2::filled(2, 2, 0.0), 0).is_err());
+    }
+
+    #[test]
+    fn transient_fault_heals_within_retry_budget() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).transient(1, 2))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::retries(2), None));
+        assert_eq!(s.read(0, 2).unwrap(), 2.0);
+        assert_eq!(s.stats().failures(), 2);
+        assert_eq!(s.stats().retries(), 2);
+        assert_eq!(s.stats().pages_read(), 1, "only the success is a page read");
+        // Backoff 1 + 2 ticks plus three 1-tick attempts.
+        assert_eq!(s.stats().ticks_elapsed(), 3 + 3);
+        // The page stays healed: no further retries needed.
+        assert_eq!(s.read(0, 3).unwrap(), 3.0);
+        assert_eq!(s.stats().retries(), 2);
+    }
+
+    #[test]
+    fn transient_fault_outlasting_retries_is_an_error() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).transient(1, 5))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::retries(2), None));
+        assert_eq!(s.read(0, 2), Err(ArchiveError::PageIo { page: 1 }));
+        assert_eq!(s.stats().failures(), 3, "initial attempt plus 2 retries");
+        // The next read consumes the remaining two faulty accesses and
+        // succeeds on its third attempt.
+        assert_eq!(s.read(0, 2).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn quarantine_kicks_in_and_fails_fast() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).permanent(0))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::none(), Some(3)));
+        assert_eq!(s.read(0, 0), Err(ArchiveError::PageIo { page: 0 }));
+        assert_eq!(s.read(0, 0), Err(ArchiveError::PageIo { page: 0 }));
+        assert!(!s.is_quarantined(0));
+        // Third consecutive failure trips the breaker.
+        assert_eq!(s.read(0, 0), Err(ArchiveError::PageIo { page: 0 }));
+        assert!(s.is_quarantined(0));
+        assert_eq!(s.quarantined_pages(), vec![0]);
+        assert_eq!(s.stats().quarantines(), 1);
+        let ticks_before = s.stats().ticks_elapsed();
+        let failures_before = s.stats().failures();
+        // Fail fast: no attempt, no ticks, no new failures.
+        assert_eq!(s.read(0, 0), Err(ArchiveError::PageQuarantined { page: 0 }));
+        assert_eq!(s.stats().ticks_elapsed(), ticks_before);
+        assert_eq!(s.stats().failures(), failures_before);
+        // Other pages are unaffected.
+        assert_eq!(s.read(0, 2).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn retries_count_toward_quarantine() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).permanent(3))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::retries(5), Some(4)));
+        // One read's retries alone trip the breaker (4 consecutive failed
+        // attempts < 1 + 5 allowed attempts).
+        assert_eq!(s.read(2, 2), Err(ArchiveError::PageIo { page: 3 }));
+        assert!(s.is_quarantined(3));
+        assert_eq!(s.stats().failures(), 4);
+        assert_eq!(s.stats().retries(), 3, "no retry after the breaker trips");
+    }
+
+    #[test]
+    fn injected_latency_accrues_ticks_on_success() {
+        let s = store_4x4().with_faults(FaultProfile::new(0).latency(0, 9));
+        assert_eq!(s.read(0, 0).unwrap(), 0.0);
+        assert_eq!(s.stats().ticks_elapsed(), 10, "1 base + 9 injected");
+        assert_eq!(s.read(2, 2).unwrap(), 10.0);
+        assert_eq!(s.stats().ticks_elapsed(), 11, "healthy page costs 1 tick");
+    }
+
+    #[test]
+    fn probabilistic_store_is_deterministic_per_seed() {
+        let trace = |seed: u64| {
+            let s = store_4x4().with_faults(FaultProfile::new(seed).probabilistic(0, 0.5));
+            (0..32).map(|_| s.read(0, 0).is_ok()).collect::<Vec<bool>>()
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+
+    #[test]
+    fn clone_snapshots_fault_state() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).transient(1, 2))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::none(), None));
+        assert!(s.read(0, 2).is_err());
+        let t = s.clone();
+        // Both observe the second (final) transient failure independently.
+        assert!(s.read(0, 2).is_err());
+        assert!(t.read(0, 2).is_err());
+        assert!(s.read(0, 2).is_ok());
+        assert!(t.read(0, 2).is_ok());
+    }
+
+    #[test]
+    fn default_config_reads_cost_one_tick_per_page_access() {
+        let s = store_4x4();
+        s.read_page(0).unwrap();
+        s.read(3, 3).unwrap();
+        assert_eq!(s.stats().ticks_elapsed(), 2);
+        assert_eq!(s.stats().failures(), 0);
+        assert_eq!(s.stats().retries(), 0);
+        assert_eq!(s.stats().quarantines(), 0);
     }
 }

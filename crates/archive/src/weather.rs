@@ -119,9 +119,9 @@ impl WeatherGenerator {
             } else {
                 0.0
             };
-            let season =
-                (2.0 * std::f64::consts::PI * (day as f64 - 182.0) / 365.0).cos();
-            let mut temp_c = self.temp_mean_c + self.temp_amplitude_c * season
+            let season = (2.0 * std::f64::consts::PI * (day as f64 - 182.0) / 365.0).cos();
+            let mut temp_c = self.temp_mean_c
+                + self.temp_amplitude_c * season
                 + randx::normal(&mut rng, 0.0, self.temp_noise_c);
             if wet {
                 temp_c -= 2.0; // wet days run cooler
@@ -150,10 +150,13 @@ mod tests {
         // Stationary wet fraction = p_wd / (1 - p_ww + p_wd).
         let generator = WeatherGenerator::new(11).with_rain_chain(0.2, 0.6);
         let series = generator.generate(0, 20_000);
-        let wet = series.values().iter().filter(|d| d.rained()).count() as f64
-            / series.len() as f64;
+        let wet =
+            series.values().iter().filter(|d| d.rained()).count() as f64 / series.len() as f64;
         let expected = 0.2 / (1.0 - 0.6 + 0.2);
-        assert!((wet - expected).abs() < 0.02, "wet {wet} expected {expected}");
+        assert!(
+            (wet - expected).abs() < 0.02,
+            "wet {wet} expected {expected}"
+        );
     }
 
     #[test]
@@ -162,8 +165,10 @@ mod tests {
             .with_temperature(20.0, 10.0, 1.0)
             .generate(0, 365);
         let winter: f64 = (0..30).map(|i| series.get(i).unwrap().temp_c).sum::<f64>() / 30.0;
-        let summer: f64 =
-            (170..200).map(|i| series.get(i).unwrap().temp_c).sum::<f64>() / 30.0;
+        let summer: f64 = (170..200)
+            .map(|i| series.get(i).unwrap().temp_c)
+            .sum::<f64>()
+            / 30.0;
         assert!(summer > winter + 10.0, "summer {summer} winter {winter}");
     }
 
@@ -181,8 +186,12 @@ mod tests {
 
     #[test]
     fn mean_rain_scales_wet_day_amounts() {
-        let light = WeatherGenerator::new(3).with_mean_rain(2.0).generate(0, 5000);
-        let heavy = WeatherGenerator::new(3).with_mean_rain(20.0).generate(0, 5000);
+        let light = WeatherGenerator::new(3)
+            .with_mean_rain(2.0)
+            .generate(0, 5000);
+        let heavy = WeatherGenerator::new(3)
+            .with_mean_rain(20.0)
+            .generate(0, 5000);
         let mean_of = |s: &TimeSeries<WeatherDay>| {
             let wet: Vec<f64> = s
                 .values()

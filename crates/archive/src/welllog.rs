@@ -52,7 +52,7 @@ impl WellLog {
         samples: Vec<LogSample>,
         layers: Vec<Layer>,
     ) -> Result<Self, ArchiveError> {
-        if samples.is_empty() || !(interval_ft > 0.0) {
+        if samples.is_empty() || interval_ft <= 0.0 || interval_ft.is_nan() {
             return Err(ArchiveError::EmptyDimension);
         }
         Ok(WellLog {
@@ -86,7 +86,9 @@ impl WellLog {
     pub fn synthetic_with_riverbed(seed: u64, depth_ft: f64) -> Self {
         WellLog::from_column(
             format!("well-{seed}-riverbed"),
-            &ColumnGenerator::new(seed).with_riverbed().generate(depth_ft),
+            &ColumnGenerator::new(seed)
+                .with_riverbed()
+                .generate(depth_ft),
             depth_ft,
             seed,
         )
@@ -98,7 +100,12 @@ impl WellLog {
     /// # Panics
     ///
     /// Panics if `depth_ft <= 0` or the column is empty.
-    pub fn from_column(name: impl Into<String>, layers: &[Layer], depth_ft: f64, seed: u64) -> Self {
+    pub fn from_column(
+        name: impl Into<String>,
+        layers: &[Layer],
+        depth_ft: f64,
+        seed: u64,
+    ) -> Self {
         assert!(depth_ft > 0.0, "depth must be positive");
         assert!(!layers.is_empty(), "column must have at least one layer");
         let interval_ft = 0.5;

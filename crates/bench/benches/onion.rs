@@ -13,22 +13,16 @@ fn bench_onion(c: &mut Criterion) {
         let index = OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7)
             .expect("valid workload");
         for k in [1usize, 10] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("scan_n{n}"), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        scan_top_k(black_box(&points), k, |p| {
-                            dir.iter().zip(p).map(|(a, v)| a * v).sum()
-                        })
+            group.bench_with_input(BenchmarkId::new(format!("scan_n{n}"), k), &k, |b, &k| {
+                b.iter(|| {
+                    scan_top_k(black_box(&points), k, |p| {
+                        dir.iter().zip(p).map(|(a, v)| a * v).sum()
                     })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("onion_n{n}"), k),
-                &k,
-                |b, &k| b.iter(|| index.top_k_max(black_box(&dir), k).expect("valid query")),
-            );
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("onion_n{n}"), k), &k, |b, &k| {
+                b.iter(|| index.top_k_max(black_box(&dir), k).expect("valid query"))
+            });
         }
     }
     group.finish();

@@ -15,7 +15,11 @@ fn bench_texture(c: &mut Criterion) {
         let planted = (side / tile - 2, side / tile - 1);
         let query_fine = TileFeatures::of(
             &fine
-                .window(CellCoord::new(planted.0 * tile, planted.1 * tile), tile, tile)
+                .window(
+                    CellCoord::new(planted.0 * tile, planted.1 * tile),
+                    tile,
+                    tile,
+                )
                 .expect("planted tile in range"),
         );
         let query_coarse = TileFeatures::of(
@@ -31,7 +35,8 @@ fn bench_texture(c: &mut Criterion) {
             b.iter(|| {
                 let feats = tile_features(black_box(&fine), tile);
                 feats.into_iter().min_by(|a, b| {
-                    a.2.distance(&query_fine).total_cmp(&b.2.distance(&query_fine))
+                    a.2.distance(&query_fine)
+                        .total_cmp(&b.2.distance(&query_fine))
                 })
             })
         });

@@ -34,9 +34,7 @@ fn bench_rstar(c: &mut Criterion) {
 
     // The R*-tree's home game: spatial range queries.
     let query = Rect::new(&[0.0, 0.0, 0.0], &[0.5, 0.5, 0.5]);
-    group.bench_function("rstar_range", |b| {
-        b.iter(|| rstar.range(black_box(&query)))
-    });
+    group.bench_function("rstar_range", |b| b.iter(|| rstar.range(black_box(&query))));
     group.bench_function("scan_range", |b| {
         b.iter(|| {
             points

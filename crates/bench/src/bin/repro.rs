@@ -1,18 +1,22 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|all]` (default: all).
-//! Output is Markdown, pasted into EXPERIMENTS.md.
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|all]`
+//! (default: all). Output is Markdown, pasted into EXPERIMENTS.md.
 
+use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
 use mbir_archive::synth::OccurrenceSampler;
+use mbir_archive::tile::TileStore;
 use mbir_archive::weather::WeatherGenerator;
 use mbir_archive::welllog::WellLog;
 use mbir_bench::{
-    classification_world, hps_world, onion_workload, sproc_workload, texture_world,
-    wide_model_world,
+    classification_world, hps_paged_world, hps_world, onion_workload, sproc_workload,
+    texture_world, wide_model_world,
 };
 use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
 use mbir_core::metrics::{precision_recall_at_k, threshold_sweep};
+use mbir_core::resilient::{resilient_top_k, ExecutionBudget};
+use mbir_core::source::{CellSource, TileSource};
 use mbir_core::workflow::{run_workflow, WorkflowConfig};
 use mbir_index::onion::OnionIndex;
 use mbir_index::rstar::RStarTree;
@@ -67,6 +71,115 @@ fn main() {
     if run("a2") {
         a2_coherence_ablation();
     }
+    if run("r1") {
+        r1_resilience();
+    }
+}
+
+/// R1 — retrieval under fault injection: completeness, skipped pages, and
+/// budget stops instead of aborted queries.
+fn r1_resilience() {
+    println!("\n## R1 — Resilient retrieval under archive faults\n");
+    let side = 128usize;
+    let k = 10usize;
+    let (pyramids, stores, model, _) = hps_paged_world(13, side, side, 16);
+    let page_count = stores[0].page_count();
+    let strict = pyramid_top_k(model.model(), &pyramids, k).expect("valid");
+
+    let with_profile = |profile: FaultProfile, config: ResilienceConfig| -> Vec<TileStore> {
+        stores
+            .iter()
+            .map(|s| {
+                s.clone()
+                    .with_faults(profile.clone())
+                    .with_resilience(config)
+            })
+            .collect()
+    };
+    // Measure the healthy run first so the fault scenarios are calibrated
+    // to pages the query actually needs, not arbitrary page numbers.
+    let healthy = with_profile(FaultProfile::new(1), ResilienceConfig::none());
+    let healthy_src = TileSource::new(&healthy).expect("aligned");
+    resilient_top_k(
+        model.model(),
+        &pyramids,
+        k,
+        &healthy_src,
+        &ExecutionBudget::unlimited(),
+    )
+    .expect("healthy run");
+    let pages_needed = healthy_src.pages_read().max(2);
+    let hot_pages: Vec<usize> = strict
+        .results
+        .iter()
+        .map(|sc| stores[0].page_of(sc.cell.row, sc.cell.col))
+        .collect();
+
+    let retry2 = ResilienceConfig::new(RetryPolicy::retries(2), Some(4));
+    let scenarios: Vec<(String, Vec<TileStore>, ExecutionBudget)> = vec![
+        (
+            "healthy, unlimited".to_owned(),
+            healthy,
+            ExecutionBudget::unlimited(),
+        ),
+        (
+            "transient flakes (heal after 1), 2 retries".to_owned(),
+            with_profile(
+                (0..page_count).fold(FaultProfile::new(2), |p, pg| p.transient(pg, 1)),
+                retry2,
+            ),
+            ExecutionBudget::unlimited(),
+        ),
+        (
+            "hot pages lost, 2 retries + quarantine".to_owned(),
+            with_profile(
+                hot_pages
+                    .iter()
+                    .fold(FaultProfile::new(3), |p, pg| p.permanent(*pg)),
+                retry2,
+            ),
+            ExecutionBudget::unlimited(),
+        ),
+        (
+            format!(
+                "healthy, page budget {} of {pages_needed}",
+                pages_needed / 2
+            ),
+            with_profile(FaultProfile::new(4), ResilienceConfig::none()),
+            ExecutionBudget::unlimited().with_max_page_reads(pages_needed / 2),
+        ),
+        (
+            "slow pages (20 ticks), half-time deadline".to_owned(),
+            with_profile(
+                (0..page_count).fold(FaultProfile::new(5), |p, pg| p.latency(pg, 20)),
+                ResilienceConfig::none(),
+            ),
+            // Healthy cost is 1 tick/access; with latency it is 21.
+            ExecutionBudget::unlimited().with_deadline_ticks(pages_needed * 21 / 2),
+        ),
+    ];
+
+    println!("| scenario | completeness | skipped pages | exact hits | degraded | budget stop | top-1 in bounds |");
+    println!("|---|---|---|---|---|---|---|");
+    for (label, faulty_stores, budget) in &scenarios {
+        let src = TileSource::new(faulty_stores).expect("aligned");
+        let r = resilient_top_k(model.model(), &pyramids, k, &src, budget).expect("never aborts");
+        let exact = r.results.iter().filter(|h| h.exact).count();
+        let covered = r.results.iter().any(|h| {
+            h.bounds.lo <= strict.results[0].score && strict.results[0].score <= h.bounds.hi
+        });
+        println!(
+            "| {label} | {:.3} | {} | {} | {} | {} | {} |",
+            r.completeness,
+            r.skipped_pages.len(),
+            exact,
+            r.results.len() - exact,
+            r.budget_stop.map_or("-".to_owned(), |s| s.to_string()),
+            if covered { "yes" } else { "no" },
+        );
+    }
+    println!("\nEvery scenario returns {k} ranked entries with sound score bounds;");
+    println!("degradation is reported, never silent, and no query aborts.");
 }
 
 /// A1 — ablation: which Onion design choices carry the speedup?
@@ -132,8 +245,7 @@ fn a2_coherence_ablation() {
             }
         }
         let autocorr = num / den;
-        let pyramids: Vec<AggregatePyramid> =
-            grids.iter().map(AggregatePyramid::build).collect();
+        let pyramids: Vec<AggregatePyramid> = grids.iter().map(AggregatePyramid::build).collect();
         let model = LinearModel::new(vec![1.0, 0.6, 0.3], 0.0).expect("valid");
         let fast = pyramid_top_k(&model, &pyramids, 10).expect("valid inputs");
         println!(
@@ -244,25 +356,15 @@ fn e3_progressive_texture() {
             let ct = tile / scale;
             let query_coarse_window = coarse
                 .window(
-                    mbir_archive::extent::CellCoord::new(
-                        planted.0 * ct,
-                        planted.1 * ct,
-                    ),
+                    mbir_archive::extent::CellCoord::new(planted.0 * ct, planted.1 * ct),
                     ct,
                     ct,
                 )
                 .expect("planted tile in range");
             let query_coarse = TileFeatures::of(&query_coarse_window);
             let naive_pixels = tile_features(&fine, tile).len() * tile * tile;
-            let (hits, fine_work) = progressive_texture_match(
-                &fine,
-                coarse,
-                &query_coarse,
-                &query_fine,
-                tile,
-                1,
-                2.0,
-            );
+            let (hits, fine_work) =
+                progressive_texture_match(&fine, coarse, &query_coarse, &query_fine, tile, 1, 2.0);
             let progressive_pixels = tiles * ct * ct + fine_work * tile * tile;
             println!(
                 "| {side}x{side} | {scale}x | {naive_pixels} | {progressive_pixels} | {:.1}x | {} |",
@@ -339,8 +441,8 @@ fn e5_accuracy() {
     println!("|---|---|---|---|---|---|");
     let (lo, hi) = risk.min_max().expect("non-empty");
     let thresholds: Vec<f64> = (0..=8).map(|i| lo + (hi - lo) * i as f64 / 8.0).collect();
-    for (t, r) in threshold_sweep(&risk, &occurrences, None, 10.0, 1.0, &thresholds)
-        .expect("aligned grids")
+    for (t, r) in
+        threshold_sweep(&risk, &occurrences, None, 10.0, 1.0, &thresholds).expect("aligned grids")
     {
         println!(
             "| {:.1} | {} | {} | {:.3} | {:.3} | {:.0} |",
@@ -431,8 +533,7 @@ fn f1_fire_ants() {
                 .generate(0, 365)
         })
         .collect();
-    let (all_events, stats) =
-        screened_fly_detection(&regions, 30).expect("valid block size");
+    let (all_events, stats) = screened_fly_detection(&regions, 30).expect("valid block size");
     let firing = all_events.iter().filter(|e| !e.is_empty()).count();
     let events: usize = all_events.iter().map(Vec::len).sum();
     println!("| regions | screened out by coarse summary | FSM runs | firing regions | events |");
@@ -459,8 +560,8 @@ fn f3_hps_network() {
     println!("|---|---|---|---|---|");
     for mask in 0..16u32 {
         let b = |bit: u32| mask & (1 << bit) != 0;
-        let p = risk_given_observations(&net, &nodes, b(3), b(2), b(1), b(0))
-            .expect("valid evidence");
+        let p =
+            risk_given_observations(&net, &nodes, b(3), b(2), b(1), b(0)).expect("valid evidence");
         println!("| {} | {} | {} | {} | {:.4} |", b(3), b(2), b(1), b(0), p);
     }
 }

@@ -6,6 +6,7 @@ use mbir_archive::dem::Dem;
 use mbir_archive::grid::Grid2;
 use mbir_archive::scene::{BandId, SyntheticScene};
 use mbir_archive::synth::{gaussian_tuples, GaussianField};
+use mbir_archive::tile::TileStore;
 use mbir_models::linear::{HpsRiskModel, LinearModel, ProgressiveLinearModel};
 use mbir_progressive::pyramid::AggregatePyramid;
 use mbir_progressive::semantics::{GaussianClassifier, LandCover};
@@ -107,9 +108,50 @@ pub fn hps_world(
             (root.min, root.max)
         })
         .collect();
-    let progressive = ProgressiveLinearModel::new(model.model().clone(), &ranges)
-        .expect("ranges match arity");
+    let progressive =
+        ProgressiveLinearModel::new(model.model().clone(), &ranges).expect("ranges match arity");
     (pyramids, model, progressive)
+}
+
+/// The R1 workload: the HPS world with its base bands additionally held
+/// in paged [`TileStore`]s, for the resilience benches and the
+/// repro-under-fault experiment. The stores carry no faults; callers
+/// attach profiles with [`TileStore::with_faults`].
+pub fn hps_paged_world(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+) -> (
+    Vec<AggregatePyramid>,
+    Vec<TileStore>,
+    HpsRiskModel,
+    ProgressiveLinearModel,
+) {
+    let scene = SyntheticScene::new(seed, rows, cols).generate();
+    let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
+    let bands: Vec<Grid2<f64>> = vec![
+        scene.band(BandId::TM4).expect("band present").clone(),
+        scene.band(BandId::TM5).expect("band present").clone(),
+        scene.band(BandId::TM7).expect("band present").clone(),
+        dem.grid().clone(),
+    ];
+    let pyramids: Vec<AggregatePyramid> = bands.iter().map(AggregatePyramid::build).collect();
+    let stores: Vec<TileStore> = bands
+        .into_iter()
+        .map(|b| TileStore::new(b, tile).expect("valid tile size"))
+        .collect();
+    let model = HpsRiskModel::paper();
+    let ranges: Vec<(f64, f64)> = pyramids
+        .iter()
+        .map(|p| {
+            let root = p.root();
+            (root.min, root.max)
+        })
+        .collect();
+    let progressive =
+        ProgressiveLinearModel::new(model.model().clone(), &ranges).expect("ranges match arity");
+    (pyramids, stores, model, progressive)
 }
 
 /// A wide linear model (many attributes, skewed coefficients) over smooth

@@ -19,6 +19,7 @@
 
 use crate::error::CoreError;
 use crate::query::{Objective, TopKQuery};
+use crate::source::{CellSource, PyramidSource};
 use mbir_archive::extent::CellCoord;
 use mbir_index::scan::TopKHeap;
 use mbir_index::stats::ScoredItem;
@@ -26,6 +27,7 @@ use mbir_models::linear::{LinearModel, ProgressiveLinearModel};
 use mbir_progressive::pyramid::AggregatePyramid;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Work accounting in model multiply-adds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,11 +41,40 @@ pub struct EffortReport {
 
 impl EffortReport {
     /// The §4.2 speedup `naive / actual` (∞-safe: 0 work reports 1.0).
+    ///
+    /// The 1.0 is a neutral placeholder, not a measurement — use
+    /// [`speedup_checked`](Self::speedup_checked) to tell "no work was
+    /// performed" apart from "exactly break-even".
     pub fn speedup(&self) -> f64 {
+        self.speedup_checked().unwrap_or(1.0)
+    }
+
+    /// The §4.2 speedup, or `None` when no work was performed (e.g. a run
+    /// stopped by a budget before its first multiply-add).
+    pub fn speedup_checked(&self) -> Option<f64> {
         if self.multiply_adds == 0 {
-            return 1.0;
+            return None;
         }
-        self.naive_multiply_adds as f64 / self.multiply_adds as f64
+        Some(self.naive_multiply_adds as f64 / self.multiply_adds as f64)
+    }
+}
+
+impl fmt::Display for EffortReport {
+    /// Distinguishes zero work from break-even: a run that never evaluated
+    /// anything prints "no work performed" rather than a fictitious 1.0x.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.speedup_checked() {
+            Some(speedup) => write!(
+                f,
+                "{} of {} multiply-adds ({speedup:.2}x speedup)",
+                self.multiply_adds, self.naive_multiply_adds
+            ),
+            None => write!(
+                f,
+                "0 of {} multiply-adds (no work performed; speedup undefined)",
+                self.naive_multiply_adds
+            ),
+        }
     }
 }
 
@@ -162,12 +193,43 @@ pub fn staged_top_k(
     })
 }
 
+/// [`staged_top_k`] over grid cells, with attribute values pulled through a
+/// [`CellSource`] instead of a resident tuple list.
+///
+/// Cells are enumerated row-major, so a result's `index` is
+/// `row * cols + col`. The staged engine touches every tuple at stage 1
+/// anyway, so the source is drained upfront; failures are strict (any
+/// failed read aborts the query).
+///
+/// # Errors
+///
+/// Same as [`staged_top_k`], plus [`CoreError::Archive`] for failed base
+/// reads.
+pub fn staged_grid_top_k<S: CellSource>(
+    model: &ProgressiveLinearModel,
+    source: &S,
+    rows: usize,
+    cols: usize,
+    k: usize,
+) -> Result<TupleTopK, CoreError> {
+    if rows == 0 || cols == 0 {
+        return Err(CoreError::Query("empty grid".into()));
+    }
+    let mut tuples = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            tuples.push(read_base_vector(source, model.stages(), r, c)?);
+        }
+    }
+    staged_top_k(model, &tuples, k)
+}
+
 #[derive(Debug)]
-struct Region {
-    ub: f64,
-    level: usize,
-    row: usize,
-    col: usize,
+pub(crate) struct Region {
+    pub(crate) ub: f64,
+    pub(crate) level: usize,
+    pub(crate) row: usize,
+    pub(crate) col: usize,
 }
 
 impl PartialEq for Region {
@@ -199,6 +261,27 @@ pub fn pyramid_top_k(
     pyramids: &[AggregatePyramid],
     k: usize,
 ) -> Result<GridTopK, CoreError> {
+    pyramid_top_k_with_source(model, pyramids, k, &PyramidSource::new(pyramids))
+}
+
+/// [`pyramid_top_k`] with base-level reads routed through a [`CellSource`].
+///
+/// The pyramids act as the resident bounding index; exact base values come
+/// from `source` (e.g. a paged [`TileSource`](crate::source::TileSource)).
+/// Execution is strict: any failed base read aborts the query. For
+/// skip-and-degrade semantics use
+/// [`resilient_top_k`](crate::resilient::resilient_top_k).
+///
+/// # Errors
+///
+/// Same as [`pyramid_top_k`], plus [`CoreError::Archive`] for failed base
+/// reads.
+pub fn pyramid_top_k_with_source<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+) -> Result<GridTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
     let (rows, cols) = shape;
     let n = model.arity() as u64;
@@ -224,15 +307,8 @@ pub fn pyramid_top_k(
             }
         }
         if region.level == 0 {
-            // Exact evaluation at base resolution.
-            let x: Vec<f64> = pyramids
-                .iter()
-                .map(|p| {
-                    p.cell(0, region.row, region.col)
-                        .map(|s| s.mean)
-                        .expect("tracked in-bounds")
-                })
-                .collect();
+            // Exact evaluation at base resolution, through the source.
+            let x = read_base_vector(source, model.arity(), region.row, region.col)?;
             effort.multiply_adds += n;
             heap.offer(ScoredItem {
                 index: region.row * cols + region.col,
@@ -241,7 +317,14 @@ pub fn pyramid_top_k(
             continue;
         }
         for child in pyramids[0].children(region.level, region.row, region.col) {
-            let ub = region_bound(model, pyramids, region.level - 1, child.row, child.col, &mut effort)?;
+            let ub = region_bound(
+                model,
+                pyramids,
+                region.level - 1,
+                child.row,
+                child.col,
+                &mut effort,
+            )?;
             frontier.push(Region {
                 ub,
                 level: region.level - 1,
@@ -259,6 +342,18 @@ pub fn pyramid_top_k(
     Ok(GridTopK { results, effort })
 }
 
+/// Reads the full attribute vector of one base cell through a source.
+pub(crate) fn read_base_vector<S: CellSource>(
+    source: &S,
+    arity: usize,
+    row: usize,
+    col: usize,
+) -> Result<Vec<f64>, CoreError> {
+    (0..arity)
+        .map(|attr| source.base_cell(attr, row, col).map_err(CoreError::Archive))
+        .collect()
+}
+
 /// Combined engine (`p_m · p_d`): quad-descent where coarse levels are
 /// bounded with *truncated* models. Level `l` of `L` uses the first
 /// `ceil(arity · (L - l) / L)` contribution-ranked terms, so the root is
@@ -271,6 +366,24 @@ pub fn combined_top_k(
     model: &ProgressiveLinearModel,
     pyramids: &[AggregatePyramid],
     k: usize,
+) -> Result<GridTopK, CoreError> {
+    combined_top_k_with_source(model, pyramids, k, &PyramidSource::new(pyramids))
+}
+
+/// [`combined_top_k`] with base-level reads routed through a [`CellSource`].
+///
+/// Strict execution: a failed base read aborts the query (see
+/// [`pyramid_top_k_with_source`] for the contract).
+///
+/// # Errors
+///
+/// Same as [`combined_top_k`], plus [`CoreError::Archive`] for failed base
+/// reads.
+pub fn combined_top_k_with_source<S: CellSource>(
+    model: &ProgressiveLinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
 ) -> Result<GridTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model.model(), pyramids, k)?;
     let (rows, cols) = shape;
@@ -292,7 +405,15 @@ pub fn combined_top_k(
     let mut heap = TopKHeap::new(k);
     let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
     let top = levels - 1;
-    let root_ub = staged_region_bound(model, pyramids, top, 0, 0, stage_for_level(top), &mut effort)?;
+    let root_ub = staged_region_bound(
+        model,
+        pyramids,
+        top,
+        0,
+        0,
+        stage_for_level(top),
+        &mut effort,
+    )?;
     frontier.push(Region {
         ub: root_ub,
         level: top,
@@ -307,14 +428,7 @@ pub fn combined_top_k(
             }
         }
         if region.level == 0 {
-            let x: Vec<f64> = pyramids
-                .iter()
-                .map(|p| {
-                    p.cell(0, region.row, region.col)
-                        .map(|s| s.mean)
-                        .expect("tracked in-bounds")
-                })
-                .collect();
+            let x = read_base_vector(source, n_terms, region.row, region.col)?;
             effort.multiply_adds += n;
             heap.offer(ScoredItem {
                 index: region.row * cols + region.col,
@@ -421,7 +535,7 @@ pub fn grid_query(
     }
 }
 
-fn validate_grid_inputs(
+pub(crate) fn validate_grid_inputs(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
     k: usize,
@@ -450,7 +564,7 @@ fn validate_grid_inputs(
 }
 
 /// Full-model interval upper bound over a pyramid region.
-fn region_bound(
+pub(crate) fn region_bound(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
     level: usize,
@@ -517,6 +631,29 @@ mod tests {
     use mbir_archive::grid::Grid2;
     use proptest::prelude::*;
 
+    #[test]
+    fn effort_report_distinguishes_zero_work_from_break_even() {
+        let idle = EffortReport {
+            multiply_adds: 0,
+            naive_multiply_adds: 1000,
+        };
+        assert_eq!(idle.speedup_checked(), None);
+        assert_eq!(idle.speedup(), 1.0); // neutral placeholder
+        assert_eq!(
+            idle.to_string(),
+            "0 of 1000 multiply-adds (no work performed; speedup undefined)"
+        );
+        let break_even = EffortReport {
+            multiply_adds: 1000,
+            naive_multiply_adds: 1000,
+        };
+        assert_eq!(break_even.speedup_checked(), Some(1.0));
+        assert_eq!(
+            break_even.to_string(),
+            "1000 of 1000 multiply-adds (1.00x speedup)"
+        );
+    }
+
     fn pseudo_grid(seed: u64, rows: usize, cols: usize) -> Grid2<f64> {
         Grid2::from_fn(rows, cols, |r, c| {
             let h = seed
@@ -527,7 +664,12 @@ mod tests {
         })
     }
 
-    fn build_inputs(seed: u64, rows: usize, cols: usize, arity: usize) -> (LinearModel, Vec<AggregatePyramid>) {
+    fn build_inputs(
+        seed: u64,
+        rows: usize,
+        cols: usize,
+        arity: usize,
+    ) -> (LinearModel, Vec<AggregatePyramid>) {
         let coeffs: Vec<f64> = (0..arity)
             .map(|i| match i % 4 {
                 0 => 2.0,
@@ -543,7 +685,10 @@ mod tests {
         (model, pyramids)
     }
 
-    fn progressive_of(model: &LinearModel, pyramids: &[AggregatePyramid]) -> ProgressiveLinearModel {
+    fn progressive_of(
+        model: &LinearModel,
+        pyramids: &[AggregatePyramid],
+    ) -> ProgressiveLinearModel {
         let ranges: Vec<(f64, f64)> = pyramids
             .iter()
             .map(|p| {
@@ -602,12 +747,7 @@ mod tests {
         let tuples: Vec<Vec<f64>> = (0..24 * 24)
             .map(|i| {
                 (0..4)
-                    .map(|a| {
-                        pyramids[a]
-                            .cell(0, i / 24, i % 24)
-                            .unwrap()
-                            .mean
-                    })
+                    .map(|a| pyramids[a].cell(0, i / 24, i % 24).unwrap().mean)
                     .collect()
             })
             .collect();

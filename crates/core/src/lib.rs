@@ -16,6 +16,10 @@
 //!   top-K retrieval against observed occurrences.
 //! * [`workflow`] — the Fig. 5 loop: hypothesize → calibrate → retrieve →
 //!   revise through relevance feedback → apply to a larger archive.
+//! * [`source`] / [`resilient`] — fallible base-level access through the
+//!   paged archive, and the budgeted, fault-tolerant engine that degrades
+//!   gracefully (partial results with sound bounds and an explicit
+//!   completeness fraction) instead of aborting on lost pages.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -36,12 +40,23 @@ pub mod error;
 pub mod metrics;
 pub mod plan;
 pub mod query;
+pub mod resilient;
+pub mod source;
 pub mod temporal;
 pub mod workflow;
 
-pub use engine::{combined_top_k, grid_query, pyramid_top_k, staged_top_k, EffortReport};
+pub use engine::{
+    combined_top_k, combined_top_k_with_source, grid_query, pyramid_top_k,
+    pyramid_top_k_with_source, staged_grid_top_k, staged_top_k, EffortReport,
+};
 pub use error::CoreError;
+pub use metrics::{
+    precision_recall_at_k, roc_curve, total_cost, CostParams, CostReport, PrReport, RocPoint,
+};
 pub use plan::{execute_planned, plan_grid_query, EngineChoice, PlannerConfig, QueryPlan};
-pub use metrics::{precision_recall_at_k, roc_curve, total_cost, CostParams, CostReport, PrReport, RocPoint};
 pub use query::{Objective, TopKQuery};
+pub use resilient::{
+    resilient_top_k, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK, ScoreBounds,
+};
+pub use source::{CellSource, PyramidSource, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

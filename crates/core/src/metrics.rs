@@ -60,7 +60,9 @@ pub fn total_cost(
 ) -> Result<CostReport, CoreError> {
     let aligned = risk.rows() == occurrences.rows() && risk.cols() == occurrences.cols();
     if !aligned {
-        return Err(CoreError::Query("risk and occurrence grids misaligned".into()));
+        return Err(CoreError::Query(
+            "risk and occurrence grids misaligned".into(),
+        ));
     }
     if let Some(w) = weights {
         if w.rows() != risk.rows() || w.cols() != risk.cols() {
@@ -167,7 +169,9 @@ pub fn precision_recall_at_k(
         return Err(CoreError::Query("k must be >= 1".into()));
     }
     if risk.rows() != occurrences.rows() || risk.cols() != occurrences.cols() {
-        return Err(CoreError::Query("risk and occurrence grids misaligned".into()));
+        return Err(CoreError::Query(
+            "risk and occurrence grids misaligned".into(),
+        ));
     }
     let mut scored: Vec<(f64, CellCoord)> = risk.iter().map(|(cc, &v)| (v, cc)).collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -217,7 +221,9 @@ pub fn roc_curve(
     occurrences: &Grid2<u32>,
 ) -> Result<(Vec<RocPoint>, f64), CoreError> {
     if risk.rows() != occurrences.rows() || risk.cols() != occurrences.cols() {
-        return Err(CoreError::Query("risk and occurrence grids misaligned".into()));
+        return Err(CoreError::Query(
+            "risk and occurrence grids misaligned".into(),
+        ));
     }
     let mut scored: Vec<(f64, bool)> = risk
         .iter()

@@ -9,10 +9,10 @@
 //! picks the engine whose bet those statistics support. All engines are
 //! exact, so planning only moves work, never answers.
 
-use crate::engine::{
-    combined_top_k, naive_grid_top_k, pyramid_top_k, GridTopK,
-};
+use crate::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, GridTopK};
 use crate::error::CoreError;
+use crate::resilient::{resilient_top_k, ExecutionBudget, ResilientTopK};
+use crate::source::CellSource;
 use mbir_models::linear::{LinearModel, ProgressiveLinearModel};
 use mbir_progressive::pyramid::AggregatePyramid;
 use std::fmt;
@@ -147,7 +147,10 @@ pub fn plan_grid_query(
     let (choice, rationale) = if cells < config.min_cells_for_index {
         (
             EngineChoice::Naive,
-            format!("{cells} cells is below the {}-cell indexing floor", config.min_cells_for_index),
+            format!(
+                "{cells} cells is below the {}-cell indexing floor",
+                config.min_cells_for_index
+            ),
         )
     } else if coherence < config.min_coherence {
         (
@@ -199,17 +202,47 @@ pub fn execute_planned(
                     (root.min, root.max)
                 })
                 .collect();
-            let progressive = ProgressiveLinearModel::new(model.clone(), &ranges)
-                .map_err(CoreError::Model)?;
+            let progressive =
+                ProgressiveLinearModel::new(model.clone(), &ranges).map_err(CoreError::Model)?;
             combined_top_k(&progressive, pyramids, k)?
         }
     };
     Ok((plan, result))
 }
 
+/// Plans, then executes *resiliently* against a paged source under a
+/// budget, returning the plan alongside the best-effort result.
+///
+/// The plan is computed from the same resident statistics as
+/// [`execute_planned`] and reported for observability, but execution
+/// always goes through [`resilient_top_k`]: budgeted execution needs the
+/// bounded pyramid frontier to degrade gracefully, which neither the
+/// naive scan nor the truncated-model engine can provide. On a healthy
+/// source with an unlimited budget the result matches the strict engines
+/// exactly, so honoring the plan's engine choice would only change the
+/// effort accounting, never the answer.
+///
+/// # Errors
+///
+/// Propagates planning errors and non-fault engine errors; lost pages and
+/// exhausted budgets degrade instead of failing.
+pub fn execute_planned_resilient<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    config: &PlannerConfig,
+    source: &S,
+    budget: &ExecutionBudget,
+) -> Result<(QueryPlan, ResilientTopK), CoreError> {
+    let plan = plan_grid_query(model, pyramids, config)?;
+    let result = resilient_top_k(model, pyramids, k, source, budget)?;
+    Ok((plan, result))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::PyramidSource;
     use mbir_archive::grid::Grid2;
 
     fn smooth_pyramids(arity: usize, side: usize) -> Vec<AggregatePyramid> {
@@ -248,20 +281,12 @@ mod tests {
     #[test]
     fn noise_scans_smooth_descends() {
         let model = LinearModel::new(vec![1.0, 1.0], 0.0).unwrap();
-        let noisy = plan_grid_query(
-            &model,
-            &noise_pyramids(2, 64),
-            &PlannerConfig::default(),
-        )
-        .unwrap();
+        let noisy =
+            plan_grid_query(&model, &noise_pyramids(2, 64), &PlannerConfig::default()).unwrap();
         assert_eq!(noisy.choice, EngineChoice::Naive);
         assert!(noisy.coherence < 0.35, "coherence {}", noisy.coherence);
-        let smooth = plan_grid_query(
-            &model,
-            &smooth_pyramids(2, 64),
-            &PlannerConfig::default(),
-        )
-        .unwrap();
+        let smooth =
+            plan_grid_query(&model, &smooth_pyramids(2, 64), &PlannerConfig::default()).unwrap();
         assert_eq!(smooth.choice, EngineChoice::Pyramid);
         assert!(smooth.coherence > 0.35, "coherence {}", smooth.coherence);
     }
@@ -280,9 +305,9 @@ mod tests {
     fn execute_planned_is_exact_for_every_choice() {
         let k = 5;
         for (pyramids, coeffs) in [
-            (smooth_pyramids(2, 8), vec![1.0, 1.0]),               // naive
-            (noise_pyramids(2, 64), vec![1.0, 1.0]),               // naive (noise)
-            (smooth_pyramids(2, 64), vec![1.0, 1.0]),              // pyramid
+            (smooth_pyramids(2, 8), vec![1.0, 1.0]),  // naive
+            (noise_pyramids(2, 64), vec![1.0, 1.0]),  // naive (noise)
+            (smooth_pyramids(2, 64), vec![1.0, 1.0]), // pyramid
             (
                 smooth_pyramids(8, 64),
                 (0..8).map(|i| 4.0 * 0.3f64.powi(i as i32)).collect(),
@@ -299,6 +324,29 @@ mod tests {
                     plan.choice
                 );
             }
+        }
+    }
+
+    #[test]
+    fn execute_planned_resilient_matches_strict_when_healthy() {
+        let pyramids = smooth_pyramids(2, 64);
+        let model = LinearModel::new(vec![1.0, 1.0], 0.0).unwrap();
+        let src = PyramidSource::new(&pyramids);
+        let (plan, result) = execute_planned_resilient(
+            &model,
+            &pyramids,
+            5,
+            &PlannerConfig::default(),
+            &src,
+            &ExecutionBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plan.choice, EngineChoice::Pyramid);
+        assert!(!result.is_degraded());
+        let reference = naive_grid_top_k(&model, &pyramids, 5).unwrap();
+        for (a, b) in result.results.iter().zip(&reference.results) {
+            assert_eq!(a.cell, b.cell);
+            assert!((a.score - b.score).abs() < 1e-9);
         }
     }
 

@@ -1,0 +1,184 @@
+//! Fallible base-level cell access for the progressive engines.
+//!
+//! The aggregate pyramids are a *resident index*: small, precomputed,
+//! always available. The base-resolution data they summarize lives in the
+//! paged archive, and reading it can fail — a page may be faulty or
+//! quarantined (see [`mbir_archive::fault`]). [`CellSource`] is the seam
+//! between the two: engines descend the index freely but pull exact
+//! base-level values through a source, so archive failures surface as
+//! `Result`s the engine can either propagate (strict execution) or absorb
+//! (resilient execution, [`crate::resilient`]).
+//!
+//! Two implementations cover the repository's regimes:
+//!
+//! * [`PyramidSource`] — reads level 0 of the pyramids themselves. It is
+//!   infallible in practice and makes the source-parameterized engines
+//!   behave bit-for-bit like the original in-memory ones.
+//! * [`TileSource`] — reads through per-attribute [`TileStore`]s, with
+//!   page accounting, fault injection, retries, and quarantine.
+
+use crate::error::CoreError;
+use mbir_archive::error::ArchiveError;
+use mbir_archive::tile::TileStore;
+use mbir_progressive::pyramid::AggregatePyramid;
+
+/// Fallible access to base-resolution attribute values.
+///
+/// `attr` indexes the model attribute (one pyramid / store per attribute);
+/// `(row, col)` is a base-level cell. The accounting methods let execution
+/// budgets observe I/O without threading a stats handle separately; sources
+/// without paged backing return zeros.
+pub trait CellSource {
+    /// Base-level value of attribute `attr` at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the archive error for out-of-bounds coordinates, failed
+    /// page reads ([`ArchiveError::PageIo`]), or quarantined pages
+    /// ([`ArchiveError::PageQuarantined`]).
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError>;
+
+    /// Page index backing `(row, col)`, when the source is paged.
+    fn page_of(&self, _row: usize, _col: usize) -> Option<usize> {
+        None
+    }
+
+    /// Pages read so far through this source (budget accounting).
+    fn pages_read(&self) -> u64 {
+        0
+    }
+
+    /// Virtual I/O ticks elapsed so far (budget deadline clock).
+    fn ticks_elapsed(&self) -> u64 {
+        0
+    }
+}
+
+/// In-memory source reading level 0 of the attribute pyramids.
+///
+/// This is the fault-free fast path: the source-parameterized engines run
+/// bit-for-bit identically to the original in-memory implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct PyramidSource<'a> {
+    pyramids: &'a [AggregatePyramid],
+}
+
+impl<'a> PyramidSource<'a> {
+    /// Wraps the attribute pyramids.
+    pub fn new(pyramids: &'a [AggregatePyramid]) -> Self {
+        PyramidSource { pyramids }
+    }
+}
+
+impl CellSource for PyramidSource<'_> {
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        self.pyramids[attr].cell(0, row, col).map(|s| s.mean)
+    }
+}
+
+/// Paged source reading through one [`TileStore`] per attribute.
+///
+/// All stores must share the base shape and tile size, so a page index
+/// means the same region in every attribute. Budget accounting
+/// (`pages_read`, `ticks_elapsed`) is taken from the **first** store's
+/// stats handle; share one [`AccessStats`](mbir_archive::stats::AccessStats)
+/// across the stores (via [`TileStore::with_stats`]) when aggregate
+/// accounting across attributes is wanted.
+#[derive(Debug)]
+pub struct TileSource<'a> {
+    stores: &'a [TileStore],
+}
+
+impl<'a> TileSource<'a> {
+    /// Wraps per-attribute stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Query`] when no stores are supplied or their
+    /// shapes / tile sizes disagree.
+    pub fn new(stores: &'a [TileStore]) -> Result<Self, CoreError> {
+        let first = stores
+            .first()
+            .ok_or_else(|| CoreError::Query("no tile stores supplied".into()))?;
+        for s in &stores[1..] {
+            if s.rows() != first.rows()
+                || s.cols() != first.cols()
+                || s.tile_size() != first.tile_size()
+            {
+                return Err(CoreError::Query(
+                    "tile stores must share shape and tile size".into(),
+                ));
+            }
+        }
+        Ok(TileSource { stores })
+    }
+
+    /// The wrapped stores.
+    pub fn stores(&self) -> &[TileStore] {
+        self.stores
+    }
+}
+
+impl CellSource for TileSource<'_> {
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        self.stores[attr].read(row, col)
+    }
+
+    fn page_of(&self, row: usize, col: usize) -> Option<usize> {
+        Some(self.stores[0].page_of(row, col))
+    }
+
+    fn pages_read(&self) -> u64 {
+        self.stores[0].stats().pages_read()
+    }
+
+    fn ticks_elapsed(&self) -> u64 {
+        self.stores[0].stats().ticks_elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_archive::grid::Grid2;
+    use mbir_archive::stats::AccessStats;
+
+    fn grid(seed: u64) -> Grid2<f64> {
+        Grid2::from_fn(8, 8, |r, c| (seed as f64) + (r * 8 + c) as f64)
+    }
+
+    #[test]
+    fn pyramid_source_reads_base_means() {
+        let pyr = AggregatePyramid::build(&grid(0));
+        let pyrs = vec![pyr];
+        let src = PyramidSource::new(&pyrs);
+        assert_eq!(src.base_cell(0, 1, 5).unwrap(), 13.0);
+        assert_eq!(src.page_of(1, 5), None);
+        assert_eq!(src.pages_read(), 0);
+        assert!(src.base_cell(0, 9, 0).is_err());
+    }
+
+    #[test]
+    fn tile_source_validates_and_accounts() {
+        let stats = AccessStats::new();
+        let stores: Vec<TileStore> = (0..2)
+            .map(|i| {
+                TileStore::new(grid(i), 4)
+                    .unwrap()
+                    .with_stats(stats.clone())
+            })
+            .collect();
+        let src = TileSource::new(&stores).unwrap();
+        assert_eq!(src.base_cell(1, 0, 0).unwrap(), 1.0);
+        assert_eq!(src.page_of(5, 5), Some(3));
+        assert_eq!(src.pages_read(), 1);
+        assert!(src.ticks_elapsed() >= 1);
+
+        assert!(TileSource::new(&[]).is_err());
+        let odd = vec![
+            TileStore::new(grid(0), 4).unwrap(),
+            TileStore::new(grid(0), 2).unwrap(),
+        ];
+        assert!(TileSource::new(&odd).is_err());
+    }
+}

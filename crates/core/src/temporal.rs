@@ -93,10 +93,8 @@ impl TemporalRiskTracker {
             let (_, x3) = observations[2].frame(f)?;
             let prev = risk;
             risk = Grid2::from_fn(rows, cols, |r, c| {
-                self.model.step(
-                    [*x1.at(r, c), *x2.at(r, c), *x3.at(r, c)],
-                    *prev.at(r, c),
-                )
+                self.model
+                    .step([*x1.at(r, c), *x2.at(r, c), *x3.at(r, c)], *prev.at(r, c))
             });
             let pyramid = AggregatePyramid::build(&risk);
             let top_k = pyramid_top_k(&identity, &[pyramid], k)?;
@@ -148,10 +146,8 @@ mod tests {
             assert_eq!(frame.day, day);
             for r in 0..16 {
                 for c in 0..16 {
-                    risk[r * 16 + c] = model.step(
-                        [*x1.at(r, c), *x2.at(r, c), *x3.at(r, c)],
-                        risk[r * 16 + c],
-                    );
+                    risk[r * 16 + c] =
+                        model.step([*x1.at(r, c), *x2.at(r, c), *x3.at(r, c)], risk[r * 16 + c]);
                 }
             }
             let mut sorted: Vec<f64> = risk.clone();

@@ -173,11 +173,7 @@ impl BoundingBox {
             .map(|(a, (lo, hi))| if *a >= 0.0 { a * hi } else { a * lo })
             .sum();
         let norm: f64 = direction.iter().map(|a| a * a).sum::<f64>().sqrt();
-        let centered: f64 = direction
-            .iter()
-            .zip(&self.center)
-            .map(|(a, c)| a * c)
-            .sum();
+        let centered: f64 = direction.iter().zip(&self.center).map(|(a, c)| a * c).sum();
         let sphere_bound = centered + norm * self.radius;
         box_bound.min(sphere_bound)
     }
@@ -326,12 +322,8 @@ impl OnionIndex {
         let bundle = DirectionBundle::new(dims, extra_dirs, seed).with_extra(&unit_hints);
 
         while remaining > 0 && layers.len() < max_layers {
-            let bbox = BoundingBox::of(
-                &points,
-                (0..n).filter(|i| alive[*i]),
-                dims,
-            )
-            .expect("remaining > 0");
+            let bbox = BoundingBox::of(&points, (0..n).filter(|i| alive[*i]), dims)
+                .expect("remaining > 0");
             remaining_box.push(bbox);
             hint_support.push(
                 unit_hints
@@ -496,7 +488,7 @@ impl OnionIndex {
             // best of any linear query lies within the first j convex
             // layers, so once k layers are processed and the heap is full,
             // nothing deeper can enter the answer.
-            if heap.floor().is_some() && l + 1 >= k && l + 1 <= self.exact_hull_layers {
+            if heap.floor().is_some() && l + 1 >= k && l < self.exact_hull_layers {
                 break;
             }
             // Sound early stop: nothing deeper can beat the current floor.
@@ -628,11 +620,17 @@ mod tests {
         // Deterministic pseudo-Gaussian points without rand (test helper).
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         (0..n)
-            .map(|_| (0..d).map(|_| (0..12).map(|_| next()).sum::<f64>()).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (0..12).map(|_| next()).sum::<f64>())
+                    .collect()
+            })
             .collect()
     }
 
@@ -657,11 +655,13 @@ mod tests {
     fn query_matches_scan_2d() {
         let points = gaussian_points(5, 800, 2);
         let onion = OnionIndex::build(points.clone()).unwrap();
-        for (k, dir) in [(1usize, vec![1.0, 0.3]), (5, vec![-0.7, 1.0]), (10, vec![0.0, -1.0])] {
+        for (k, dir) in [
+            (1usize, vec![1.0, 0.3]),
+            (5, vec![-0.7, 1.0]),
+            (10, vec![0.0, -1.0]),
+        ] {
             let fast = onion.top_k_max(&dir, k).unwrap();
-            let slow = scan_top_k(&points, k, |p| {
-                dir.iter().zip(p).map(|(a, v)| a * v).sum()
-            });
+            let slow = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
             assert!(
                 fast.score_equivalent(&slow, 1e-9),
                 "k={k} dir={dir:?}: {:?} vs {:?}",
@@ -680,9 +680,7 @@ mod tests {
         for k in [1usize, 10] {
             let dir = vec![0.5, -1.0, 0.25];
             let fast = onion.top_k_max(&dir, k).unwrap();
-            let slow = scan_top_k(&points, k, |p| {
-                dir.iter().zip(p).map(|(a, v)| a * v).sum()
-            });
+            let slow = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
             assert!(fast.score_equivalent(&slow, 1e-9));
             // The tuples examined by Onion are roughly N-independent (the
             // layer walk stops once the remaining-set bound falls under the
@@ -743,9 +741,7 @@ mod tests {
         let k = 50;
         let dir = vec![0.3, 0.7];
         let fast = onion.top_k_max(&dir, k).unwrap();
-        let slow = scan_top_k(&points, k, |p| {
-            dir.iter().zip(p).map(|(a, v)| a * v).sum()
-        });
+        let slow = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
         assert!(fast.score_equivalent(&slow, 1e-9));
     }
 
@@ -871,7 +867,10 @@ mod tests {
         let k = 5;
         let slow = scan_top_k(&all, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
         let fast = onion.top_k_max(&dir, k).unwrap();
-        assert!(fast.score_equivalent(&slow, 1e-9), "inserts must stay exact");
+        assert!(
+            fast.score_equivalent(&slow, 1e-9),
+            "inserts must stay exact"
+        );
         let before_rebuild = fast.stats.tuples_examined;
         onion.rebuild().unwrap();
         let rebuilt = onion.top_k_max(&dir, k).unwrap();
@@ -890,9 +889,7 @@ mod tests {
     fn hint_validation() {
         let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
         assert!(OnionIndex::build_with_hints(points.clone(), &[vec![1.0]], 4, 4, 1).is_err());
-        assert!(
-            OnionIndex::build_with_hints(points.clone(), &[vec![0.0, 0.0]], 4, 4, 1).is_err()
-        );
+        assert!(OnionIndex::build_with_hints(points.clone(), &[vec![0.0, 0.0]], 4, 4, 1).is_err());
         assert!(OnionIndex::build_with_hints(points, &[vec![f64::NAN, 1.0]], 4, 4, 1).is_err());
     }
 

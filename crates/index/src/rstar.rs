@@ -48,7 +48,10 @@ impl Rect {
     ///
     /// Panics if the corners have different lengths or are empty.
     pub fn new(a: &[f64], b: &[f64]) -> Self {
-        assert!(!a.is_empty() && a.len() == b.len(), "corner dimension mismatch");
+        assert!(
+            !a.is_empty() && a.len() == b.len(),
+            "corner dimension mismatch"
+        );
         let lo = a.iter().zip(b).map(|(x, y)| x.min(*y)).collect();
         let hi = a.iter().zip(b).map(|(x, y)| x.max(*y)).collect();
         Rect { lo, hi }
@@ -78,7 +81,11 @@ impl Rect {
     }
 
     fn margin(&self) -> f64 {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).sum()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .sum()
     }
 
     fn union(&self, other: &Rect) -> Rect {
@@ -155,7 +162,7 @@ enum Node {
     },
     Internal {
         rects: Vec<Rect>,
-        children: Vec<Box<Node>>,
+        children: Vec<Node>,
     },
 }
 
@@ -170,7 +177,6 @@ impl Node {
             .reduce(|a, b| a.union(&b))
             .expect("nodes are non-empty")
     }
-
 }
 
 /// An R*-tree over d-dimensional points.
@@ -266,7 +272,12 @@ impl RStarTree {
         idx
     }
 
-    fn insert_entry(&mut self, rect: Rect, item: usize, allow_reinsert: bool) -> Vec<(Rect, usize)> {
+    fn insert_entry(
+        &mut self,
+        rect: Rect,
+        item: usize,
+        allow_reinsert: bool,
+    ) -> Vec<(Rect, usize)> {
         let mut evicted = Vec::new();
         if let Some((r1, n1, r2, n2)) =
             insert_rec(&mut self.root, rect, item, allow_reinsert, &mut evicted)
@@ -274,7 +285,7 @@ impl RStarTree {
             // Root split.
             self.root = Node::Internal {
                 rects: vec![r1, r2],
-                children: vec![Box::new(n1), Box::new(n2)],
+                children: vec![n1, n2],
             };
         }
         evicted
@@ -458,7 +469,11 @@ impl RStarTree {
         });
         // Max-heap of current best k (largest distance on top).
         let mut best: Vec<(usize, f64)> = Vec::new();
-        while let Some(Near { min_dist2: bound, node }) = frontier.pop() {
+        while let Some(Near {
+            min_dist2: bound,
+            node,
+        }) = frontier.pop()
+        {
             if best.len() >= k && bound >= best[k - 1].1 {
                 break;
             }
@@ -471,9 +486,7 @@ impl RStarTree {
                             .map(|(p, q)| (p - q) * (p - q))
                             .sum();
                         let pos = best
-                            .binary_search_by(|probe| {
-                                probe.1.total_cmp(&d2).then(probe.0.cmp(&i))
-                            })
+                            .binary_search_by(|probe| probe.1.total_cmp(&d2).then(probe.0.cmp(&i)))
                             .unwrap_or_else(|p| p);
                         if pos < k {
                             best.insert(pos, (i, d2));
@@ -544,14 +557,17 @@ fn insert_rec(
             let (r1, n1) = first;
             let (r2, n2) = second;
             *node = n1;
-            let old = std::mem::replace(node, Node::Leaf {
-                rects: Vec::new(),
-                items: Vec::new(),
-            });
+            let old = std::mem::replace(
+                node,
+                Node::Leaf {
+                    rects: Vec::new(),
+                    items: Vec::new(),
+                },
+            );
             Some((r1, old, r2, n2))
         }
         Node::Internal { rects, children } => {
-            let leaf_level = matches!(*children[0].as_ref(), Node::Leaf { .. });
+            let leaf_level = matches!(children[0], Node::Leaf { .. });
             let chosen = choose_subtree(rects, &rect, leaf_level);
             let split = insert_rec(&mut children[chosen], rect, item, allow_reinsert, evicted);
             if split.is_none() {
@@ -559,17 +575,20 @@ fn insert_rec(
             }
             if let Some((r1, n1, r2, n2)) = split {
                 rects[chosen] = r1;
-                children[chosen] = Box::new(n1);
+                children[chosen] = n1;
                 rects.push(r2);
-                children.push(Box::new(n2));
+                children.push(n2);
                 if rects.len() > MAX_ENTRIES {
                     let (rs, cs) = (std::mem::take(rects), std::mem::take(children));
                     let ((ra, na), (rb, nb)) = split_internal(rs, cs);
                     *node = na;
-                    let old = std::mem::replace(node, Node::Leaf {
-                        rects: Vec::new(),
-                        items: Vec::new(),
-                    });
+                    let old = std::mem::replace(
+                        node,
+                        Node::Leaf {
+                            rects: Vec::new(),
+                            items: Vec::new(),
+                        },
+                    );
                     return Some((ra, old, rb, nb));
                 }
             }
@@ -630,17 +649,23 @@ fn split_entries(rects: Vec<Rect>, items: Vec<usize>) -> ((Rect, Node), (Rect, N
         let rs: Vec<Rect> = ids.iter().map(|&i| rects[i].clone()).collect();
         let it: Vec<usize> = ids.iter().map(|&i| items[i]).collect();
         let mbr = node_mbr(&rs);
-        (mbr, Node::Leaf { rects: rs, items: it })
+        (
+            mbr,
+            Node::Leaf {
+                rects: rs,
+                items: it,
+            },
+        )
     };
     (gather(&left), gather(&right))
 }
 
-fn split_internal(rects: Vec<Rect>, children: Vec<Box<Node>>) -> ((Rect, Node), (Rect, Node)) {
+fn split_internal(rects: Vec<Rect>, children: Vec<Node>) -> ((Rect, Node), (Rect, Node)) {
     let (left, right) = rstar_split_order(&rects);
-    let mut children: Vec<Option<Box<Node>>> = children.into_iter().map(Some).collect();
+    let mut children: Vec<Option<Node>> = children.into_iter().map(Some).collect();
     let mut gather = |ids: &[usize]| {
         let rs: Vec<Rect> = ids.iter().map(|&i| rects[i].clone()).collect();
-        let cs: Vec<Box<Node>> = ids
+        let cs: Vec<Node> = ids
             .iter()
             .map(|&i| children[i].take().expect("each child used once"))
             .collect();
@@ -668,17 +693,31 @@ fn rstar_split_order(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
         for lo_side in [true, false] {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                let ka = if lo_side { rects[a].lo[axis] } else { rects[a].hi[axis] };
-                let kb = if lo_side { rects[b].lo[axis] } else { rects[b].hi[axis] };
+                let ka = if lo_side {
+                    rects[a].lo[axis]
+                } else {
+                    rects[a].hi[axis]
+                };
+                let kb = if lo_side {
+                    rects[b].lo[axis]
+                } else {
+                    rects[b].hi[axis]
+                };
                 ka.total_cmp(&kb)
             });
             // Candidate distributions: first k in left, rest right.
             for k in MIN_ENTRIES..=(n - MIN_ENTRIES) {
                 let left_mbr = node_mbr(
-                    &order[..k].iter().map(|&i| rects[i].clone()).collect::<Vec<_>>(),
+                    &order[..k]
+                        .iter()
+                        .map(|&i| rects[i].clone())
+                        .collect::<Vec<_>>(),
                 );
                 let right_mbr = node_mbr(
-                    &order[k..].iter().map(|&i| rects[i].clone()).collect::<Vec<_>>(),
+                    &order[k..]
+                        .iter()
+                        .map(|&i| rects[i].clone())
+                        .collect::<Vec<_>>(),
                 );
                 let overlap = left_mbr.overlap(&right_mbr);
                 let area = left_mbr.area() + right_mbr.area();
@@ -721,7 +760,9 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| (0..d).map(|_| next() * 100.0).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| next() * 100.0).collect())
+            .collect()
     }
 
     #[test]

@@ -166,13 +166,25 @@ mod tests {
     fn floor_tracks_kth_best() {
         let mut heap = TopKHeap::new(2);
         assert_eq!(heap.floor(), None);
-        heap.offer(ScoredItem { index: 0, score: 5.0 });
+        heap.offer(ScoredItem {
+            index: 0,
+            score: 5.0,
+        });
         assert_eq!(heap.floor(), None);
-        heap.offer(ScoredItem { index: 1, score: 9.0 });
+        heap.offer(ScoredItem {
+            index: 1,
+            score: 9.0,
+        });
         assert_eq!(heap.floor(), Some(5.0));
-        heap.offer(ScoredItem { index: 2, score: 7.0 });
+        heap.offer(ScoredItem {
+            index: 2,
+            score: 7.0,
+        });
         assert_eq!(heap.floor(), Some(7.0));
-        assert!(!heap.offer(ScoredItem { index: 3, score: 6.0 }));
+        assert!(!heap.offer(ScoredItem {
+            index: 3,
+            score: 6.0
+        }));
     }
 
     #[test]

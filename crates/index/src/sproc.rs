@@ -154,7 +154,14 @@ impl SprocIndex {
                 }
             }
             stats.comparisons += 1;
-            insert_top(&mut best, Assembly { choice: choice.clone(), score }, k);
+            insert_top(
+                &mut best,
+                Assembly {
+                    choice: choice.clone(),
+                    score,
+                },
+                k,
+            );
         }
         Ok(CompositeResult {
             assemblies: best,
@@ -327,10 +334,7 @@ impl SprocIndex {
                 }
             }
         }
-        Ok(CompositeResult {
-            assemblies,
-            stats,
-        })
+        Ok(CompositeResult { assemblies, stats })
     }
 
     /// Per-component top scores as [`ScoredItem`]s (diagnostic view).

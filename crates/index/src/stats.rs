@@ -102,9 +102,18 @@ mod tests {
     #[test]
     fn sort_is_stable_total_order() {
         let mut items = vec![
-            ScoredItem { index: 5, score: 1.0 },
-            ScoredItem { index: 2, score: 3.0 },
-            ScoredItem { index: 1, score: 1.0 },
+            ScoredItem {
+                index: 5,
+                score: 1.0,
+            },
+            ScoredItem {
+                index: 2,
+                score: 3.0,
+            },
+            ScoredItem {
+                index: 1,
+                score: 1.0,
+            },
             ScoredItem {
                 index: 9,
                 score: f64::NEG_INFINITY,
@@ -121,21 +130,36 @@ mod tests {
     fn score_equivalence_tolerates_tie_permutations() {
         let a = TopKResult {
             results: vec![
-                ScoredItem { index: 0, score: 2.0 },
-                ScoredItem { index: 1, score: 1.0 },
+                ScoredItem {
+                    index: 0,
+                    score: 2.0,
+                },
+                ScoredItem {
+                    index: 1,
+                    score: 1.0,
+                },
             ],
             stats: QueryStats::new(),
         };
         let b = TopKResult {
             results: vec![
-                ScoredItem { index: 7, score: 2.0 },
-                ScoredItem { index: 8, score: 1.0 },
+                ScoredItem {
+                    index: 7,
+                    score: 2.0,
+                },
+                ScoredItem {
+                    index: 8,
+                    score: 1.0,
+                },
             ],
             stats: QueryStats::new(),
         };
         assert!(a.score_equivalent(&b, 1e-12));
         let c = TopKResult {
-            results: vec![ScoredItem { index: 7, score: 2.0 }],
+            results: vec![ScoredItem {
+                index: 7,
+                score: 2.0,
+            }],
             stats: QueryStats::new(),
         };
         assert!(!a.score_equivalent(&c, 1e-12));

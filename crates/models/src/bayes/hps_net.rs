@@ -40,9 +40,7 @@ pub struct HpsNet {
 /// segmentation both carry error.
 pub fn hps_network() -> (BayesNet, HpsNet) {
     let mut net = BayesNet::new();
-    let house = net
-        .add_node("house", &[], vec![0.05])
-        .expect("valid prior");
+    let house = net.add_node("house", &[], vec![0.05]).expect("valid prior");
     let bushes = net
         .add_node("bushes", &[], vec![0.35])
         .expect("valid prior");
@@ -125,7 +123,11 @@ mod tests {
         let no_house = risk_given_observations(&net, &nodes, false, true, true, true).unwrap();
         let no_wet = risk_given_observations(&net, &nodes, true, true, false, true).unwrap();
         assert!(all > 0.5, "textbook case should be high risk, got {all}");
-        for (name, p) in [("no bushes", no_bushes), ("no house", no_house), ("no wet", no_wet)] {
+        for (name, p) in [
+            ("no bushes", no_bushes),
+            ("no house", no_house),
+            ("no wet", no_wet),
+        ] {
             assert!(p < all / 3.0, "{name} should slash the risk: {p} vs {all}");
         }
     }
@@ -134,7 +136,10 @@ mod tests {
     fn prior_risk_is_low() {
         let (net, nodes) = hps_network();
         let prior = net.query(nodes.high_risk, &[]).unwrap();
-        assert!(prior < 0.05, "unconditioned risk should be rare, got {prior}");
+        assert!(
+            prior < 0.05,
+            "unconditioned risk should be rare, got {prior}"
+        );
     }
 
     #[test]
@@ -143,10 +148,8 @@ mod tests {
         for mask in 0..8u32 {
             let b = |bit: u32| mask & (1 << bit) != 0;
             // Flipping any single false->true must not decrease risk.
-            let base =
-                risk_given_observations(&net, &nodes, false, b(0), b(1), b(2)).unwrap();
-            let with_house =
-                risk_given_observations(&net, &nodes, true, b(0), b(1), b(2)).unwrap();
+            let base = risk_given_observations(&net, &nodes, false, b(0), b(1), b(2)).unwrap();
+            let with_house = risk_given_observations(&net, &nodes, true, b(0), b(1), b(2)).unwrap();
             assert!(
                 with_house >= base - 1e-12,
                 "house evidence must not lower risk"
@@ -180,9 +183,7 @@ mod tests {
     fn diagnostic_reasoning_flows_backwards() {
         let (net, nodes) = hps_network();
         let p_bushes_prior = net.query(nodes.bushes, &[]).unwrap();
-        let p_bushes_given_risk = net
-            .query(nodes.bushes, &[(nodes.high_risk, true)])
-            .unwrap();
+        let p_bushes_given_risk = net.query(nodes.bushes, &[(nodes.high_risk, true)]).unwrap();
         assert!(
             p_bushes_given_risk > p_bushes_prior,
             "knowing a house is high-risk raises belief in bushes: {p_bushes_given_risk} vs {p_bushes_prior}"

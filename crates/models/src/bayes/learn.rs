@@ -145,11 +145,8 @@ mod tests {
     /// P(node=true | prefix assignment of its parents).
     fn conditional_of(net: &BayesNet, node: usize, prefix: &[bool]) -> f64 {
         // Query with all parents as evidence gives exactly the CPT entry.
-        let evidence: Vec<(usize, bool)> = net
-            .parents(node)
-            .iter()
-            .map(|p| (*p, prefix[*p]))
-            .collect();
+        let evidence: Vec<(usize, bool)> =
+            net.parents(node).iter().map(|p| (*p, prefix[*p])).collect();
         net.query(node, &evidence).expect("valid query")
     }
 
@@ -157,7 +154,9 @@ mod tests {
         let mut net = BayesNet::new();
         let a = net.add_node("a", &[], vec![0.3]).unwrap();
         let b = net.add_node("b", &[a], vec![0.2, 0.7]).unwrap();
-        let _c = net.add_node("c", &[a, b], vec![0.1, 0.5, 0.4, 0.9]).unwrap();
+        let _c = net
+            .add_node("c", &[a, b], vec![0.1, 0.5, 0.4, 0.9])
+            .unwrap();
         net
     }
 

@@ -94,7 +94,10 @@ impl BayesNet {
                 actual: cpt.len(),
             });
         }
-        if cpt.iter().any(|p| !p.is_finite() || !(0.0..=1.0).contains(p)) {
+        if cpt
+            .iter()
+            .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+        {
             return Err(ModelError::InvalidValue(
                 "CPT entries must be probabilities".into(),
             ));
@@ -525,9 +528,7 @@ mod tests {
     fn explaining_away() {
         let (net, _, sprinkler, rain, wet) = sprinkler_net();
         let p_rain_wet = net.query(rain, &[(wet, true)]).unwrap();
-        let p_rain_wet_sprinkler = net
-            .query(rain, &[(wet, true), (sprinkler, true)])
-            .unwrap();
+        let p_rain_wet_sprinkler = net.query(rain, &[(wet, true), (sprinkler, true)]).unwrap();
         assert!(
             p_rain_wet_sprinkler < p_rain_wet,
             "sprinkler explains the wet grass away"

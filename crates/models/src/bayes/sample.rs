@@ -106,7 +106,9 @@ mod tests {
     fn sprinkler() -> (BayesNet, NodeId, NodeId, NodeId, NodeId) {
         let mut net = BayesNet::new();
         let cloudy = net.add_node("cloudy", &[], vec![0.5]).unwrap();
-        let sprinkler = net.add_node("sprinkler", &[cloudy], vec![0.5, 0.1]).unwrap();
+        let sprinkler = net
+            .add_node("sprinkler", &[cloudy], vec![0.5, 0.1])
+            .unwrap();
         let rain = net.add_node("rain", &[cloudy], vec![0.2, 0.8]).unwrap();
         let wet = net
             .add_node("wet", &[sprinkler, rain], vec![0.0, 0.9, 0.9, 0.99])

@@ -62,10 +62,7 @@ pub fn language_distance<S: Copy + Eq + Hash + fmt::Debug>(
     }
     a.validate(alphabet)?;
     b.validate(alphabet)?;
-    let start = (
-        a.start().expect("validated"),
-        b.start().expect("validated"),
-    );
+    let start = (a.start().expect("validated"), b.start().expect("validated"));
 
     let mut counts: HashMap<(usize, usize), f64> = HashMap::from([(start, 1.0)]);
     let sigma = alphabet.len() as f64;
@@ -173,7 +170,8 @@ mod tests {
         f.set_start(states[0]).unwrap();
         f.set_accepting(states[accept], true).unwrap();
         for i in 0..modulus {
-            f.add_transition(states[i], 'a', states[(i + 1) % modulus]).unwrap();
+            f.add_transition(states[i], 'a', states[(i + 1) % modulus])
+                .unwrap();
             f.add_transition(states[i], 'b', states[i]).unwrap();
         }
         f
@@ -182,10 +180,7 @@ mod tests {
     #[test]
     fn identical_machines_have_zero_distance() {
         let m = mod_counter(3, 0);
-        assert_eq!(
-            language_distance(&m, &m, &['a', 'b'], 10).unwrap(),
-            0.0
-        );
+        assert_eq!(language_distance(&m, &m, &['a', 'b'], 10).unwrap(), 0.0);
         assert_eq!(structural_distance(&m, &m, &['a', 'b']), 0.0);
     }
 
@@ -224,9 +219,9 @@ mod tests {
     fn ranking_orders_by_closeness_to_target() {
         let target = mod_counter(4, 0);
         let candidates = vec![
-            mod_counter(2, 1),  // far
-            mod_counter(4, 0),  // identical
-            mod_counter(4, 1),  // near (shifted accept)
+            mod_counter(2, 1), // far
+            mod_counter(4, 0), // identical
+            mod_counter(4, 1), // near (shifted accept)
         ];
         let ranked = rank_by_similarity(&target, &candidates, &['a', 'b'], 8).unwrap();
         assert_eq!(ranked[0].0, 1, "identical machine ranks first");
@@ -261,8 +256,7 @@ mod tests {
             unrelated.add_transition(b, sym, a).unwrap();
         }
         let candidates = vec![unrelated, variant, truth.clone()];
-        let ranked =
-            rank_by_similarity(&truth, &candidates, &DayClass::ALPHABET, 10).unwrap();
+        let ranked = rank_by_similarity(&truth, &candidates, &DayClass::ALPHABET, 10).unwrap();
         assert_eq!(ranked[0].0, 2, "the true machine first");
         assert_eq!(ranked[1].0, 1, "the near-variant second");
         assert_eq!(ranked[2].0, 0, "the unrelated machine last");

@@ -227,10 +227,7 @@ impl BlockSummary {
             days: self.days + next.days,
             any_rain: self.any_rain || next.any_rain,
             max_temp_c: self.max_temp_c.max(next.max_temp_c),
-            longest_dry_run: self
-                .longest_dry_run
-                .max(next.longest_dry_run)
-                .max(bridged),
+            longest_dry_run: self.longest_dry_run.max(next.longest_dry_run).max(bridged),
             dry_prefix: if self.any_rain {
                 self.dry_prefix
             } else {
@@ -339,10 +336,10 @@ mod tests {
     #[test]
     fn textbook_sequence_fires_on_third_warm_dry_day() {
         let days = vec![
-            day(5.0, 20.0),  // rain
-            day(0.0, 22.0),  // dry 1 (cool)
-            day(0.0, 24.0),  // dry 2 (cool)
-            day(0.0, 26.0),  // dry 3, warm -> FLY
+            day(5.0, 20.0), // rain
+            day(0.0, 22.0), // dry 1 (cool)
+            day(0.0, 24.0), // dry 2 (cool)
+            day(0.0, 26.0), // dry 3, warm -> FLY
         ];
         let series = TimeSeries::new(100, 1, days).unwrap();
         let events = detect_fly_days(&series).unwrap();

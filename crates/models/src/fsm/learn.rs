@@ -93,9 +93,9 @@ pub fn learn_fsm<S: Copy + Eq + Hash + fmt::Debug>(
     fsm.set_start(start_state.expect("at least one trace"))
         .expect("state exists");
     for acc in accepting {
-        let id = index
-            .get(*acc)
-            .ok_or_else(|| ModelError::Unknown(format!("accepting label '{acc}' never observed")))?;
+        let id = index.get(*acc).ok_or_else(|| {
+            ModelError::Unknown(format!("accepting label '{acc}' never observed"))
+        })?;
         fsm.set_accepting(*id, true).expect("state exists");
     }
     // Majority vote per (state, symbol).

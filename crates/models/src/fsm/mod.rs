@@ -223,10 +223,7 @@ impl<S: Copy + Eq + Hash> Fsm<S> {
     {
         let trace = self.run(input)?;
         let mut events = Vec::new();
-        let mut prev_accepting = self
-            .start
-            .map(|s| self.is_accepting(s))
-            .unwrap_or(false);
+        let mut prev_accepting = self.start.map(|s| self.is_accepting(s)).unwrap_or(false);
         for (i, state) in trace.iter().enumerate() {
             let now = self.is_accepting(*state);
             if now && !prev_accepting {

@@ -129,7 +129,7 @@ impl FuzzyRule {
         if antecedents.is_empty() {
             return Err(ModelError::Empty);
         }
-        if !(weight > 0.0) || !weight.is_finite() {
+        if weight <= 0.0 || weight.is_nan() || !weight.is_finite() {
             return Err(ModelError::InvalidValue(format!(
                 "rule weight must be positive, got {weight}"
             )));
@@ -154,9 +154,11 @@ impl FuzzyRule {
     /// Degree of this rule on an attribute vector (missing attributes score
     /// zero, which poisons the conjunction — intended).
     pub fn degree(&self, attributes: &[f64], tnorm: TNorm) -> f64 {
-        tnorm.combine_all(self.antecedents.iter().map(|(idx, m)| {
-            attributes.get(*idx).map(|v| m.degree(*v)).unwrap_or(0.0)
-        }))
+        tnorm.combine_all(
+            self.antecedents
+                .iter()
+                .map(|(idx, m)| attributes.get(*idx).map(|v| m.degree(*v)).unwrap_or(0.0)),
+        )
     }
 }
 
@@ -226,10 +228,7 @@ impl RuleSet {
     /// Returns [`ModelError::InsufficientData`] with fewer samples than
     /// rules and [`ModelError::Singular`] when the rule degrees are
     /// collinear across all samples.
-    pub fn calibrate_weights(
-        &self,
-        samples: &[(Vec<f64>, f64)],
-    ) -> Result<RuleSet, ModelError> {
+    pub fn calibrate_weights(&self, samples: &[(Vec<f64>, f64)]) -> Result<RuleSet, ModelError> {
         let r = self.rules.len();
         if samples.len() < r {
             return Err(ModelError::InsufficientData {

@@ -106,8 +106,7 @@ impl RiverbedModel {
     /// below the model's quality floor are dropped.
     pub fn score_well(&self, well: &WellLog) -> Vec<RiverbedMatch> {
         let runs = well.lithology_runs();
-        let run_pairs: Vec<(Lithology, f64)> =
-            runs.iter().map(|(l, _, t)| (*l, *t)).collect();
+        let run_pairs: Vec<(Lithology, f64)> = runs.iter().map(|(l, _, t)| (*l, *t)).collect();
         let span = self.pattern.len();
         if run_pairs.len() < span {
             return Vec::new();
@@ -140,7 +139,10 @@ impl RiverbedModel {
     /// The best score for a well (0 when nothing clears the quality floor) —
     /// the per-well ranking key for top-K retrieval across an archive.
     pub fn well_score(&self, well: &WellLog) -> f64 {
-        self.score_well(well).first().map(|m| m.score).unwrap_or(0.0)
+        self.score_well(well)
+            .first()
+            .map(|m| m.score)
+            .unwrap_or(0.0)
     }
 
     /// Cheap screening score from the well's lithology runs only (no gamma
@@ -148,10 +150,7 @@ impl RiverbedModel {
     /// since the gamma degree can only shrink the product. Screening with
     /// it prunes wells soundly before reading their (much larger) traces.
     pub fn structure_upper_bound(&self, runs: &[(Lithology, f64)]) -> f64 {
-        self.pattern
-            .best_match(runs)
-            .map(|(_, q)| q)
-            .unwrap_or(0.0)
+        self.pattern.best_match(runs).map(|(_, q)| q).unwrap_or(0.0)
     }
 
     /// Progressive top-K well retrieval (the F4 pipeline as a library
@@ -347,11 +346,6 @@ mod tests {
     #[test]
     fn with_parameters_validates() {
         let p = SequencePattern::new(vec![SequenceElement::labelled(Lithology::Shale)]).unwrap();
-        assert!(RiverbedModel::with_parameters(
-            p,
-            Membership::AtLeast(45.0),
-            1.5
-        )
-        .is_err());
+        assert!(RiverbedModel::with_parameters(p, Membership::AtLeast(45.0), 1.5).is_err());
     }
 }

@@ -185,7 +185,12 @@ mod tests {
     #[test]
     fn crisp_match_requires_adjacency_and_thickness() {
         let p = shale_sand_silt();
-        let good = [("lime", 30.0), ("shale", 5.0), ("sand", 7.0), ("silt", 20.0)];
+        let good = [
+            ("lime", 30.0),
+            ("shale", 5.0),
+            ("sand", 7.0),
+            ("silt", 20.0),
+        ];
         assert_eq!(p.find_matches(&good), vec![1]);
         let thick = [("shale", 15.0), ("sand", 7.0), ("silt", 20.0)];
         assert!(p.find_matches(&thick).is_empty());

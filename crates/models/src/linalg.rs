@@ -88,7 +88,10 @@ impl Matrix {
     ///
     /// Panics on out-of-bounds indexes.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -98,7 +101,10 @@ impl Matrix {
     ///
     /// Panics on out-of-bounds indexes.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -183,11 +189,7 @@ impl Matrix {
         for col in 0..n {
             // Partial pivot.
             let pivot_row = (col..n)
-                .max_by(|&i, &j| {
-                    a[i * n + col]
-                        .abs()
-                        .total_cmp(&a[j * n + col].abs())
-                })
+                .max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
                 .expect("non-empty range");
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-12 {
@@ -316,7 +318,11 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         for r in 0..n {
             for c in 0..n {
-                a.set(r, c, 1.0 / (r + c + 1) as f64 + if r == c { 0.5 } else { 0.0 });
+                a.set(
+                    r,
+                    c,
+                    1.0 / (r + c + 1) as f64 + if r == c { 0.5 } else { 0.0 },
+                );
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();

@@ -71,11 +71,8 @@ impl FicoModel {
     pub fn standard() -> Self {
         // (late, credit_age, utilization, residence, employment, derogs).
         FicoModel {
-            penalties: LinearModel::new(
-                vec![22.0, -4.0, 120.0, -2.5, 15.0, 70.0],
-                0.0,
-            )
-            .expect("standard weights are valid"),
+            penalties: LinearModel::new(vec![22.0, -4.0, 120.0, -2.5, 15.0, 70.0], 0.0)
+                .expect("standard weights are valid"),
         }
     }
 

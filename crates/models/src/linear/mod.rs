@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn new_validates() {
-        assert!(matches!(LinearModel::new(vec![], 0.0), Err(ModelError::Empty)));
+        assert!(matches!(
+            LinearModel::new(vec![], 0.0),
+            Err(ModelError::Empty)
+        ));
         assert!(matches!(
             LinearModel::new(vec![f64::NAN], 0.0),
             Err(ModelError::InvalidValue(_))

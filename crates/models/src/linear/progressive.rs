@@ -242,7 +242,10 @@ mod tests {
         let mut prev_width = f64::INFINITY;
         for stage in 0..=p.stages() {
             let b = p.evaluate_stage(&x, stage);
-            assert!(b.lo <= exact + 1e-9 && exact <= b.hi + 1e-9, "stage {stage}");
+            assert!(
+                b.lo <= exact + 1e-9 && exact <= b.hi + 1e-9,
+                "stage {stage}"
+            );
             assert!(b.width() <= prev_width + 1e-9, "widths must shrink");
             prev_width = b.width();
         }

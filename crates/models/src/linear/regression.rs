@@ -128,7 +128,7 @@ pub fn fit_ols(xs: &[Vec<f64>], ys: &[f64]) -> Result<OlsFit, ModelError> {
 /// # Ok::<(), mbir_models::ModelError>(())
 /// ```
 pub fn fit_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<OlsFit, ModelError> {
-    if !(lambda >= 0.0) || !lambda.is_finite() {
+    if lambda < 0.0 || lambda.is_nan() || !lambda.is_finite() {
         return Err(ModelError::InvalidValue(format!(
             "ridge lambda must be finite and non-negative, got {lambda}"
         )));
@@ -204,7 +204,11 @@ mod tests {
         let truth = [0.443, 0.222, 0.153, 0.183];
         let mut rng = StdRng::seed_from_u64(1);
         let xs: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..4).map(|_| randx::standard_normal(&mut rng) * 50.0).collect())
+            .map(|_| {
+                (0..4)
+                    .map(|_| randx::standard_normal(&mut rng) * 50.0)
+                    .collect()
+            })
             .collect();
         let ys: Vec<f64> = xs
             .iter()
@@ -224,7 +228,12 @@ mod tests {
         let truth = [2.0, -1.5];
         let mut rng = StdRng::seed_from_u64(7);
         let xs: Vec<Vec<f64>> = (0..2000)
-            .map(|_| vec![randx::standard_normal(&mut rng), randx::standard_normal(&mut rng)])
+            .map(|_| {
+                vec![
+                    randx::standard_normal(&mut rng),
+                    randx::standard_normal(&mut rng),
+                ]
+            })
             .collect();
         let ys: Vec<f64> = xs
             .iter()
@@ -277,7 +286,12 @@ mod tests {
     fn ridge_at_zero_matches_ols() {
         let mut rng = StdRng::seed_from_u64(3);
         let xs: Vec<Vec<f64>> = (0..50)
-            .map(|_| vec![randx::standard_normal(&mut rng), randx::standard_normal(&mut rng)])
+            .map(|_| {
+                vec![
+                    randx::standard_normal(&mut rng),
+                    randx::standard_normal(&mut rng),
+                ]
+            })
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 0.5).collect();
         let ols = fit_ols(&xs, &ys).unwrap();

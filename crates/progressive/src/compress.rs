@@ -50,8 +50,7 @@ impl CompressedGrid {
             // Transform rows of the active corner.
             if c_extent >= 2 {
                 for r in 0..r_extent {
-                    let row: Vec<f64> =
-                        (0..c_extent).map(|c| plane[r * cols + c]).collect();
+                    let row: Vec<f64> = (0..c_extent).map(|c| plane[r * cols + c]).collect();
                     let (a, d) = haar_decompose_1d(&row);
                     for (c, v) in a.iter().chain(d.iter()).enumerate() {
                         plane[r * cols + c] = *v;
@@ -61,8 +60,7 @@ impl CompressedGrid {
             // Transform columns of the active corner.
             if r_extent >= 2 {
                 for c in 0..c_extent {
-                    let col: Vec<f64> =
-                        (0..r_extent).map(|r| plane[r * cols + c]).collect();
+                    let col: Vec<f64> = (0..r_extent).map(|r| plane[r * cols + c]).collect();
                     let (a, d) = haar_decompose_1d(&col);
                     for (r, v) in a.iter().chain(d.iter()).enumerate() {
                         plane[r * cols + c] = *v;

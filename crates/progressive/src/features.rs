@@ -46,7 +46,11 @@ impl TileFeatures {
                 }
             }
         }
-        let edge_energy = if grad_n > 0 { grad / grad_n as f64 } else { 0.0 };
+        let edge_energy = if grad_n > 0 {
+            grad / grad_n as f64
+        } else {
+            0.0
+        };
 
         // Histogram entropy over the tile's own range.
         let bins = 16usize;
@@ -205,7 +209,11 @@ mod tests {
         let ff = TileFeatures::of(&flat);
         assert!(fc.edge_energy > 0.9);
         assert!(fc.variance > ff.variance);
-        assert!(fc.entropy > 0.9, "two-value histogram ~1 bit, got {}", fc.entropy);
+        assert!(
+            fc.entropy > 0.9,
+            "two-value histogram ~1 bit, got {}",
+            fc.entropy
+        );
     }
 
     #[test]
@@ -238,12 +246,18 @@ mod tests {
             }
         });
         let query_window = g
-            .window(mbir_archive::extent::CellCoord::new(2 * tile, 3 * tile), tile, tile)
+            .window(
+                mbir_archive::extent::CellCoord::new(2 * tile, 3 * tile),
+                tile,
+                tile,
+            )
             .unwrap();
         let query_fine = TileFeatures::of(&query_window);
         // Coarse = 2x reduction.
         let coarse = Grid2::from_fn(32, 32, |r, c| {
-            (g.at(2 * r, 2 * c) + g.at(2 * r + 1, 2 * c) + g.at(2 * r, 2 * c + 1)
+            (g.at(2 * r, 2 * c)
+                + g.at(2 * r + 1, 2 * c)
+                + g.at(2 * r, 2 * c + 1)
                 + g.at(2 * r + 1, 2 * c + 1))
                 / 4.0
         });

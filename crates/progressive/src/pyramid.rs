@@ -40,8 +40,7 @@ impl CellStats {
         CellStats {
             min: self.min.min(other.min),
             max: self.max.max(other.max),
-            mean: (self.mean * self.count as f64 + other.mean * other.count as f64)
-                / count as f64,
+            mean: (self.mean * self.count as f64 + other.mean * other.count as f64) / count as f64,
             count,
         }
     }
@@ -131,15 +130,12 @@ impl AggregatePyramid {
     /// Returns [`ArchiveError::OutOfBounds`] outside the level's shape (a
     /// `level` beyond the top is reported against the top level's bounds).
     pub fn cell(&self, level: usize, row: usize, col: usize) -> Result<CellStats, ArchiveError> {
-        let g = self
-            .levels
-            .get(level)
-            .ok_or(ArchiveError::OutOfBounds {
-                row: level,
-                col: 0,
-                rows: self.levels.len(),
-                cols: 1,
-            })?;
+        let g = self.levels.get(level).ok_or(ArchiveError::OutOfBounds {
+            row: level,
+            col: 0,
+            rows: self.levels.len(),
+            cols: 1,
+        })?;
         Ok(*g.get(row, col)?)
     }
 

@@ -264,9 +264,7 @@ impl GaussianClassifier {
                 let min_diff: f64 = ranges
                     .iter()
                     .enumerate()
-                    .map(|(j, &(lo, hi))| {
-                        quad_diff_min(means[j], vars[j], m2[j], v2[j], lo, hi)
-                    })
+                    .map(|(j, &(lo, hi))| quad_diff_min(means[j], vars[j], m2[j], v2[j], lo, hi))
                     .sum();
                 if min_diff <= 0.0 {
                     continue 'candidates;
@@ -368,7 +366,7 @@ pub fn contour_regions(grid: &Grid2<f64>, threshold: f64) -> Vec<ContourRegion> 
             regions.push(ContourRegion { cells, min, max });
         }
     }
-    regions.sort_by(|a, b| b.cells.len().cmp(&a.cells.len()));
+    regions.sort_by_key(|r| std::cmp::Reverse(r.cells.len()));
     regions
 }
 
@@ -430,7 +428,10 @@ mod tests {
             AggregatePyramid::build(&band1),
         ];
         let (prog, prog_work) = clf.classify_progressive(&pyramids);
-        assert_eq!(full, prog, "progressive must agree with full classification");
+        assert_eq!(
+            full, prog,
+            "progressive must agree with full classification"
+        );
         assert_eq!(full_work, 1024);
         assert!(
             prog_work * 10 < full_work,

@@ -224,9 +224,7 @@ mod tests {
 
     #[test]
     fn threshold_descent_matches_linear_scan() {
-        let values: Vec<f64> = (0..100)
-            .map(|i| ((i * 37) % 100) as f64)
-            .collect();
+        let values: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
         let pyr = SeriesPyramid::build(&series(values.clone()));
         let (hits, examined) = pyr.samples_above(80.0);
         let expected: Vec<usize> = values

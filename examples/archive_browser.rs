@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Compressed storage ----------------------------------------------
     println!("\nwavelet compression of the stored scene (refs [1]-[3]):");
-    println!("{:>12} {:>16} {:>10}", "retention", "storage fraction", "RMSE");
+    println!(
+        "{:>12} {:>16} {:>10}",
+        "retention", "storage fraction", "RMSE"
+    );
     for keep in [0.02, 0.05, 0.20] {
         let compressed = CompressedGrid::compress(&scene, 5, keep);
         println!(
@@ -95,9 +98,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let series = stack.cell_series(32, 32)?;
     let observations: Vec<[f64; 3]> = series.iter().map(|(_, v)| [*v, *v, *v]).collect();
     let trajectory = temporal.run(&observations, 0.0);
-    println!("\ntemporal risk R(x,y,t) at cell (32,32) over {} acquisitions:", series.len());
+    println!(
+        "\ntemporal risk R(x,y,t) at cell (32,32) over {} acquisitions:",
+        series.len()
+    );
     for ((day, obs), risk) in series.iter().zip(&trajectory) {
-        println!("  day {:>3}: observation {:.2} -> risk {:.3}", day, obs, risk);
+        println!(
+            "  day {:>3}: observation {:.2} -> risk {:.3}",
+            day, obs, risk
+        );
     }
 
     // --- Demographic weights for §4.1 costs -------------------------------

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nwork comparison (top-{k} riskiest):");
-    println!("  sequential scan: {:>8} tuples", scan.stats.tuples_examined);
+    println!(
+        "  sequential scan: {:>8} tuples",
+        scan.stats.tuples_examined
+    );
     println!(
         "  onion index:     {:>8} tuples  ({:.0}x fewer)",
         riskiest.stats.tuples_examined,

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hot = normalized.map(|&v| if v > 0.8 { v } else { 0.0 });
     let occurrences = OccurrenceSampler::new(9).with_base_rate(1.5).sample(&hot);
     let cases: u32 = occurrences.iter().map(|(_, &o)| o).sum();
-    println!("planted {} HPS case reports over {}x{} cells", cases, rows, cols);
+    println!(
+        "planted {} HPS case reports over {}x{} cells",
+        cases, rows, cols
+    );
 
     // Top-K retrieval accuracy (§4.1).
     println!("\nprecision/recall of top-K retrieval by model risk:");
@@ -48,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decision-cost trade-off: misses cost 10x a false alarm (field teams
     // are cheap; missed outbreaks are not).
     let (lo, hi) = risk.min_max().expect("non-empty risk grid");
-    let thresholds: Vec<f64> = (0..=10)
-        .map(|i| lo + (hi - lo) * i as f64 / 10.0)
-        .collect();
+    let thresholds: Vec<f64> = (0..=10).map(|i| lo + (hi - lo) * i as f64 / 10.0).collect();
     println!("\ncost sweep (miss cost 10, false-alarm cost 1):");
     println!(
         "{:>10} {:>8} {:>13} {:>10}",
@@ -67,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .min_by(|a, b| a.1.total_cost.total_cmp(&b.1.total_cost))
         .expect("non-empty sweep");
-    println!("cheapest threshold: {:.1} (C_T = {:.0})", best.0, best.1.total_cost);
+    println!(
+        "cheapest threshold: {:.1} (C_T = {:.0})",
+        best.0, best.1.total_cost
+    );
 
     // Threshold-free summary: how well does R(x,y) order risky above safe?
     let (_, auc) = roc_curve(&risk, &occurrences)?;

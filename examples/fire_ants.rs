@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.speedup()
     );
 
-    println!("\n{total_events} fly events across {} regions; first few:", firing_regions.len());
+    println!(
+        "\n{total_events} fly events across {} regions; first few:",
+        firing_regions.len()
+    );
     for (row, col, events) in firing_regions.iter().take(8) {
         let preview: Vec<i64> = events.iter().take(4).copied().collect();
         println!(

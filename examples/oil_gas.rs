@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntop-{k} wells under the riverbed model:");
     for (rank, (i, score)) in scored.iter().enumerate() {
-        let tag = if planted.contains(i) { " (planted)" } else { "" };
+        let tag = if planted.contains(i) {
+            " (planted)"
+        } else {
+            ""
+        };
         println!("  #{:<2} well-{:<3} score {:.3}{tag}", rank + 1, i, score);
         if let Some(best) = model.score_well(&wells[*i]).first() {
             println!(

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Progressive classification -------------------------------------
     let mut clf = GaussianClassifier::new(2);
-    clf.fit_class(LandCover::Grass, &[vec![60.0, 80.0], vec![70.0, 90.0], vec![65.0, 85.0]]);
+    clf.fit_class(
+        LandCover::Grass,
+        &[vec![60.0, 80.0], vec![70.0, 90.0], vec![65.0, 85.0]],
+    );
     clf.fit_class(
         LandCover::BareSoil,
         &[vec![180.0, 150.0], vec![190.0, 160.0], vec![185.0, 155.0]],
@@ -88,17 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>5} {:>22} {:>10.3} {:>8}",
             rec.iteration,
-            format!(
-                "[{:.2}, {:.2}]",
-                rec.coefficients[0], rec.coefficients[1]
-            ),
+            format!("[{:.2}, {:.2}]", rec.coefficients[0], rec.coefficients[1]),
             rec.precision,
             rec.labelled
         );
     }
-    println!(
-        "final model: {} (planted truth ratio 4:1)",
-        run.final_model
-    );
+    println!("final model: {} (planted truth ratio 4:1)", run.final_model);
     Ok(())
 }

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntop-{k} highest-risk cells (row, col, risk):");
     for sc in &both.results {
-        println!("  ({:>3}, {:>3})  R = {:.2}", sc.cell.row, sc.cell.col, sc.score);
+        println!(
+            "  ({:>3}, {:>3})  R = {:.2}",
+            sc.cell.row, sc.cell.col, sc.score
+        );
     }
     assert_eq!(
         naive.results.iter().map(|r| r.score).collect::<Vec<_>>(),

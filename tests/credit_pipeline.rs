@@ -9,8 +9,7 @@ use mbir::models::linear::{ApplicantGenerator, FicoModel};
 fn both_score_tails_retrieve_exactly_with_hints() {
     let applicants = ApplicantGenerator::new(7).generate(10_000);
     let model = FicoModel::standard();
-    let attributes: Vec<Vec<f64>> =
-        applicants.iter().map(|a| a.to_vector().to_vec()).collect();
+    let attributes: Vec<Vec<f64>> = applicants.iter().map(|a| a.to_vector().to_vec()).collect();
     let weights = model.penalties().coefficients().to_vec();
     let negated: Vec<f64> = weights.iter().map(|w| -w).collect();
     let onion =
@@ -48,7 +47,5 @@ fn both_score_tails_retrieve_exactly_with_hints() {
     let best_score = model.score(&applicants[safest.results[0].index]);
     assert!(worst_score < 620.0, "paper: 8% foreclosure below 620");
     assert!(best_score > 680.0, "paper: <2% foreclosure above 680");
-    assert!(
-        model.foreclosure_probability(worst_score) > model.foreclosure_probability(best_score)
-    );
+    assert!(model.foreclosure_probability(worst_score) > model.foreclosure_probability(best_score));
 }

@@ -2,12 +2,49 @@
 //! surface as typed errors without corrupting results.
 
 use mbir::core::engine::pyramid_top_k;
+use mbir::core::resilient::{resilient_top_k, ExecutionBudget};
+use mbir::core::source::TileSource;
 use mbir::core::workflow::{run_workflow, WorkflowConfig};
 use mbir::models::linear::LinearModel;
 use mbir::progressive::pyramid::AggregatePyramid;
 use mbir_archive::error::ArchiveError;
+use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
+use mbir_archive::stats::AccessStats;
 use mbir_archive::tile::TileStore;
+
+/// A smooth two-attribute world: grids, pyramids, and tile stores sharing
+/// one stats handle.
+fn paged_world(
+    rows: usize,
+    cols: usize,
+    tile: usize,
+) -> (
+    LinearModel,
+    Vec<AggregatePyramid>,
+    Vec<TileStore>,
+    AccessStats,
+) {
+    let grids: Vec<Grid2<f64>> = (0..2)
+        .map(|i| {
+            Grid2::from_fn(rows, cols, |r, c| {
+                ((r as f64 / 7.0 + i as f64).sin() + (c as f64 / 9.0).cos()) * 40.0 + 90.0
+            })
+        })
+        .collect();
+    let pyramids = grids.iter().map(AggregatePyramid::build).collect();
+    let stats = AccessStats::new();
+    let stores = grids
+        .iter()
+        .map(|g| {
+            TileStore::new(g.clone(), tile)
+                .unwrap()
+                .with_stats(stats.clone())
+        })
+        .collect();
+    let model = LinearModel::new(vec![1.0, 0.6], 0.2).unwrap();
+    (model, pyramids, stores, stats)
+}
 
 #[test]
 fn page_faults_propagate_from_scans() {
@@ -49,7 +86,7 @@ fn engine_rejects_degenerate_worlds_without_panicking() {
     let tiny = AggregatePyramid::build(&Grid2::filled(1, 1, 1.0));
     let model = LinearModel::new(vec![1.0], 0.0).unwrap();
     // 1x1 world: valid, returns the single cell.
-    let r = pyramid_top_k(&model, &[tiny.clone()], 5).unwrap();
+    let r = pyramid_top_k(&model, std::slice::from_ref(&tiny), 5).unwrap();
     assert_eq!(r.results.len(), 1);
     // Arity mismatch: error, not panic.
     assert!(pyramid_top_k(&model, &[tiny.clone(), tiny.clone()], 1).is_err());
@@ -82,11 +119,7 @@ fn workflow_survives_degenerate_feedback() {
     )
     .unwrap();
     assert_eq!(run.iterations.len(), 3);
-    assert!(run
-        .final_model
-        .coefficients()
-        .iter()
-        .all(|c| c.is_finite()));
+    assert!(run.final_model.coefficients().iter().all(|c| c.is_finite()));
     // Zero occurrences everywhere: the ridge refit learns "no risk".
     assert!(run.final_model.coefficients()[0].abs() < 0.3);
 }
@@ -94,16 +127,114 @@ fn workflow_survives_degenerate_feedback() {
 #[test]
 fn nan_free_outputs_under_extreme_inputs() {
     // Extreme but finite values must not produce NaN scores.
-    let spike = Grid2::from_fn(8, 8, |r, c| {
-        if r == 3 && c == 3 {
-            1e12
-        } else {
-            -1e12
-        }
-    });
+    let spike = Grid2::from_fn(8, 8, |r, c| if r == 3 && c == 3 { 1e12 } else { -1e12 });
     let pyramid = AggregatePyramid::build(&spike);
     let model = LinearModel::new(vec![1e-6], 1e6).unwrap();
     let r = pyramid_top_k(&model, &[pyramid], 2).unwrap();
     assert!(r.results.iter().all(|s| s.score.is_finite()));
-    assert_eq!(r.results[0].cell, mbir_archive::extent::CellCoord::new(3, 3));
+    assert_eq!(
+        r.results[0].cell,
+        mbir_archive::extent::CellCoord::new(3, 3)
+    );
+}
+
+#[test]
+fn transient_faults_healing_within_retry_budget_are_invisible() {
+    let (model, pyramids, stores, stats) = paged_world(32, 32, 8);
+    let strict = pyramid_top_k(&model, &pyramids, 5).unwrap();
+    // Every page flakes twice before healing; three retries cover that.
+    let profile =
+        (0..stores[0].page_count()).fold(FaultProfile::new(11), |p, page| p.transient(page, 2));
+    let stores: Vec<TileStore> = stores
+        .into_iter()
+        .map(|s| {
+            s.with_faults(profile.clone())
+                .with_resilience(ResilienceConfig::new(RetryPolicy::retries(3), None))
+        })
+        .collect();
+    let src = TileSource::new(&stores).unwrap();
+    let resilient =
+        resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+    // The answer is exactly the fault-free one — retries absorbed the
+    // faults without degrading the result.
+    assert!(!resilient.is_degraded());
+    assert_eq!(resilient.completeness, 1.0);
+    assert!(resilient.skipped_pages.is_empty());
+    for (a, b) in resilient.results.iter().zip(&strict.results) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.score, b.score);
+    }
+    // But the effort was visible: retries and failures were recorded.
+    assert!(stats.retries() > 0, "retries {}", stats.retries());
+    assert!(stats.failures() >= stats.retries());
+}
+
+#[test]
+fn quarantine_trips_after_threshold_and_fails_fast() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4)
+        .unwrap()
+        .with_faults(FaultProfile::new(0).permanent(5))
+        .with_resilience(ResilienceConfig::new(RetryPolicy::retries(1), Some(2)));
+    // First read: initial attempt + 1 retry both fail -> breaker at 2.
+    assert_eq!(
+        store.read(row_of(5), col_of(5)).unwrap_err(),
+        ArchiveError::PageIo { page: 5 }
+    );
+    assert!(store.is_quarantined(5));
+    // Subsequent reads fail fast with the quarantine error and burn no
+    // further retries or ticks.
+    let retries_before = store.stats().retries();
+    let ticks_before = store.stats().ticks_elapsed();
+    for _ in 0..3 {
+        assert_eq!(
+            store.read(row_of(5), col_of(5)).unwrap_err(),
+            ArchiveError::PageQuarantined { page: 5 }
+        );
+    }
+    assert_eq!(store.stats().retries(), retries_before);
+    assert_eq!(store.stats().ticks_elapsed(), ticks_before);
+    assert_eq!(store.quarantined_pages(), vec![5]);
+    // Healthy pages are unaffected.
+    assert!(store.read(0, 0).is_ok());
+}
+
+/// Row/col of the first cell of a page in a 16-wide, tile-4 store.
+fn row_of(page: usize) -> usize {
+    (page / 4) * 4
+}
+fn col_of(page: usize) -> usize {
+    (page % 4) * 4
+}
+
+#[test]
+fn lost_pages_yield_honest_partial_results() {
+    let (model, pyramids, stores, _) = paged_world(32, 32, 8);
+    // Kill the page under the true winner so degradation is forced.
+    let strict = pyramid_top_k(&model, &pyramids, 4).unwrap();
+    let winner = strict.results[0].cell;
+    let page = stores[0].page_of(winner.row, winner.col);
+    let stores: Vec<TileStore> = stores
+        .into_iter()
+        .map(|s| s.with_faults(FaultProfile::new(0).permanent(page)))
+        .collect();
+    let src = TileSource::new(&stores).unwrap();
+    let r = resilient_top_k(&model, &pyramids, 4, &src, &ExecutionBudget::unlimited()).unwrap();
+    // Honest accounting: not complete, the lost page is named, and the
+    // result still carries k entries with sound bounds.
+    assert!(r.is_degraded());
+    assert!(r.completeness < 1.0, "completeness {}", r.completeness);
+    assert!(r.completeness > 0.0);
+    assert_eq!(r.skipped_pages, vec![page]);
+    assert_eq!(r.results.len(), 4);
+    for hit in &r.results {
+        assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
+        assert!(hit.score.is_finite());
+    }
+    // The lost winner's true score is still covered by some reported
+    // bound — nothing was silently dropped.
+    assert!(r
+        .results
+        .iter()
+        .any(|h| h.bounds.lo <= strict.results[0].score && strict.results[0].score <= h.bounds.hi));
 }

@@ -65,7 +65,10 @@ fn screening_with_structure_bound_is_lossless() {
     scored.truncate(k);
     // Same scores as exact top-K.
     for ((_, a), (_, b)) in scored.iter().zip(exact.iter().take(k)) {
-        assert!((a - b).abs() < 1e-9, "screened {scored:?} vs exact {exact:?}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "screened {scored:?} vs exact {exact:?}"
+        );
     }
     assert!(evaluated < wells.len(), "screening must save evaluations");
 }

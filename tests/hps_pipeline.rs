@@ -13,7 +13,11 @@ fn world(
     seed: u64,
     rows: usize,
     cols: usize,
-) -> (Vec<AggregatePyramid>, HpsRiskModel, mbir_archive::grid::Grid2<f64>) {
+) -> (
+    Vec<AggregatePyramid>,
+    HpsRiskModel,
+    mbir_archive::grid::Grid2<f64>,
+) {
     let scene = SyntheticScene::new(seed, rows, cols).generate();
     let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
     let model = HpsRiskModel::paper();
@@ -117,7 +121,10 @@ fn metrics_reward_the_true_model() {
         .iter()
         .map(|(_, r)| r.total_cost)
         .fold(f64::INFINITY, f64::min);
-    let edge_cost = sweep[0].1.total_cost.min(sweep.last().unwrap().1.total_cost);
+    let edge_cost = sweep[0]
+        .1
+        .total_cost
+        .min(sweep.last().unwrap().1.total_cost);
     assert!(best_cost <= edge_cost);
 
     // Direct cost call agrees with the sweep.

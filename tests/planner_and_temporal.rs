@@ -52,13 +52,8 @@ fn temporal_tracker_follows_a_moving_hotspot() {
             let grid = mbir_archive::grid::Grid2::from_fn(rows, cols, |r, c| {
                 let in_early = r < 8 && c < 8;
                 let in_late = r >= 24 && c >= 24;
-                let boost = if hot_corner_late && in_late {
-                    1.0
-                } else if !hot_corner_late && in_early {
-                    1.0
-                } else {
-                    0.0
-                };
+                let hot = if hot_corner_late { in_late } else { in_early };
+                let boost = if hot { 1.0 } else { 0.0 };
                 base.at(r, c) + boost
             });
             s.push(f as i64, grid).unwrap();

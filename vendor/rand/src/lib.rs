@@ -1,0 +1,228 @@
+//! Offline shim of the `rand` crate API surface this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors a minimal, deterministic implementation of the
+//! pieces it calls: [`Rng`], [`RngExt`], [`SeedableRng`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — high-quality, reproducible, and dependency-free. It does
+//! NOT match upstream `rand`'s stream bit-for-bit; everything in this
+//! repository that depends on randomness is seeded and asserts statistical
+//! properties, not exact draws.
+
+/// Core random source: a stream of `u64`s.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value of a supported primitive type; `f64`/`f32` are
+    /// uniform in `[0, 1)`, integers uniform over their full range.
+    fn random<T: SamplePrimitive>(&mut self) -> T;
+
+    /// Draws a value uniform in `range` (half-open).
+    fn random_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T;
+
+    /// Draws `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl<R: Rng + ?Sized> RngExt for R {
+    fn random<T: SamplePrimitive>(&mut self) -> T {
+        T::draw(self.next_u64())
+    }
+
+    fn random_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T {
+        T::uniform_in(self.next_u64(), range)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * F64_SCALE < p
+    }
+}
+
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Primitive types `RngExt::random` can produce from one raw word.
+pub trait SamplePrimitive: Sized {
+    /// Maps 64 random bits to a uniform value of `Self`.
+    fn draw(word: u64) -> Self;
+}
+
+impl SamplePrimitive for f64 {
+    fn draw(word: u64) -> Self {
+        (word >> 11) as f64 * F64_SCALE
+    }
+}
+
+impl SamplePrimitive for f32 {
+    fn draw(word: u64) -> Self {
+        (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SamplePrimitive for u64 {
+    fn draw(word: u64) -> Self {
+        word
+    }
+}
+
+impl SamplePrimitive for u32 {
+    fn draw(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl SamplePrimitive for usize {
+    fn draw(word: u64) -> Self {
+        word as usize
+    }
+}
+
+impl SamplePrimitive for bool {
+    fn draw(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+/// Integer types usable with `random_range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform mapping of 64 random bits into `[range.start, range.end)`.
+    fn uniform_in(word: u64, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform_in(word: u64, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Widening multiply-shift (Lemire) keeps bias negligible
+                // without a rejection loop.
+                let hi = ((word as u128 * span as u128) >> 64) as u64;
+                range.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_uniform_int_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform_in(word: u64, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.wrapping_sub(range.start) as $u as u64;
+                let hi = ((word as u128 * span as u128) >> 64) as u64;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int_signed!(i64 => u64, i32 => u32, i16 => u16, i8 => u8, isize => usize);
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64. Deterministic for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding recipe.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_uniform_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_covers_and_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = draw(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+}
