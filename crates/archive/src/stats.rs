@@ -39,6 +39,8 @@ struct Counters {
     failures: AtomicU64,
     quarantines: AtomicU64,
     ticks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl AccessStats {
@@ -83,6 +85,18 @@ impl AccessStats {
         self.inner.ticks.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` page reads served from a cache without touching the
+    /// backing store.
+    pub fn record_cache_hits(&self, n: u64) {
+        self.inner.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` page reads that missed a cache and went to the backing
+    /// store.
+    pub fn record_cache_misses(&self, n: u64) {
+        self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Tuples touched so far.
     pub fn tuples_touched(&self) -> u64 {
         self.inner.tuples.load(Ordering::Relaxed)
@@ -120,6 +134,27 @@ impl AccessStats {
         self.inner.ticks.load(Ordering::Relaxed)
     }
 
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of cached lookups served from the cache, or `None` when no
+    /// cached lookups happened at all.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.cache_hits();
+        let total = hits + self.cache_misses();
+        if total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.inner.tuples.store(0, Ordering::Relaxed);
@@ -129,6 +164,8 @@ impl AccessStats {
         self.inner.failures.store(0, Ordering::Relaxed);
         self.inner.quarantines.store(0, Ordering::Relaxed);
         self.inner.ticks.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
     }
 
     /// Speedup of `self` relative to `baseline` in tuples touched
@@ -227,6 +264,20 @@ mod tests {
         assert!((disk - 1025.6).abs() < 1.0, "disk {disk}");
         let nvme = s.simulated_ms(&IoModel::nvme());
         assert!(nvme < disk / 50.0, "nvme {nvme} vs disk {disk}");
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let s = AccessStats::new();
+        assert_eq!(s.cache_hit_rate(), None);
+        s.record_cache_misses(1);
+        s.record_cache_hits(3);
+        assert_eq!(s.cache_hits(), 3);
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
+        s.reset();
+        assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.cache_hit_rate(), None);
     }
 
     #[test]

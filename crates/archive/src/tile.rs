@@ -189,6 +189,28 @@ impl TileStore {
         (row / self.tile) * self.tiles_per_row + col / self.tile
     }
 
+    /// Half-open cell extent `(r0, c0, r1, c1)` covered by `page`
+    /// (clipped at ragged grid edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::OutOfBounds`] for an invalid page index.
+    pub fn page_extent(&self, page: usize) -> Result<(usize, usize, usize, usize), ArchiveError> {
+        if page >= self.page_count() {
+            return Err(ArchiveError::OutOfBounds {
+                row: page,
+                col: 0,
+                rows: self.page_count(),
+                cols: 1,
+            });
+        }
+        let r0 = (page / self.tiles_per_row) * self.tile;
+        let c0 = (page % self.tiles_per_row) * self.tile;
+        let r1 = (r0 + self.tile).min(self.grid.rows());
+        let c1 = (c0 + self.tile).min(self.grid.cols());
+        Ok((r0, c0, r1, c1))
+    }
+
     /// Runs the fault machinery for one logical page access: attempts the
     /// read, retries failed attempts per the policy (accruing backoff
     /// ticks), and trips the circuit breaker on repeated failure. Every
@@ -254,21 +276,8 @@ impl TileStore {
     /// [`ArchiveError::PageIo`] when the page's fault outlasts the retry
     /// budget, and [`ArchiveError::PageQuarantined`] for quarantined pages.
     pub fn read_page(&self, page: usize) -> Result<Vec<(CellCoord, f64)>, ArchiveError> {
-        if page >= self.page_count() {
-            return Err(ArchiveError::OutOfBounds {
-                row: page,
-                col: 0,
-                rows: self.page_count(),
-                cols: 1,
-            });
-        }
+        let (r0, c0, r1, c1) = self.page_extent(page)?;
         self.access_page(page)?;
-        let tr = page / self.tiles_per_row;
-        let tc = page % self.tiles_per_row;
-        let r0 = tr * self.tile;
-        let c0 = tc * self.tile;
-        let r1 = (r0 + self.tile).min(self.grid.rows());
-        let c1 = (c0 + self.tile).min(self.grid.cols());
         let mut out = Vec::with_capacity((r1 - r0) * (c1 - c0));
         for r in r0..r1 {
             for c in c0..c1 {
@@ -314,6 +323,16 @@ mod tests {
         assert_eq!(s.page_of(0, 3), 1);
         assert_eq!(s.page_of(3, 0), 2);
         assert_eq!(s.page_of(3, 3), 3);
+    }
+
+    #[test]
+    fn page_extent_matches_layout() {
+        let s = store_4x4();
+        assert_eq!(s.page_extent(0).unwrap(), (0, 0, 2, 2));
+        assert_eq!(s.page_extent(3).unwrap(), (2, 2, 4, 4));
+        assert!(s.page_extent(4).is_err());
+        let ragged = TileStore::new(Grid2::from_fn(5, 3, |r, c| (r * 3 + c) as f64), 2).unwrap();
+        assert_eq!(ragged.page_extent(5).unwrap(), (4, 2, 5, 3));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|all]`
-//! (default: all). Output is Markdown, pasted into EXPERIMENTS.md.
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|all] [--threads N]`
+//! (default: all). Output is Markdown, pasted into EXPERIMENTS.md. The R2
+//! experiment additionally writes machine-readable scaling numbers to
+//! `BENCH_parallel.json`; `--threads N` caps the thread counts it sweeps
+//! (default: the pool's detected parallelism).
 
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
@@ -10,13 +13,17 @@ use mbir_archive::tile::TileStore;
 use mbir_archive::weather::WeatherGenerator;
 use mbir_archive::welllog::WellLog;
 use mbir_bench::{
-    classification_world, hps_paged_world, hps_world, onion_workload, sproc_workload,
-    texture_world, wide_model_world,
+    classification_world, hps_paged_world, hps_world, onion_workload, parallel_world,
+    sproc_workload, texture_world, wide_model_world,
 };
 use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
-use mbir_core::metrics::{precision_recall_at_k, threshold_sweep};
+use mbir_core::metrics::{precision_recall_at_k, scaling_table, threshold_sweep};
+use mbir_core::parallel::{
+    grid_query_with_source, par_pyramid_top_k, par_staged_top_k, QueryBatch, WorkerPool,
+};
+use mbir_core::query::{Objective, TopKQuery};
 use mbir_core::resilient::{resilient_top_k, ExecutionBudget};
-use mbir_core::source::{CellSource, TileSource};
+use mbir_core::source::{CachedTileSource, CellSource, TileSource};
 use mbir_core::workflow::{run_workflow, WorkflowConfig};
 use mbir_index::onion::OnionIndex;
 use mbir_index::rstar::RStarTree;
@@ -25,12 +32,29 @@ use mbir_index::sproc::SprocIndex;
 use mbir_models::bayes::hps_net::{hps_network, risk_given_observations};
 use mbir_models::fsm::fire_ants::screened_fly_detection;
 use mbir_models::knowledge::geology::RiverbedModel;
-use mbir_models::linear::LinearModel;
+use mbir_models::linear::{LinearModel, ProgressiveLinearModel};
 use mbir_progressive::features::{progressive_texture_match, tile_features, TileFeatures};
 use std::time::Instant;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let mut which = "all".to_owned();
+    let mut threads: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            threads = args.get(i + 1).and_then(|v| v.parse().ok());
+            if threads.is_none() {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+            i += 2;
+        } else {
+            which = args[i].clone();
+            i += 1;
+        }
+    }
+    let threads = threads.unwrap_or_else(|| WorkerPool::with_default_parallelism().threads());
     let run = |name: &str| which == "all" || which == name;
     if run("e1") {
         e1_onion();
@@ -73,6 +97,176 @@ fn main() {
     }
     if run("r1") {
         r1_resilience();
+    }
+    if run("r2") {
+        r2_parallel(threads);
+    }
+}
+
+/// R2 — parallel execution scaling: wall time, speedup, and efficiency of
+/// each worker-pool engine across thread counts, plus batch cache hit
+/// rates. Every parallel result is asserted bit-identical to its
+/// sequential counterpart before timings are reported. Also writes the
+/// numbers to `BENCH_parallel.json` for machines.
+fn r2_parallel(max_threads: usize) {
+    println!("\n## R2 — Parallel execution scaling\n");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let side = 512usize;
+    let arity = 4usize;
+    let k = 10usize;
+    let (pyramids, model, stores, stats) = parallel_world(29, side, arity, 16);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= max_threads.max(1))
+        .collect();
+    const REPS: u32 = 3;
+    let time_ns = |f: &mut dyn FnMut()| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+
+    // Engine 1: parallel pyramid descent.
+    let seq = pyramid_top_k(&model, &pyramids, k).expect("valid inputs");
+    let mut pyramid_points: Vec<(usize, u64)> = Vec::new();
+    for &t in &thread_counts {
+        let pool = WorkerPool::new(t);
+        let r = par_pyramid_top_k(&model, &pyramids, k, &pool).expect("valid inputs");
+        assert_eq!(r.results, seq.results, "par_pyramid must be bit-identical");
+        let ns = time_ns(&mut || {
+            let _ = par_pyramid_top_k(&model, &pyramids, k, &pool).expect("valid inputs");
+        });
+        pyramid_points.push((t, ns));
+    }
+
+    // Engine 2: parallel staged scan over the flattened base level.
+    let ranges: Vec<(f64, f64)> = pyramids
+        .iter()
+        .map(|p| {
+            let root = p.root();
+            (root.min, root.max)
+        })
+        .collect();
+    let progressive =
+        ProgressiveLinearModel::new(model.clone(), &ranges).expect("ranges match arity");
+    let tuples: Vec<Vec<f64>> = (0..side * side)
+        .map(|i| {
+            pyramids
+                .iter()
+                .map(|p| p.cell(0, i / side, i % side).expect("in-bounds").mean)
+                .collect()
+        })
+        .collect();
+    let seq_staged = staged_top_k(&progressive, &tuples, k).expect("valid inputs");
+    let mut staged_points: Vec<(usize, u64)> = Vec::new();
+    for &t in &thread_counts {
+        let pool = WorkerPool::new(t);
+        let r = par_staged_top_k(&progressive, &tuples, k, &pool).expect("valid inputs");
+        assert_eq!(
+            r.results, seq_staged.results,
+            "par_staged must be bit-identical"
+        );
+        let ns = time_ns(&mut || {
+            let _ = par_staged_top_k(&progressive, &tuples, k, &pool).expect("valid inputs");
+        });
+        staged_points.push((t, ns));
+    }
+
+    // Engine 3: batched queries over one cached archive.
+    let n_queries = 8usize;
+    let batch_of = || {
+        let mut batch = QueryBatch::new(&model, &pyramids);
+        for q in 0..n_queries {
+            let query = if q % 2 == 0 {
+                TopKQuery::max(k + q).expect("valid k")
+            } else {
+                TopKQuery::new(k + q, Objective::Minimize).expect("valid k")
+            };
+            batch.admit(query);
+        }
+        batch
+    };
+    let plain_src = TileSource::new(&stores).expect("aligned stores");
+    let sequential_batch: Vec<_> = batch_of()
+        .queries()
+        .iter()
+        .map(|q| grid_query_with_source(&model, &pyramids, *q, &plain_src).expect("valid query"))
+        .collect();
+    let mut batch_points: Vec<(usize, u64)> = Vec::new();
+    let mut cache_hit_rate = 0.0f64;
+    for &t in &thread_counts {
+        let pool = WorkerPool::new(t);
+        let cached = CachedTileSource::new(&stores, 64).expect("aligned stores");
+        stats.reset();
+        let results = batch_of().run(&cached, &pool);
+        for (r, s) in results.iter().zip(&sequential_batch) {
+            assert_eq!(
+                r.as_ref().expect("healthy archive").results,
+                s.results,
+                "batch must be bit-identical"
+            );
+        }
+        cache_hit_rate = stats.cache_hit_rate().unwrap_or(0.0);
+        let ns = time_ns(&mut || {
+            let cached = CachedTileSource::new(&stores, 64).expect("aligned stores");
+            let _ = batch_of().run(&cached, &pool);
+        });
+        batch_points.push((t, ns));
+    }
+
+    let engines = [
+        ("par_pyramid_top_k", &pyramid_points),
+        ("par_staged_top_k", &staged_points),
+        ("query_batch", &batch_points),
+    ];
+    for (name, points) in engines {
+        println!("### {name}\n");
+        println!("| threads | wall ms | speedup | efficiency |");
+        println!("|---|---|---|---|");
+        for row in scaling_table(points) {
+            println!(
+                "| {} | {:.3} | {:.2}x | {:.2} |",
+                row.threads,
+                row.wall_ns as f64 / 1e6,
+                row.speedup,
+                row.efficiency
+            );
+        }
+        println!();
+    }
+    println!("host CPUs: {host_cpus}; batch cache hit rate: {cache_hit_rate:.3}");
+    println!("All parallel results asserted bit-identical to sequential before timing.");
+
+    // Machine-readable output (hand-rolled JSON; std only).
+    let scaling_json = |points: &[(usize, u64)]| -> String {
+        let rows: Vec<String> = scaling_table(points)
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"threads\":{},\"wall_ns\":{},\"speedup\":{:.4},\"efficiency\":{:.4}}}",
+                    r.threads, r.wall_ns, r.speedup, r.efficiency
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"r2_parallel\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"max_threads\": {max_threads},\n  \"world\": {{\"side\": {side}, \"arity\": {arity}, \
+         \"k\": {k}}},\n  \"bit_identical\": true,\n  \"engines\": {{\n    \
+         \"par_pyramid_top_k\": {},\n    \"par_staged_top_k\": {},\n    \"query_batch\": {}\n  \
+         }},\n  \"query_batch_queries\": {n_queries},\n  \"cache_hit_rate\": {cache_hit_rate:.4}\n}}\n",
+        scaling_json(&pyramid_points),
+        scaling_json(&staged_points),
+        scaling_json(&batch_points),
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_parallel.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_parallel.json: {e}"),
     }
 }
 

@@ -154,6 +154,54 @@ pub fn hps_paged_world(
     (pyramids, stores, model, progressive)
 }
 
+/// The R2 workload: a rough (low-coherence) multi-band world whose pyramid
+/// descent cannot prune aggressively, so the frontier is wide and the
+/// parallel engines have real work to split. Bands are also held in paged
+/// [`TileStore`]s sharing one [`AccessStats`] so batch runs can report
+/// cache hit rates.
+pub fn parallel_world(
+    seed: u64,
+    side: usize,
+    arity: usize,
+    tile: usize,
+) -> (
+    Vec<AggregatePyramid>,
+    LinearModel,
+    Vec<TileStore>,
+    mbir_archive::stats::AccessStats,
+) {
+    let bands: Vec<Grid2<f64>> = (0..arity)
+        .map(|i| {
+            GaussianField::new(seed + i as u64)
+                .with_roughness(0.85)
+                .generate(side, side)
+                .normalized(0.0, 100.0)
+        })
+        .collect();
+    let pyramids: Vec<AggregatePyramid> = bands.iter().map(AggregatePyramid::build).collect();
+    let stats = mbir_archive::stats::AccessStats::new();
+    let stores: Vec<TileStore> = bands
+        .into_iter()
+        .map(|b| {
+            TileStore::new(b, tile)
+                .expect("valid tile size")
+                .with_stats(stats.clone())
+        })
+        .collect();
+    // Mixed-sign coefficients: no single band dominates, which keeps the
+    // level bounds loose and the descent busy.
+    let coeffs: Vec<f64> = (0..arity)
+        .map(|i| match i % 4 {
+            0 => 1.0,
+            1 => -0.8,
+            2 => 0.6,
+            _ => -0.4,
+        })
+        .collect();
+    let model = LinearModel::new(coeffs, 0.0).expect("valid coefficients");
+    (pyramids, model, stores, stats)
+}
+
 /// A wide linear model (many attributes, skewed coefficients) over smooth
 /// fields — the regime where progressive-model staging pays off; used by
 /// the E6 ablation.
@@ -219,6 +267,19 @@ mod tests {
             .window(mbir_archive::extent::CellCoord::new(6 * 16, 7 * 16), 16, 16)
             .unwrap();
         assert!(patch.mean() > fine.mean() + 20.0);
+    }
+
+    #[test]
+    fn parallel_world_is_deterministic_and_paged() {
+        let (pyr_a, model_a, stores_a, _) = parallel_world(29, 64, 4, 16);
+        let (pyr_b, model_b, _, _) = parallel_world(29, 64, 4, 16);
+        assert_eq!(model_a.coefficients(), model_b.coefficients());
+        assert_eq!(pyr_a.len(), 4);
+        for (a, b) in pyr_a.iter().zip(&pyr_b) {
+            assert_eq!(a.root().mean, b.root().mean);
+        }
+        assert_eq!(stores_a.len(), 4);
+        assert!(stores_a[0].page_count() > 1);
     }
 
     #[test]

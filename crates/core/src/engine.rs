@@ -59,6 +59,29 @@ impl EffortReport {
     }
 }
 
+impl std::ops::Add for EffortReport {
+    type Output = EffortReport;
+
+    fn add(self, rhs: EffortReport) -> EffortReport {
+        EffortReport {
+            multiply_adds: self.multiply_adds + rhs.multiply_adds,
+            naive_multiply_adds: self.naive_multiply_adds + rhs.naive_multiply_adds,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EffortReport {
+    fn add_assign(&mut self, rhs: EffortReport) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for EffortReport {
+    fn sum<I: Iterator<Item = EffortReport>>(iter: I) -> EffortReport {
+        iter.fold(EffortReport::default(), |acc, e| acc + e)
+    }
+}
+
 impl fmt::Display for EffortReport {
     /// Distinguishes zero work from break-even: a run that never evaluated
     /// anything prints "no work performed" rather than a fictitious 1.0x.
@@ -652,6 +675,31 @@ mod tests {
             break_even.to_string(),
             "1000 of 1000 multiply-adds (1.00x speedup)"
         );
+    }
+
+    #[test]
+    fn effort_report_sums_field_by_field() {
+        let a = EffortReport {
+            multiply_adds: 3,
+            naive_multiply_adds: 10,
+        };
+        let b = EffortReport {
+            multiply_adds: 7,
+            naive_multiply_adds: 90,
+        };
+        assert_eq!(
+            a + b,
+            EffortReport {
+                multiply_adds: 10,
+                naive_multiply_adds: 100,
+            }
+        );
+        let mut acc = EffortReport::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        let summed: EffortReport = [a, b].into_iter().sum();
+        assert_eq!(summed, a + b);
     }
 
     fn pseudo_grid(seed: u64, rows: usize, cols: usize) -> Grid2<f64> {

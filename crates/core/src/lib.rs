@@ -20,6 +20,12 @@
 //!   paged archive, and the budgeted, fault-tolerant engine that degrades
 //!   gracefully (partial results with sound bounds and an explicit
 //!   completeness fraction) instead of aborting on lost pages.
+//! * [`parallel`] — the hardware-parallel layer: a scoped worker pool,
+//!   partitioned counterparts of the strict and resilient engines sharing
+//!   their pruning bound through a lock-free [`SharedBound`], and batched
+//!   multi-query execution over one shared (optionally page-cached)
+//!   archive. Bit-identical to the sequential engines at every thread
+//!   count.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -38,6 +44,7 @@
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod parallel;
 pub mod plan;
 pub mod query;
 pub mod resilient;
@@ -51,12 +58,20 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use metrics::{
-    precision_recall_at_k, roc_curve, total_cost, CostParams, CostReport, PrReport, RocPoint,
+    precision_recall_at_k, roc_curve, scaling_table, total_cost, CostParams, CostReport, PrReport,
+    RocPoint, ScalingRow,
 };
-pub use plan::{execute_planned, plan_grid_query, EngineChoice, PlannerConfig, QueryPlan};
+pub use parallel::{
+    grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
+    par_staged_top_k, QueryBatch, SharedBound, WorkerPool,
+};
+pub use plan::{
+    execute_planned, execute_planned_parallel, plan_grid_query, EngineChoice, PlannerConfig,
+    QueryPlan,
+};
 pub use query::{Objective, TopKQuery};
 pub use resilient::{
     resilient_top_k, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK, ScoreBounds,
 };
-pub use source::{CellSource, PyramidSource, TileSource};
+pub use source::{CachedTileSource, CellSource, PyramidSource, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

@@ -274,6 +274,47 @@ pub fn roc_curve(
     Ok((points, auc))
 }
 
+/// One row of a thread-scaling table: wall time at a thread count plus
+/// the derived speedup and efficiency against the table's 1-thread (or
+/// first-row) baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingRow {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Measured wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// `baseline wall / this wall` (1.0 for the baseline row).
+    pub speedup: f64,
+    /// `speedup / threads` — 1.0 is perfect linear scaling.
+    pub efficiency: f64,
+}
+
+/// Derives a scaling table from `(threads, wall_ns)` measurements; the
+/// first point is the baseline. Rows with a zero wall time (clock
+/// granularity) report speedup 1.0 rather than infinity. Returns an empty
+/// table for no points.
+pub fn scaling_table(points: &[(usize, u64)]) -> Vec<ScalingRow> {
+    let Some(&(_, base_ns)) = points.first() else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .map(|&(threads, wall_ns)| {
+            let speedup = if wall_ns == 0 {
+                1.0
+            } else {
+                base_ns as f64 / wall_ns as f64
+            };
+            ScalingRow {
+                threads,
+                wall_ns,
+                speedup,
+                efficiency: speedup / threads.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,5 +492,19 @@ mod tests {
         assert_eq!(pr.precision, 0.0);
         assert_eq!(pr.recall, 0.0);
         assert!(precision_recall_at_k(&risk, &occ, 0).is_err());
+    }
+
+    #[test]
+    fn scaling_table_derives_speedup_and_efficiency() {
+        let rows = scaling_table(&[(1, 800), (2, 400), (4, 250), (8, 0)]);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].speedup, 1.0);
+        assert_eq!(rows[0].efficiency, 1.0);
+        assert_eq!(rows[1].speedup, 2.0);
+        assert_eq!(rows[1].efficiency, 1.0);
+        assert!((rows[2].speedup - 3.2).abs() < 1e-12);
+        assert!((rows[2].efficiency - 0.8).abs() < 1e-12);
+        assert_eq!(rows[3].speedup, 1.0, "zero wall time stays finite");
+        assert!(scaling_table(&[]).is_empty());
     }
 }

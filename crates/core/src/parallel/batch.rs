@@ -1,0 +1,136 @@
+//! Batched multi-query execution over one shared archive.
+//!
+//! An archive serving interactive exploration sees bursts of independent
+//! top-K queries against the *same* pyramids and tile stores. Running them
+//! one after another wastes the workers; running each one on the full pool
+//! thrashes it. [`QueryBatch`] admits N queries and deals them round-robin
+//! across the pool, each query running the ordinary sequential engine
+//! against the shared read-only index — so per-query results are exactly
+//! what [`grid_query`](crate::engine::grid_query) would return, in
+//! admission order, regardless of thread count. Point the batch at a
+//! [`CachedTileSource`](crate::source::CachedTileSource) and concurrent
+//! queries share (and dedup) their page reads too.
+
+use crate::engine::{pyramid_top_k_with_source, GridTopK};
+use crate::error::CoreError;
+use crate::parallel::pool::WorkerPool;
+use crate::query::{Objective, TopKQuery};
+use crate::source::CellSource;
+use mbir_models::linear::LinearModel;
+use mbir_progressive::pyramid::AggregatePyramid;
+
+/// A set of concurrent top-K queries against one model + pyramid index.
+#[derive(Debug, Clone)]
+pub struct QueryBatch<'a> {
+    model: &'a LinearModel,
+    pyramids: &'a [AggregatePyramid],
+    queries: Vec<TopKQuery>,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// An empty batch against `model` and `pyramids`.
+    pub fn new(model: &'a LinearModel, pyramids: &'a [AggregatePyramid]) -> Self {
+        QueryBatch {
+            model,
+            pyramids,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Admits a query, returning its slot in the result vector.
+    pub fn admit(&mut self, query: TopKQuery) -> usize {
+        self.queries.push(query);
+        self.queries.len() - 1
+    }
+
+    /// The admitted queries, in admission order.
+    pub fn queries(&self) -> &[TopKQuery] {
+        &self.queries
+    }
+
+    /// Number of admitted queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no query has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Runs every admitted query against the shared `source`, scheduling
+    /// them round-robin over the pool's workers. Results come back in
+    /// admission order, each exactly what the sequential engine returns
+    /// for that query — per-query failures stay in their own slot and
+    /// never poison the rest of the batch.
+    pub fn run<S: CellSource + Sync>(
+        &self,
+        source: &S,
+        pool: &WorkerPool,
+    ) -> Vec<Result<GridTopK, CoreError>> {
+        let n = self.queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = pool.threads().min(n);
+        let tasks: Vec<_> = (0..workers)
+            .map(|wi| {
+                move |_i: usize| -> Vec<(usize, Result<GridTopK, CoreError>)> {
+                    (wi..n)
+                        .step_by(workers)
+                        .map(|qi| {
+                            (
+                                qi,
+                                grid_query_with_source(
+                                    self.model,
+                                    self.pyramids,
+                                    self.queries[qi],
+                                    source,
+                                ),
+                            )
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        let mut out: Vec<Option<Result<GridTopK, CoreError>>> = (0..n).map(|_| None).collect();
+        for chunk in pool.run(tasks) {
+            for (qi, result) in chunk {
+                out[qi] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every admitted query executes"))
+            .collect()
+    }
+}
+
+/// One query against a [`CellSource`] — the per-query unit the batch
+/// schedules. Dispatches on the objective by negating the model for
+/// minimization, mirroring [`grid_query`](crate::engine::grid_query).
+///
+/// # Errors
+///
+/// Same as [`pyramid_top_k_with_source`].
+pub fn grid_query_with_source<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    query: TopKQuery,
+    source: &S,
+) -> Result<GridTopK, CoreError> {
+    match query.objective() {
+        Objective::Maximize => pyramid_top_k_with_source(model, pyramids, query.k(), source),
+        Objective::Minimize => {
+            let negated = LinearModel::new(
+                model.coefficients().iter().map(|a| -a).collect(),
+                -model.intercept(),
+            )
+            .map_err(CoreError::Model)?;
+            let mut result = pyramid_top_k_with_source(&negated, pyramids, query.k(), source)?;
+            for sc in &mut result.results {
+                sc.score = -sc.score;
+            }
+            Ok(result)
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Hardware-parallel execution: worker-pool engines, batched queries, and
+//! shared bound propagation.
+//!
+//! Everything the sequential engines prove, these engines prove with the
+//! work spread over threads:
+//!
+//! * [`WorkerPool`] / [`SharedBound`] ([`pool`]) — a minimal scoped pool
+//!   over `std::thread` and the lock-free monotone bound the workers
+//!   share.
+//! * [`par_pyramid_top_k`] / [`par_staged_top_k`] /
+//!   [`par_resilient_top_k`] ([`engines`]) — partitioned counterparts of
+//!   the strict and resilient engines, bit-identical to them at every
+//!   thread count (budget stops excepted; see the engine docs).
+//! * [`QueryBatch`] ([`batch`]) — N concurrent queries against one shared
+//!   archive, dealt across the pool.
+//!
+//! The design and its determinism argument live in DESIGN.md §9.
+
+pub mod batch;
+pub mod engines;
+pub mod pool;
+
+pub use batch::{grid_query_with_source, QueryBatch};
+pub use engines::{
+    par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k, par_staged_top_k,
+};
+pub use pool::{SharedBound, WorkerPool, THREADS_ENV};

@@ -11,6 +11,7 @@
 
 use crate::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, GridTopK};
 use crate::error::CoreError;
+use crate::parallel::{par_pyramid_top_k, WorkerPool};
 use crate::resilient::{resilient_top_k, ExecutionBudget, ResilientTopK};
 use crate::source::CellSource;
 use mbir_models::linear::{LinearModel, ProgressiveLinearModel};
@@ -210,6 +211,36 @@ pub fn execute_planned(
     Ok((plan, result))
 }
 
+/// Plans, then executes on the pool's workers, returning the plan
+/// alongside the result.
+///
+/// The naive scan stays sequential (it is memory-bandwidth bound and the
+/// planner only picks it for tiny or incoherent grids); `Pyramid` and
+/// `Combined` plans run the partitioned descent
+/// ([`par_pyramid_top_k`]) — the combined engine's truncated-model bounds
+/// are a sequential-frontier refinement that does not partition, and the
+/// full-model descent it falls back to returns the same exact answer.
+///
+/// # Errors
+///
+/// Propagates planning and engine errors.
+pub fn execute_planned_parallel(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    config: &PlannerConfig,
+    pool: &WorkerPool,
+) -> Result<(QueryPlan, GridTopK), CoreError> {
+    let plan = plan_grid_query(model, pyramids, config)?;
+    let result = match plan.choice {
+        EngineChoice::Naive => naive_grid_top_k(model, pyramids, k)?,
+        EngineChoice::Pyramid | EngineChoice::Combined => {
+            par_pyramid_top_k(model, pyramids, k, pool)?
+        }
+    };
+    Ok((plan, result))
+}
+
 /// Plans, then executes *resiliently* against a paged source under a
 /// budget, returning the plan alongside the best-effort result.
 ///
@@ -323,6 +354,44 @@ mod tests {
                     "{} must be exact",
                     plan.choice
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn execute_planned_parallel_is_bit_identical_to_sequential() {
+        let k = 5;
+        for (pyramids, coeffs) in [
+            (smooth_pyramids(2, 8), vec![1.0, 1.0]),  // naive
+            (smooth_pyramids(2, 64), vec![1.0, 1.0]), // pyramid
+            (
+                smooth_pyramids(8, 64),
+                (0..8).map(|i| 4.0 * 0.3f64.powi(i as i32)).collect(),
+            ), // combined
+        ] {
+            let model = LinearModel::new(coeffs, 0.0).unwrap();
+            let (plan, sequential) =
+                execute_planned(&model, &pyramids, k, &PlannerConfig::default()).unwrap();
+            for threads in [1usize, 2, 4] {
+                let pool = WorkerPool::new(threads);
+                let (par_plan, parallel) = execute_planned_parallel(
+                    &model,
+                    &pyramids,
+                    k,
+                    &PlannerConfig::default(),
+                    &pool,
+                )
+                .unwrap();
+                assert_eq!(par_plan.choice, plan.choice);
+                assert_eq!(parallel.results.len(), sequential.results.len());
+                for (a, b) in parallel.results.iter().zip(&sequential.results) {
+                    assert_eq!(a.cell, b.cell, "{} @ {threads} threads", plan.choice);
+                    assert!(
+                        (a.score - b.score).abs() < 1e-9,
+                        "{} @ {threads} threads",
+                        plan.choice
+                    );
+                }
             }
         }
     }

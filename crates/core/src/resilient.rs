@@ -8,10 +8,15 @@
 //! pressures:
 //!
 //! * **Lost pages degrade, they don't abort.** A base read failing with
-//!   [`ArchiveError::PageIo`] or [`ArchiveError::PageQuarantined`] marks
-//!   the page skipped; the cell is carried as a *degraded* candidate
-//!   bounded by its parent aggregate (the deepest index level that does
-//!   not depend on the lost data).
+//!   [`ArchiveError::PageIo`] or [`ArchiveError::PageQuarantined`] parks
+//!   the cell instead. A lost cell whose frontier bound falls under the
+//!   final K-th floor is *resolved* (provably outside the top-K, exactly
+//!   like a healthy pruned cell); the rest are carried as *degraded*
+//!   candidates bounded by their parent aggregate (the deepest index level
+//!   that does not depend on the lost data) and their pages are reported
+//!   skipped. Because the exclusion uses the deterministic bound rather
+//!   than evaluation order, the degradation report is reproducible — the
+//!   parallel engine ([`crate::parallel`]) produces the same one.
 //! * **Budgets stop work at cooperative checkpoints.** An
 //!   [`ExecutionBudget`] caps multiply-adds, page reads, and a virtual
 //!   tick deadline; it is checked once per frontier pop. On exhaustion the
@@ -184,7 +189,9 @@ pub struct ResilientTopK {
     /// Fraction of base cells provably accounted for: evaluated exactly,
     /// or excluded by a sound bound. 1.0 means the answer is exact.
     pub completeness: f64,
-    /// Pages whose reads failed during the run, ascending.
+    /// Pages whose failed reads left cells unresolved, ascending. A page
+    /// that failed but whose every touched cell was excluded by a sound
+    /// bound does not appear: nothing was lost from the answer.
     pub skipped_pages: Vec<usize>,
     /// `Some` when a budget dimension stopped the run early.
     pub budget_stop: Option<BudgetStop>,
@@ -255,9 +262,9 @@ pub fn resilient_top_k<S: CellSource>(
         col: 0,
     });
 
-    // Cells whose page read failed, and frontier regions a budget stop
-    // left unrefined.
-    let mut lost: Vec<Region> = Vec::new();
+    // Cells whose page read failed (with the failing page), and frontier
+    // regions a budget stop left unrefined.
+    let mut lost: Vec<(Region, usize)> = Vec::new();
     let mut leftover: Vec<Region> = Vec::new();
     let mut skipped: BTreeSet<usize> = BTreeSet::new();
     let mut budget_stop: Option<BudgetStop> = None;
@@ -292,8 +299,8 @@ pub fn resilient_top_k<S: CellSource>(
                 Err(CoreError::Archive(
                     ArchiveError::PageIo { page } | ArchiveError::PageQuarantined { page },
                 )) => {
-                    skipped.insert(source.page_of(region.row, region.col).unwrap_or(page));
-                    lost.push(region);
+                    let page = source.page_of(region.row, region.col).unwrap_or(page);
+                    lost.push((region, page));
                 }
                 Err(e) => return Err(e),
             }
@@ -352,11 +359,18 @@ pub fn resilient_top_k<S: CellSource>(
         hits.push(candidate);
     }
 
-    // Lost cells: their own level-0 aggregates *are* the lost data, so
-    // bound from the parent aggregate — the deepest index level that does
-    // not depend on the missing page.
+    // Lost cells: first exclude by the deterministic frontier bound (the
+    // level-0 index bound is exact, so this is the same test the descent
+    // applies to healthy cells — and it makes the surviving set, and thus
+    // `skipped_pages` and completeness, independent of evaluation order).
+    // Survivors are bounded from the parent aggregate — the deepest index
+    // level that does not depend on the missing page.
     let parent_level = 1.min(levels - 1);
-    for region in lost {
+    for (region, page) in lost {
+        if excluded(region.ub) {
+            continue; // Provably outside the top-K: resolved, nothing lost.
+        }
+        skipped.insert(page);
         let (mut candidate, _) = region_candidate(
             model,
             pyramids,
@@ -367,9 +381,6 @@ pub fn resilient_top_k<S: CellSource>(
         )?;
         candidate.cell = CellCoord::new(region.row, region.col);
         candidate.level = 0;
-        if excluded(candidate.bounds.hi) {
-            continue;
-        }
         unresolved_cells += 1;
         hits.push(candidate);
     }
@@ -393,7 +404,7 @@ pub fn resilient_top_k<S: CellSource>(
 /// Builds a degraded candidate from a pyramid region: score = model at the
 /// region means, bounds = sound box bounds, plus the region's base-cell
 /// count.
-fn region_candidate(
+pub(crate) fn region_candidate(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
     level: usize,
@@ -414,11 +425,16 @@ fn region_candidate(
     let (lo, hi) = model.bound_over_box(&ranges)?;
     effort.multiply_adds += 2 * n; // bound + estimate
     let scale = 1usize << level;
+    // The mean estimate is mathematically inside the box bounds, but its
+    // summation order differs from bound_over_box's, so on degenerate
+    // (single-cell) boxes it can land an ulp outside — clamp to keep the
+    // documented `lo <= score <= hi` invariant exact.
+    let score = model.evaluate(&means).clamp(lo, hi);
     Ok((
         ResilientHit {
             cell: CellCoord::new(row * scale, col * scale),
             level,
-            score: model.evaluate(&means),
+            score,
             bounds: ScoreBounds { lo, hi },
             exact: false,
         },

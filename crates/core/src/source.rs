@@ -9,18 +9,24 @@
 //! `Result`s the engine can either propagate (strict execution) or absorb
 //! (resilient execution, [`crate::resilient`]).
 //!
-//! Two implementations cover the repository's regimes:
+//! Three implementations cover the repository's regimes:
 //!
 //! * [`PyramidSource`] — reads level 0 of the pyramids themselves. It is
 //!   infallible in practice and makes the source-parameterized engines
 //!   behave bit-for-bit like the original in-memory ones.
 //! * [`TileSource`] — reads through per-attribute [`TileStore`]s, with
 //!   page accounting, fault injection, retries, and quarantine.
+//! * [`CachedTileSource`] — a [`TileSource`] behind a small shared LRU
+//!   page cache, safe for concurrent readers: batched queries
+//!   ([`crate::parallel::QueryBatch`]) and parallel engines dedup their
+//!   page reads through it.
 
 use crate::error::CoreError;
 use mbir_archive::error::ArchiveError;
 use mbir_archive::tile::TileStore;
 use mbir_progressive::pyramid::AggregatePyramid;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Fallible access to base-resolution attribute values.
 ///
@@ -137,6 +143,216 @@ impl CellSource for TileSource<'_> {
     }
 }
 
+/// One cached page: every attribute's values over the page's cell extent.
+#[derive(Debug)]
+struct PageBlock {
+    r0: usize,
+    c0: usize,
+    width: usize,
+    /// `values[attr][(row - r0) * width + (col - c0)]`.
+    values: Vec<Vec<f64>>,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// Some reader is materializing this page; wait instead of re-reading.
+    Loading,
+    /// Materialized page with its LRU recency stamp.
+    Ready { block: Arc<PageBlock>, recency: u64 },
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: HashMap<usize, Slot>,
+    clock: u64,
+}
+
+/// A [`TileSource`] behind a small shared LRU page cache.
+///
+/// Cell reads materialize the whole page (every attribute) once and serve
+/// subsequent reads from memory. The cache is safe for concurrent readers
+/// and *dedups in-flight reads*: while one thread materializes a page,
+/// others asking for it block on a condvar instead of re-reading it from
+/// the stores. Hits and misses are counted on the first store's
+/// [`AccessStats`](mbir_archive::stats::AccessStats) (see
+/// [`cache_hit_rate`](mbir_archive::stats::AccessStats::cache_hit_rate));
+/// budget accounting (`pages_read`, `ticks_elapsed`) keeps reflecting the
+/// backing stores, so cache hits are free I/O — exactly the effect the
+/// cache exists to buy.
+///
+/// Failed page reads are **not** cached: a later read attempts the page
+/// again, preserving the stores' transient-fault-healing and quarantine
+/// semantics.
+#[derive(Debug)]
+pub struct CachedTileSource<'a> {
+    stores: &'a [TileStore],
+    capacity: usize,
+    state: Mutex<CacheState>,
+    loaded: Condvar,
+}
+
+impl<'a> CachedTileSource<'a> {
+    /// Wraps per-attribute stores with an LRU cache of `capacity` pages
+    /// (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Query`] when no stores are supplied or their
+    /// shapes / tile sizes disagree (the same validation as
+    /// [`TileSource::new`]).
+    pub fn new(stores: &'a [TileStore], capacity: usize) -> Result<Self, CoreError> {
+        TileSource::new(stores)?;
+        Ok(CachedTileSource {
+            stores,
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState::default()),
+            loaded: Condvar::new(),
+        })
+    }
+
+    /// The wrapped stores.
+    pub fn stores(&self) -> &[TileStore] {
+        self.stores
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the cached page, materializing it (all attributes) on a
+    /// miss. Blocks while another thread is materializing the same page.
+    fn fetch_page(&self, page: usize) -> Result<Arc<PageBlock>, ArchiveError> {
+        let stats = self.stores[0].stats();
+        let mut state = self.state.lock().expect("cache lock");
+        loop {
+            match state.slots.get(&page) {
+                Some(Slot::Ready { .. }) => {
+                    state.clock += 1;
+                    let clock = state.clock;
+                    let Some(Slot::Ready { block, recency }) = state.slots.get_mut(&page) else {
+                        unreachable!("slot was just observed ready");
+                    };
+                    *recency = clock;
+                    let block = Arc::clone(block);
+                    stats.record_cache_hits(1);
+                    return Ok(block);
+                }
+                Some(Slot::Loading) => {
+                    state = self.loaded.wait(state).expect("cache lock");
+                }
+                None => {
+                    state.slots.insert(page, Slot::Loading);
+                    stats.record_cache_misses(1);
+                    break;
+                }
+            }
+        }
+        drop(state);
+        // Read from the stores *without* holding the cache lock: page
+        // reads may retry, back off, or block on the stores' own fault
+        // state, and other pages' readers must not wait on that.
+        let loaded = self.load_page(page);
+        let mut state = self.state.lock().expect("cache lock");
+        match loaded {
+            Ok(block) => {
+                let block = Arc::new(block);
+                state.clock += 1;
+                let recency = state.clock;
+                state.slots.insert(
+                    page,
+                    Slot::Ready {
+                        block: Arc::clone(&block),
+                        recency,
+                    },
+                );
+                self.evict_excess(&mut state);
+                self.loaded.notify_all();
+                Ok(block)
+            }
+            Err(e) => {
+                // Failures are not cached: clear the Loading marker so a
+                // later read retries the page (transient faults heal).
+                state.slots.remove(&page);
+                self.loaded.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn load_page(&self, page: usize) -> Result<PageBlock, ArchiveError> {
+        let (r0, c0, _r1, c1) = self.stores[0].page_extent(page)?;
+        let width = c1 - c0;
+        let mut values = Vec::with_capacity(self.stores.len());
+        for store in self.stores {
+            let tuples = store.read_page(page)?;
+            values.push(tuples.into_iter().map(|(_, v)| v).collect());
+        }
+        Ok(PageBlock {
+            r0,
+            c0,
+            width,
+            values,
+        })
+    }
+
+    /// Drops least-recently-used ready pages until at most `capacity`
+    /// remain. Loading slots are never evicted (their readers hold no
+    /// block yet).
+    fn evict_excess(&self, state: &mut CacheState) {
+        loop {
+            let mut ready = 0usize;
+            let mut victim: Option<(u64, usize)> = None;
+            for (&page, slot) in &state.slots {
+                if let Slot::Ready { recency, .. } = slot {
+                    ready += 1;
+                    let older = match victim {
+                        None => true,
+                        Some((r, _)) => *recency < r,
+                    };
+                    if older {
+                        victim = Some((*recency, page));
+                    }
+                }
+            }
+            if ready <= self.capacity {
+                return;
+            }
+            let Some((_, page)) = victim else { return };
+            state.slots.remove(&page);
+        }
+    }
+}
+
+impl CellSource for CachedTileSource<'_> {
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        let store = &self.stores[0];
+        if row >= store.rows() || col >= store.cols() {
+            return Err(ArchiveError::OutOfBounds {
+                row,
+                col,
+                rows: store.rows(),
+                cols: store.cols(),
+            });
+        }
+        let page = store.page_of(row, col);
+        let block = self.fetch_page(page)?;
+        Ok(block.values[attr][(row - block.r0) * block.width + (col - block.c0)])
+    }
+
+    fn page_of(&self, row: usize, col: usize) -> Option<usize> {
+        Some(self.stores[0].page_of(row, col))
+    }
+
+    fn pages_read(&self) -> u64 {
+        self.stores[0].stats().pages_read()
+    }
+
+    fn ticks_elapsed(&self) -> u64 {
+        self.stores[0].stats().ticks_elapsed()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +396,110 @@ mod tests {
             TileStore::new(grid(0), 2).unwrap(),
         ];
         assert!(TileSource::new(&odd).is_err());
+    }
+
+    fn cached_world() -> (Vec<TileStore>, AccessStats) {
+        let stats = AccessStats::new();
+        let stores: Vec<TileStore> = (0..2)
+            .map(|i| {
+                TileStore::new(grid(i), 4)
+                    .unwrap()
+                    .with_stats(stats.clone())
+            })
+            .collect();
+        (stores, stats)
+    }
+
+    #[test]
+    fn cached_source_serves_repeat_reads_from_memory() {
+        let (stores, stats) = cached_world();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        assert_eq!(src.base_cell(0, 1, 1).unwrap(), 9.0);
+        // Same page, both attributes: served from the cached block.
+        assert_eq!(src.base_cell(1, 0, 2).unwrap(), 3.0);
+        assert_eq!(stats.cache_misses(), 1);
+        assert_eq!(stats.cache_hits(), 1);
+        // One materialization = one page read per attribute store.
+        assert_eq!(stats.pages_read(), 2);
+        assert_eq!(src.pages_read(), 2);
+        assert!(src.base_cell(0, 8, 0).is_err(), "out of bounds");
+        assert_eq!(src.page_of(5, 5), Some(3));
+    }
+
+    #[test]
+    fn cached_source_matches_uncached_values() {
+        let (stores, _) = cached_world();
+        let cached = CachedTileSource::new(&stores, 2).unwrap();
+        let plain = TileSource::new(&stores).unwrap();
+        for attr in 0..2 {
+            for r in 0..8 {
+                for c in 0..8 {
+                    assert_eq!(
+                        cached.base_cell(attr, r, c).unwrap(),
+                        plain.base_cell(attr, r, c).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_capacity_and_recency() {
+        let (stores, stats) = cached_world();
+        let src = CachedTileSource::new(&stores, 1).unwrap();
+        assert_eq!(src.capacity(), 1);
+        src.base_cell(0, 0, 0).unwrap(); // page 0: miss
+        src.base_cell(0, 0, 0).unwrap(); // hit
+        src.base_cell(0, 4, 4).unwrap(); // page 3: miss, evicts page 0
+        src.base_cell(0, 0, 0).unwrap(); // page 0 again: miss
+        assert_eq!(stats.cache_misses(), 3);
+        assert_eq!(stats.cache_hits(), 1);
+        // Capacity 0 clamps to 1.
+        assert_eq!(CachedTileSource::new(&stores, 0).unwrap().capacity(), 1);
+    }
+
+    #[test]
+    fn failed_pages_are_not_cached_so_transients_heal() {
+        use mbir_archive::fault::FaultProfile;
+        let (stores, stats) = cached_world();
+        // Fault only the first store: a page load reads every store, and
+        // each store advances its own transient counter.
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    s.with_faults(FaultProfile::new(0).transient(0, 1))
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        // First touch fails (no retries configured)...
+        assert!(src.base_cell(0, 0, 0).is_err());
+        // ...but the failure was not cached, so the healed page reads fine.
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(src.base_cell(1, 0, 0).unwrap(), 1.0);
+        assert_eq!(stats.cache_misses(), 2, "both attempts were misses");
+    }
+
+    #[test]
+    fn concurrent_readers_dedup_in_flight_page_reads() {
+        let (stores, stats) = cached_world();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let src = &src;
+                scope.spawn(move || {
+                    // All threads hammer page 0 cells.
+                    let v = src.base_cell(t % 2, t / 4, t % 4).unwrap();
+                    assert!(v.is_finite());
+                });
+            }
+        });
+        assert_eq!(stats.cache_misses(), 1, "one materialization total");
+        assert_eq!(stats.cache_hits(), 7);
+        assert_eq!(stats.pages_read(), 2, "one read per attribute store");
     }
 }

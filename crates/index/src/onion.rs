@@ -259,6 +259,39 @@ impl OnionIndex {
         extra_dirs: usize,
         seed: u64,
     ) -> Result<Self, ModelError> {
+        OnionIndex::build_with_hints_threads(points, hints, max_layers, extra_dirs, seed, 1)
+    }
+
+    /// Builds the index with default limits using `threads` OS threads for
+    /// the per-layer direction sweep (d >= 3; lower dimensions build their
+    /// exact hulls sequentially — they are already cheap). The layer
+    /// structure is **bit-identical** to the sequential build: each
+    /// direction's argmax is computed independently and deterministically,
+    /// and the per-layer union is sorted and deduplicated, so how the
+    /// directions are dealt to threads cannot change the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build`].
+    pub fn build_parallel(points: Vec<Vec<f64>>, threads: usize) -> Result<Self, ModelError> {
+        OnionIndex::build_with_hints_threads(points, &[], 64, 32, 7, threads)
+    }
+
+    /// Fully parameterized build: hints, peel limits, sweep seed, and the
+    /// number of threads for the d >= 3 direction sweep. `threads <= 1`
+    /// runs entirely on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build_with_hints`].
+    pub fn build_with_hints_threads(
+        points: Vec<Vec<f64>>,
+        hints: &[Vec<f64>],
+        max_layers: usize,
+        extra_dirs: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, ModelError> {
         let first = points.first().ok_or(ModelError::Empty)?;
         let dims = first.len();
         if dims == 0 {
@@ -334,7 +367,7 @@ impl OnionIndex {
             let layer = match (&sorted_2d, dims) {
                 (_, 1) => extremes_1d(&points, &alive),
                 (Some(order), 2) => hull_2d(&points, &alive, order),
-                _ => sweep_layer(&points, &alive, &bundle),
+                _ => sweep_layer_threads(&points, &alive, &bundle, threads),
             };
             debug_assert!(!layer.is_empty(), "peel must remove at least one point");
             for &idx in &layer {
@@ -587,24 +620,57 @@ fn hull_2d(points: &[Vec<f64>], alive: &[bool], order: &[usize]) -> Vec<usize> {
     lower
 }
 
-/// Direction-sweep extreme set for d >= 3.
-fn sweep_layer(points: &[Vec<f64>], alive: &[bool], bundle: &DirectionBundle) -> Vec<usize> {
-    let mut layer: Vec<usize> = Vec::new();
-    for dir in bundle.directions() {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, p) in points.iter().enumerate() {
-            if !alive[i] {
-                continue;
-            }
-            let s: f64 = dir.iter().zip(p).map(|(a, v)| a * v).sum();
-            if best.map(|(_, bs)| s > bs).unwrap_or(true) {
-                best = Some((i, s));
-            }
+/// Argmax of `dir . x` over the alive points: the *first* strict maximum,
+/// which is deterministic regardless of which thread evaluates it.
+fn sweep_argmax(points: &[Vec<f64>], alive: &[bool], dir: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in points.iter().enumerate() {
+        if !alive[i] {
+            continue;
         }
-        if let Some((i, _)) = best {
-            layer.push(i);
+        let s: f64 = dir.iter().zip(p).map(|(a, v)| a * v).sum();
+        if best.map(|(_, bs)| s > bs).unwrap_or(true) {
+            best = Some((i, s));
         }
     }
+    best.map(|(i, _)| i)
+}
+
+/// Direction-sweep extreme set for d >= 3, fanning the direction bundle
+/// across `threads` OS threads. Each direction's argmax is independent and
+/// the union is sorted + deduplicated, so the result is identical for every
+/// thread count.
+fn sweep_layer_threads(
+    points: &[Vec<f64>],
+    alive: &[bool],
+    bundle: &DirectionBundle,
+    threads: usize,
+) -> Vec<usize> {
+    let dirs = bundle.directions();
+    let workers = threads.max(1).min(dirs.len()).max(1);
+    let mut layer: Vec<usize> = if workers <= 1 {
+        dirs.iter()
+            .filter_map(|dir| sweep_argmax(points, alive, dir))
+            .collect()
+    } else {
+        let chunk = dirs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dirs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .filter_map(|dir| sweep_argmax(points, alive, dir))
+                            .collect::<Vec<usize>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+    };
     layer.sort_unstable();
     layer.dedup();
     layer
@@ -883,6 +949,34 @@ mod tests {
         );
         // Wrong arity rejected.
         assert!(onion.insert(vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // d >= 3 exercises the threaded direction sweep; the private layer
+        // structure (not just query answers) must match exactly.
+        for d in [3usize, 4] {
+            let points = gaussian_points(31 + d as u64, 600, d);
+            let baseline = OnionIndex::build(points.clone()).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let par = OnionIndex::build_parallel(points.clone(), threads).unwrap();
+                assert_eq!(par.layers, baseline.layers, "d={d} threads={threads}");
+                assert_eq!(par.remaining_box, baseline.remaining_box);
+                assert_eq!(par.exact_hull_layers, baseline.exact_hull_layers);
+                let q: Vec<f64> = (0..d).map(|i| 1.0 - 0.4 * i as f64).collect();
+                let a = par.top_k_max(&q, 7).unwrap();
+                let b = baseline.top_k_max(&q, 7).unwrap();
+                assert_eq!(a.results, b.results);
+                assert_eq!(a.stats.tuples_examined, b.stats.tuples_examined);
+            }
+        }
+        // Hinted parallel builds match hinted sequential builds too.
+        let points = gaussian_points(53, 400, 3);
+        let hint = vec![0.5, -0.25, 1.0];
+        let seq = OnionIndex::build_with_hints(points.clone(), &[hint.clone()], 16, 16, 3).unwrap();
+        let par = OnionIndex::build_with_hints_threads(points, &[hint], 16, 16, 3, 4).unwrap();
+        assert_eq!(par.layers, seq.layers);
+        assert_eq!(par.hint_support, seq.hint_support);
     }
 
     #[test]

@@ -19,13 +19,15 @@ impl PartialOrd for MinScored {
 
 impl Ord for MinScored {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse score order (min-heap); reversed index breaks ties so the
-        // *largest* index is evicted first, matching ascending-index ranks.
+        // Reverse score order (min-heap); ascending index breaks ties so
+        // the *largest* index is evicted first, matching ascending-index
+        // ranks: the heap keeps exactly the K best items under the total
+        // order (score descending, index ascending).
         other
             .0
             .score
             .total_cmp(&self.0.score)
-            .then(other.0.index.cmp(&self.0.index))
+            .then(self.0.index.cmp(&other.0.index))
     }
 }
 
@@ -160,6 +162,18 @@ mod tests {
         let data = vec![1.0, 1.0, 1.0, 1.0];
         let r = scan_top_k(&data, 2, |x| *x);
         assert_eq!(r.indexes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn boundary_tie_eviction_keeps_smallest_indices() {
+        // A strictly better late arrival forces one eviction at a tied
+        // floor; the heap must pop the *largest* index among the tied
+        // elements so the kept set is the K best under (score desc,
+        // index asc). Order of offers is adversarial: the tied items
+        // arrive before the heap is full.
+        let data = vec![1.0, 1.0, 1.0, 9.0, 5.0];
+        let r = scan_top_k(&data, 3, |x| *x);
+        assert_eq!(r.indexes(), vec![3, 4, 0]);
     }
 
     #[test]
