@@ -1,0 +1,66 @@
+//! R3 bench: flat columnar scoring kernels vs the legacy nested-Vec
+//! paths, across the dimensionalities and scales the paper's workloads
+//! use. Three hot paths are measured: the sequential scan, the Onion
+//! build sweep, and the Onion query walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_archive::synth::gaussian_tuples;
+use mbir_index::onion::OnionIndex;
+use mbir_index::scan::{scan_top_k, scan_top_k_flat};
+use mbir_index::store::PointStore;
+use std::hint::black_box;
+
+/// A unit-ish direction deterministic in the dimension.
+fn direction(d: usize) -> Vec<f64> {
+    (0..d).map(|j| 0.443 - 0.061 * j as f64).collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r3_scan");
+    for &d in &[2usize, 3, 8, 16] {
+        for &n in &[10_000usize, 100_000] {
+            let points = gaussian_tuples(7, n, d);
+            let store = PointStore::from_rows(&points).expect("well-formed");
+            let dir = direction(d);
+            group.bench_with_input(BenchmarkId::new(format!("flat_d{d}"), n), &n, |b, _| {
+                b.iter(|| scan_top_k_flat(black_box(&store), black_box(&dir), 10))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("legacy_d{d}"), n), &n, |b, _| {
+                b.iter(|| {
+                    scan_top_k(black_box(&points), 10, |p| {
+                        dir.iter().zip(p).map(|(a, v)| a * v).sum()
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r3_onion");
+    group.sample_size(10);
+    let d = 3usize;
+    let n = 100_000usize;
+    let points = gaussian_tuples(7, n, d);
+    let dir = direction(d);
+    group.bench_function("build_kernel_100k", |b| {
+        b.iter(|| OnionIndex::build_with(black_box(points.clone()), 24, 16, 7).expect("valid"))
+    });
+    group.bench_function("build_legacy_100k", |b| {
+        b.iter(|| {
+            OnionIndex::build_legacy_with(black_box(points.clone()), 24, 16, 7).expect("valid")
+        })
+    });
+    let onion = OnionIndex::build_with(points, 24, 16, 7).expect("valid");
+    group.bench_function("query_kernel_100k", |b| {
+        b.iter(|| onion.top_k_max(black_box(&dir), 10).expect("valid"))
+    });
+    group.bench_function("query_legacy_100k", |b| {
+        b.iter(|| onion.top_k_max_legacy(black_box(&dir), 10).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_onion);
+criterion_main!(benches);

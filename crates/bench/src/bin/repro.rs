@@ -1,10 +1,12 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|all] [--threads N]`
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|all] [--threads N] [--legacy]`
 //! (default: all). Output is Markdown, pasted into EXPERIMENTS.md. The R2
 //! experiment additionally writes machine-readable scaling numbers to
 //! `BENCH_parallel.json`; `--threads N` caps the thread counts it sweeps
-//! (default: the pool's detected parallelism).
+//! (default: the pool's detected parallelism). The R3 experiment writes
+//! kernel-vs-legacy throughput to `BENCH_kernels.json`; `--legacy` makes
+//! it measure and print only the legacy paths without touching the JSON.
 
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
@@ -27,8 +29,9 @@ use mbir_core::source::{CachedTileSource, CellSource, TileSource};
 use mbir_core::workflow::{run_workflow, WorkflowConfig};
 use mbir_index::onion::OnionIndex;
 use mbir_index::rstar::RStarTree;
-use mbir_index::scan::scan_top_k;
+use mbir_index::scan::{scan_top_k, scan_top_k_flat};
 use mbir_index::sproc::SprocIndex;
+use mbir_index::store::PointStore;
 use mbir_models::bayes::hps_net::{hps_network, risk_given_observations};
 use mbir_models::fsm::fire_ants::screened_fly_detection;
 use mbir_models::knowledge::geology::RiverbedModel;
@@ -39,6 +42,7 @@ use std::time::Instant;
 fn main() {
     let mut which = "all".to_owned();
     let mut threads: Option<usize> = None;
+    let mut legacy_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -49,6 +53,9 @@ fn main() {
                 std::process::exit(2);
             }
             i += 2;
+        } else if args[i] == "--legacy" {
+            legacy_only = true;
+            i += 1;
         } else {
             which = args[i].clone();
             i += 1;
@@ -100,6 +107,138 @@ fn main() {
     }
     if run("r2") {
         r2_parallel(threads);
+    }
+    if run("r3") {
+        r3_kernels(legacy_only);
+    }
+}
+
+/// R3 — flat columnar kernels vs the legacy nested-Vec hot paths. Measures
+/// the sequential scan and the Onion build/query at d=3, n=100k (the E1
+/// workload scale), asserts bit-identical results, and writes both sides
+/// plus speedup ratios to `BENCH_kernels.json`. With `--legacy` it times
+/// and prints only the legacy paths and leaves the JSON alone.
+fn r3_kernels(legacy_only: bool) {
+    println!("\n## R3 — Flat columnar kernels vs legacy nested-Vec paths\n");
+    let n = 100_000usize;
+    let d = 3usize;
+    let k = 10usize;
+    let (points, dir) = onion_workload(7, n);
+    let store = PointStore::from_rows(&points).expect("well-formed workload");
+    const REPS: u32 = 3;
+    let time_ns = |f: &mut dyn FnMut()| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+    let melem_per_s = |ns: u64| n as f64 / (ns as f64 / 1e9) / 1e6;
+
+    // Sequential scan: flat kernel vs closure-per-point over nested Vecs.
+    let legacy_scan = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+    let scan_legacy_ns = time_ns(&mut || {
+        let _ = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+    });
+
+    // Onion build + query: kernel-backed store vs end-to-end nested Vecs.
+    let legacy_index =
+        OnionIndex::build_legacy_with(points.clone(), 24, 16, 7).expect("valid workload");
+    let legacy_query = legacy_index.top_k_max_legacy(&dir, k).expect("valid query");
+    let onion_build_legacy_ns = time_ns(&mut || {
+        let _ = OnionIndex::build_legacy_with(points.clone(), 24, 16, 7).expect("valid workload");
+    });
+    let onion_query_legacy_ns = time_ns(&mut || {
+        let _ = legacy_index.top_k_max_legacy(&dir, k).expect("valid query");
+    });
+
+    if legacy_only {
+        println!("(--legacy: kernel paths not measured)\n");
+        println!("| hot path | legacy ms | legacy Melem/s |");
+        println!("|---|---|---|");
+        for (label, ns) in [
+            ("sequential scan", scan_legacy_ns),
+            ("onion build", onion_build_legacy_ns),
+            ("onion query", onion_query_legacy_ns),
+        ] {
+            println!(
+                "| {label} | {:.3} | {:.1} |",
+                ns as f64 / 1e6,
+                melem_per_s(ns)
+            );
+        }
+        return;
+    }
+
+    let kernel_scan = scan_top_k_flat(&store, &dir, k);
+    assert_eq!(
+        kernel_scan, legacy_scan,
+        "flat scan must be bit-identical to the legacy scan"
+    );
+    let scan_kernel_ns = time_ns(&mut || {
+        let _ = scan_top_k_flat(&store, &dir, k);
+    });
+
+    let kernel_index = OnionIndex::build_with(points.clone(), 24, 16, 7).expect("valid workload");
+    assert_eq!(
+        kernel_index.layer_sizes(),
+        legacy_index.layer_sizes(),
+        "kernel build must peel identical layers"
+    );
+    let kernel_query = kernel_index.top_k_max(&dir, k).expect("valid query");
+    assert_eq!(
+        kernel_query.results, legacy_query.results,
+        "kernel query must be bit-identical to the legacy query"
+    );
+    let onion_build_kernel_ns = time_ns(&mut || {
+        let _ = OnionIndex::build_with(points.clone(), 24, 16, 7).expect("valid workload");
+    });
+    let onion_query_kernel_ns = time_ns(&mut || {
+        let _ = kernel_index.top_k_max(&dir, k).expect("valid query");
+    });
+
+    let rows = [
+        ("sequential scan", scan_kernel_ns, scan_legacy_ns),
+        ("onion build", onion_build_kernel_ns, onion_build_legacy_ns),
+        ("onion query", onion_query_kernel_ns, onion_query_legacy_ns),
+    ];
+    println!("| hot path | legacy ms | kernel ms | legacy Melem/s | kernel Melem/s | speedup |");
+    println!("|---|---|---|---|---|---|");
+    for (label, kernel_ns, legacy_ns) in rows {
+        println!(
+            "| {label} | {:.3} | {:.3} | {:.1} | {:.1} | {:.2}x |",
+            legacy_ns as f64 / 1e6,
+            kernel_ns as f64 / 1e6,
+            melem_per_s(legacy_ns),
+            melem_per_s(kernel_ns),
+            legacy_ns as f64 / kernel_ns as f64
+        );
+    }
+    println!("\nAll kernel results asserted bit-identical to legacy before timing (d={d}, n={n}, k={k}).");
+
+    // Machine-readable output (hand-rolled JSON; std only).
+    let path_json = |kernel_ns: u64, legacy_ns: u64| -> String {
+        format!(
+            "{{\"legacy_ns\":{legacy_ns},\"kernel_ns\":{kernel_ns},\
+             \"legacy_melem_per_s\":{:.3},\"kernel_melem_per_s\":{:.3},\"speedup\":{:.4}}}",
+            melem_per_s(legacy_ns),
+            melem_per_s(kernel_ns),
+            legacy_ns as f64 / kernel_ns as f64
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"r3_kernels\",\n  \"world\": {{\"n\": {n}, \"d\": {d}, \
+         \"k\": {k}}},\n  \"bit_identical\": true,\n  \"hot_paths\": {{\n    \
+         \"sequential_scan\": {},\n    \"onion_build\": {},\n    \"onion_query\": {}\n  }}\n}}\n",
+        path_json(scan_kernel_ns, scan_legacy_ns),
+        path_json(onion_build_kernel_ns, onion_build_legacy_ns),
+        path_json(onion_query_kernel_ns, onion_query_legacy_ns),
+    );
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_kernels.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_kernels.json: {e}"),
     }
 }
 

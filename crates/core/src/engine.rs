@@ -101,6 +101,72 @@ impl fmt::Display for EffortReport {
     }
 }
 
+/// Reusable buffers for the descent/staged engines, so steady-state
+/// query loops perform no per-query heap allocation: child coordinates,
+/// the base attribute vector, region range boxes, the best-first
+/// frontier, and the staged engine's candidate sets all live here and
+/// are cleared (capacity kept) between queries.
+///
+/// One scratch belongs to one engine call at a time — sequential callers
+/// keep a single instance, parallel engines keep one per worker. A fresh
+/// scratch warms up over the first query (buffers grow to the query's
+/// working-set size) and then stops allocating; [`regrowths`]
+/// (`QueryScratch::regrowths`) counts how many buffer growth events have
+/// happened, so tests can assert a warmed scratch stays allocation-free.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    pub(crate) children: Vec<CellCoord>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) ranges: Vec<(f64, f64)>,
+    pub(crate) frontier: BinaryHeap<Region>,
+    pub(crate) alive: Vec<usize>,
+    pub(crate) partial: Vec<f64>,
+    pub(crate) lows: Vec<f64>,
+    regrowths: u64,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// Cumulative number of internal-buffer growth events since creation.
+    /// Stable across two identical consecutive queries ⇔ the second query
+    /// allocated nothing.
+    pub fn regrowths(&self) -> u64 {
+        self.regrowths
+    }
+}
+
+/// Capacity snapshot used to detect buffer regrowth across one engine run.
+pub(crate) struct ScratchCaps(usize, usize, usize, usize, usize, usize, usize);
+
+impl QueryScratch {
+    pub(crate) fn caps(&self) -> ScratchCaps {
+        ScratchCaps(
+            self.children.capacity(),
+            self.x.capacity(),
+            self.ranges.capacity(),
+            self.frontier.capacity(),
+            self.alive.capacity(),
+            self.partial.capacity(),
+            self.lows.capacity(),
+        )
+    }
+
+    pub(crate) fn note_regrowth(&mut self, before: &ScratchCaps) {
+        let after = self.caps();
+        self.regrowths += u64::from(after.0 > before.0)
+            + u64::from(after.1 > before.1)
+            + u64::from(after.2 > before.2)
+            + u64::from(after.3 > before.3)
+            + u64::from(after.4 > before.4)
+            + u64::from(after.5 > before.5)
+            + u64::from(after.6 > before.6);
+    }
+}
+
 /// A scored grid cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredCell {
@@ -144,6 +210,22 @@ pub fn staged_top_k(
     tuples: &[Vec<f64>],
     k: usize,
 ) -> Result<TupleTopK, CoreError> {
+    staged_top_k_with_scratch(model, tuples, k, &mut QueryScratch::new())
+}
+
+/// [`staged_top_k`] with candidate/partial-sum/lower-bound buffers reused
+/// from `scratch` — the allocation-free form for callers issuing many
+/// queries. Results are bit-identical to [`staged_top_k`].
+///
+/// # Errors
+///
+/// Same as [`staged_top_k`].
+pub fn staged_top_k_with_scratch(
+    model: &ProgressiveLinearModel,
+    tuples: &[Vec<f64>],
+    k: usize,
+    scratch: &mut QueryScratch,
+) -> Result<TupleTopK, CoreError> {
     if k == 0 {
         return Err(CoreError::Query("k must be >= 1".into()));
     }
@@ -165,9 +247,19 @@ pub fn staged_top_k(
     let coeffs = model.model().coefficients();
     let ranges = model.ranges();
 
+    let caps = scratch.caps();
+    let QueryScratch {
+        alive,
+        partial,
+        lows,
+        ..
+    } = scratch;
+
     // Incremental partial sums: one multiply-add per stage per candidate.
-    let mut alive: Vec<usize> = (0..tuples.len()).collect();
-    let mut partial: Vec<f64> = vec![model.model().intercept(); tuples.len()];
+    alive.clear();
+    alive.extend(0..tuples.len());
+    partial.clear();
+    partial.resize(tuples.len(), model.model().intercept());
     let mut effort = EffortReport {
         multiply_adds: 0,
         naive_multiply_adds: (n_terms * tuples.len()) as u64,
@@ -175,7 +267,7 @@ pub fn staged_top_k(
     for stage in 1..=n_terms {
         let term = order[stage - 1];
         let (rlo, rhi) = ranges[term];
-        for &idx in &alive {
+        for &idx in alive.iter() {
             partial[idx] += coeffs[term] * tuples[idx][term].clamp(rlo, rhi);
             effort.multiply_adds += 1;
         }
@@ -193,10 +285,12 @@ pub fn staged_top_k(
         let half_width = (probe.hi - probe.lo) / 2.0;
 
         // K-th largest lower bound among the alive.
-        let mut lows: Vec<f64> = alive
-            .iter()
-            .map(|&idx| partial[idx] + suffix_mid - half_width)
-            .collect();
+        lows.clear();
+        lows.extend(
+            alive
+                .iter()
+                .map(|&idx| partial[idx] + suffix_mid - half_width),
+        );
         if lows.len() > k {
             lows.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
             let floor = lows[k - 1];
@@ -204,12 +298,13 @@ pub fn staged_top_k(
         }
     }
     let mut heap = TopKHeap::new(k);
-    for &idx in &alive {
+    for &idx in alive.iter() {
         heap.offer(ScoredItem {
             index: idx,
             score: partial[idx],
         });
     }
+    scratch.note_regrowth(&caps);
     Ok(TupleTopK {
         results: heap.into_sorted(),
         effort,
@@ -305,6 +400,24 @@ pub fn pyramid_top_k_with_source<S: CellSource>(
     k: usize,
     source: &S,
 ) -> Result<GridTopK, CoreError> {
+    pyramid_top_k_with_scratch(model, pyramids, k, source, &mut QueryScratch::new())
+}
+
+/// [`pyramid_top_k_with_source`] with the frontier, child list, range box,
+/// and attribute vector reused from `scratch` — the steady-state descent
+/// loop performs no heap allocation once the scratch has warmed up.
+/// Results are bit-identical to [`pyramid_top_k_with_source`].
+///
+/// # Errors
+///
+/// Same as [`pyramid_top_k_with_source`].
+pub fn pyramid_top_k_with_scratch<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    scratch: &mut QueryScratch,
+) -> Result<GridTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
     let (rows, cols) = shape;
     let n = model.arity() as u64;
@@ -312,10 +425,18 @@ pub fn pyramid_top_k_with_source<S: CellSource>(
         multiply_adds: 0,
         naive_multiply_adds: n * (rows * cols) as u64,
     };
+    let caps = scratch.caps();
+    let QueryScratch {
+        children,
+        x,
+        ranges,
+        frontier,
+        ..
+    } = scratch;
+    frontier.clear();
     let mut heap = TopKHeap::new(k);
-    let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
     let top = levels - 1;
-    let root_bound = region_bound(model, pyramids, top, 0, 0, &mut effort)?;
+    let root_bound = region_bound_into(model, pyramids, top, 0, 0, ranges, &mut effort)?;
     frontier.push(Region {
         ub: root_bound,
         level: top,
@@ -331,21 +452,23 @@ pub fn pyramid_top_k_with_source<S: CellSource>(
         }
         if region.level == 0 {
             // Exact evaluation at base resolution, through the source.
-            let x = read_base_vector(source, model.arity(), region.row, region.col)?;
+            read_base_vector_into(source, model.arity(), region.row, region.col, x)?;
             effort.multiply_adds += n;
             heap.offer(ScoredItem {
                 index: region.row * cols + region.col,
-                score: model.evaluate(&x),
+                score: model.evaluate(x),
             });
             continue;
         }
-        for child in pyramids[0].children(region.level, region.row, region.col) {
-            let ub = region_bound(
+        pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            let ub = region_bound_into(
                 model,
                 pyramids,
                 region.level - 1,
                 child.row,
                 child.col,
+                ranges,
                 &mut effort,
             )?;
             frontier.push(Region {
@@ -362,6 +485,7 @@ pub fn pyramid_top_k_with_source<S: CellSource>(
             score: item.score,
         });
     }
+    scratch.note_regrowth(&caps);
     Ok(GridTopK { results, effort })
 }
 
@@ -372,9 +496,28 @@ pub(crate) fn read_base_vector<S: CellSource>(
     row: usize,
     col: usize,
 ) -> Result<Vec<f64>, CoreError> {
-    (0..arity)
-        .map(|attr| source.base_cell(attr, row, col).map_err(CoreError::Archive))
-        .collect()
+    let mut out = Vec::with_capacity(arity);
+    read_base_vector_into(source, arity, row, col, &mut out)?;
+    Ok(out)
+}
+
+/// [`read_base_vector`] into a reused buffer (cleared first).
+pub(crate) fn read_base_vector_into<S: CellSource>(
+    source: &S,
+    arity: usize,
+    row: usize,
+    col: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), CoreError> {
+    out.clear();
+    for attr in 0..arity {
+        out.push(
+            source
+                .base_cell(attr, row, col)
+                .map_err(CoreError::Archive)?,
+        );
+    }
+    Ok(())
 }
 
 /// Combined engine (`p_m · p_d`): quad-descent where coarse levels are
@@ -408,6 +551,23 @@ pub fn combined_top_k_with_source<S: CellSource>(
     k: usize,
     source: &S,
 ) -> Result<GridTopK, CoreError> {
+    combined_top_k_with_scratch(model, pyramids, k, source, &mut QueryScratch::new())
+}
+
+/// [`combined_top_k_with_source`] with frontier/child/attribute buffers
+/// reused from `scratch` (see [`pyramid_top_k_with_scratch`]). Results are
+/// bit-identical to [`combined_top_k_with_source`].
+///
+/// # Errors
+///
+/// Same as [`combined_top_k_with_source`].
+pub fn combined_top_k_with_scratch<S: CellSource>(
+    model: &ProgressiveLinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    scratch: &mut QueryScratch,
+) -> Result<GridTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model.model(), pyramids, k)?;
     let (rows, cols) = shape;
     let n_terms = model.stages();
@@ -425,8 +585,15 @@ pub fn combined_top_k_with_source<S: CellSource>(
             ((n_terms as f64 * frac).ceil() as usize).clamp(1, n_terms)
         }
     };
+    let caps = scratch.caps();
+    let QueryScratch {
+        children,
+        x,
+        frontier,
+        ..
+    } = scratch;
+    frontier.clear();
     let mut heap = TopKHeap::new(k);
-    let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
     let top = levels - 1;
     let root_ub = staged_region_bound(
         model,
@@ -451,16 +618,17 @@ pub fn combined_top_k_with_source<S: CellSource>(
             }
         }
         if region.level == 0 {
-            let x = read_base_vector(source, n_terms, region.row, region.col)?;
+            read_base_vector_into(source, n_terms, region.row, region.col, x)?;
             effort.multiply_adds += n;
             heap.offer(ScoredItem {
                 index: region.row * cols + region.col,
-                score: model.evaluate_exact(&x),
+                score: model.evaluate_exact(x),
             });
             continue;
         }
         let child_stage = stage_for_level(region.level - 1);
-        for child in pyramids[0].children(region.level, region.row, region.col) {
+        pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
             let ub = staged_region_bound(
                 model,
                 pyramids,
@@ -484,6 +652,7 @@ pub fn combined_top_k_with_source<S: CellSource>(
             score: item.score,
         });
     }
+    scratch.note_regrowth(&caps);
     Ok(GridTopK { results, effort })
 }
 
@@ -586,21 +755,25 @@ pub(crate) fn validate_grid_inputs(
     Ok((shape, levels))
 }
 
-/// Full-model interval upper bound over a pyramid region.
-pub(crate) fn region_bound(
+/// Full-model interval upper bound over a pyramid region, with the
+/// per-attribute range box assembled in a reused buffer (cleared first)
+/// instead of a fresh allocation per call.
+pub(crate) fn region_bound_into(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
     level: usize,
     row: usize,
     col: usize,
+    ranges: &mut Vec<(f64, f64)>,
     effort: &mut EffortReport,
 ) -> Result<f64, CoreError> {
-    let ranges: Vec<(f64, f64)> = pyramids
-        .iter()
-        .map(|p| p.cell(level, row, col).map(|s| (s.min, s.max)))
-        .collect::<Result<_, _>>()?;
+    ranges.clear();
+    for p in pyramids {
+        let s = p.cell(level, row, col)?;
+        ranges.push((s.min, s.max));
+    }
     effort.multiply_adds += model.arity() as u64;
-    let (_, hi) = model.bound_over_box(&ranges)?;
+    let (_, hi) = model.bound_over_box(ranges)?;
     Ok(hi)
 }
 
@@ -887,6 +1060,80 @@ mod tests {
         let maximized = grid_query(&model, &pyramids, max_query).unwrap();
         let direct = pyramid_top_k(&model, &pyramids, 5).unwrap();
         assert_eq!(maximized.results, direct.results);
+    }
+
+    #[test]
+    fn warmed_scratch_stops_allocating() {
+        // Acceptance gate for the allocation-free steady state: the first
+        // query may grow the scratch buffers, but a second identical query
+        // through the same scratch must add zero regrowth events — i.e.
+        // the descent loop performs no heap allocation once warm.
+        use crate::source::PyramidSource;
+        let (model, pyramids) = build_inputs(21, 48, 48, 3);
+        let source = PyramidSource::new(&pyramids);
+        let mut scratch = QueryScratch::new();
+        let first =
+            pyramid_top_k_with_scratch(&model, &pyramids, 5, &source, &mut scratch).unwrap();
+        let warm = scratch.regrowths();
+        let second =
+            pyramid_top_k_with_scratch(&model, &pyramids, 5, &source, &mut scratch).unwrap();
+        assert_eq!(first, second, "scratch reuse must not change results");
+        assert_eq!(
+            scratch.regrowths(),
+            warm,
+            "steady-state pyramid descent must not grow any buffer"
+        );
+
+        let prog = progressive_of(&model, &pyramids);
+        let first =
+            combined_top_k_with_scratch(&prog, &pyramids, 5, &source, &mut scratch).unwrap();
+        let warm = scratch.regrowths();
+        let second =
+            combined_top_k_with_scratch(&prog, &pyramids, 5, &source, &mut scratch).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            scratch.regrowths(),
+            warm,
+            "steady-state combined descent must not grow any buffer"
+        );
+
+        let tuples: Vec<Vec<f64>> = (0..48 * 48)
+            .map(|i| {
+                (0..3)
+                    .map(|a| pyramids[a].cell(0, i / 48, i % 48).unwrap().mean)
+                    .collect()
+            })
+            .collect();
+        let first = staged_top_k_with_scratch(&prog, &tuples, 5, &mut scratch).unwrap();
+        let warm = scratch.regrowths();
+        let second = staged_top_k_with_scratch(&prog, &tuples, 5, &mut scratch).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            scratch.regrowths(),
+            warm,
+            "steady-state staged scan must not grow any buffer"
+        );
+    }
+
+    #[test]
+    fn scratch_engines_match_allocating_engines_bitwise() {
+        use crate::source::PyramidSource;
+        let (model, pyramids) = build_inputs(33, 20, 28, 4);
+        let source = PyramidSource::new(&pyramids);
+        let prog = progressive_of(&model, &pyramids);
+        let mut scratch = QueryScratch::new();
+        for k in [1usize, 4, 9] {
+            assert_eq!(
+                pyramid_top_k_with_scratch(&model, &pyramids, k, &source, &mut scratch).unwrap(),
+                pyramid_top_k(&model, &pyramids, k).unwrap(),
+                "pyramid k={k}"
+            );
+            assert_eq!(
+                combined_top_k_with_scratch(&prog, &pyramids, k, &source, &mut scratch).unwrap(),
+                combined_top_k(&prog, &pyramids, k).unwrap(),
+                "combined k={k}"
+            );
+        }
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! engines at every thread count. DESIGN.md §9 spells the argument out.
 
 use crate::engine::{
-    read_base_vector, region_bound, validate_grid_inputs, EffortReport, GridTopK, Region,
-    ScoredCell, TupleTopK,
+    read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, GridTopK,
+    QueryScratch, Region, ScoredCell, TupleTopK,
 };
 use crate::error::CoreError;
 use crate::parallel::pool::{SharedBound, WorkerPool};
@@ -69,7 +69,11 @@ fn expand_frontier(
     mut checkpoint: impl FnMut(&EffortReport) -> Option<BudgetStop>,
 ) -> Result<(Vec<Region>, Option<BudgetStop>), CoreError> {
     let top = levels - 1;
-    let root = region_bound(model, pyramids, top, 0, 0, effort)?;
+    let mut scratch = QueryScratch::new();
+    let QueryScratch {
+        children, ranges, ..
+    } = &mut scratch;
+    let root = region_bound_into(model, pyramids, top, 0, 0, ranges, effort)?;
     let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
     frontier.push(Region {
         ub: root,
@@ -89,13 +93,15 @@ fn expand_frontier(
             parked.push(region);
             continue;
         }
-        for child in pyramids[0].children(region.level, region.row, region.col) {
-            let ub = region_bound(
+        pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            let ub = region_bound_into(
                 model,
                 pyramids,
                 region.level - 1,
                 child.row,
                 child.col,
+                ranges,
                 effort,
             )?;
             frontier.push(Region {
@@ -144,6 +150,14 @@ fn strict_worker<S: CellSource>(
     let mut heap = TopKHeap::new(k);
     let mut frontier: BinaryHeap<Region> = seed.into();
     let mut error = None;
+    // Per-worker scratch: the descent loop allocates nothing once warm.
+    let mut scratch = QueryScratch::new();
+    let QueryScratch {
+        children,
+        x,
+        ranges,
+        ..
+    } = &mut scratch;
     'descent: while let Some(region) = frontier.pop() {
         let mut bound = shared.get();
         if let Some(floor) = heap.floor() {
@@ -153,12 +167,12 @@ fn strict_worker<S: CellSource>(
             break; // Everything left in this partition is excluded.
         }
         if region.level == 0 {
-            match read_base_vector(source, model.arity(), region.row, region.col) {
-                Ok(x) => {
+            match read_base_vector_into(source, model.arity(), region.row, region.col, x) {
+                Ok(()) => {
                     effort.multiply_adds += n;
                     heap.offer(ScoredItem {
                         index: region.row * cols + region.col,
-                        score: model.evaluate(&x),
+                        score: model.evaluate(x),
                     });
                     if let Some(floor) = heap.floor() {
                         shared.offer(floor);
@@ -171,13 +185,15 @@ fn strict_worker<S: CellSource>(
             }
             continue;
         }
-        for child in pyramids[0].children(region.level, region.row, region.col) {
-            match region_bound(
+        pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            match region_bound_into(
                 model,
                 pyramids,
                 region.level - 1,
                 child.row,
                 child.col,
+                ranges,
                 &mut effort,
             ) {
                 Ok(ub) => frontier.push(Region {
@@ -290,6 +306,8 @@ fn staged_worker(
     let ranges = model.ranges();
     let mut alive: Vec<usize> = (start..end).collect();
     let mut partial: Vec<f64> = vec![model.model().intercept(); end - start];
+    // Reused across stages so each pruning pass allocates nothing.
+    let mut lows: Vec<f64> = Vec::new();
     for stage in 1..=n_terms {
         let term = order[stage - 1];
         let (rlo, rhi) = ranges[term];
@@ -307,10 +325,12 @@ fn staged_worker(
         let half_width = (probe.hi - probe.lo) / 2.0;
         let mut floor = shared.get();
         if alive.len() > k {
-            let mut lows: Vec<f64> = alive
-                .iter()
-                .map(|&idx| partial[idx - start] + suffix_mid - half_width)
-                .collect();
+            lows.clear();
+            lows.extend(
+                alive
+                    .iter()
+                    .map(|&idx| partial[idx - start] + suffix_mid - half_width),
+            );
             lows.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
             let local = lows[k - 1];
             shared.offer(local);
@@ -451,6 +471,14 @@ fn resilient_worker<S: CellSource>(
     let n = ctx.model.arity() as u64;
     let mut heap = TopKHeap::new(ctx.k);
     let mut frontier: BinaryHeap<Region> = seed.into();
+    // Per-worker scratch: the descent loop allocates nothing once warm.
+    let mut scratch = QueryScratch::new();
+    let QueryScratch {
+        children,
+        x,
+        ranges,
+        ..
+    } = &mut scratch;
     let mut out = ResilientWorkerOut {
         items: Vec::new(),
         lost: Vec::new(),
@@ -490,13 +518,13 @@ fn resilient_worker<S: CellSource>(
             break;
         }
         if region.level == 0 {
-            match read_base_vector(ctx.source, ctx.model.arity(), region.row, region.col) {
-                Ok(x) => {
+            match read_base_vector_into(ctx.source, ctx.model.arity(), region.row, region.col, x) {
+                Ok(()) => {
                     out.effort.multiply_adds += n;
                     ctx.multiply_adds.fetch_add(n, AtomicOrdering::Relaxed);
                     heap.offer(ScoredItem {
                         index: region.row * ctx.cols + region.col,
-                        score: ctx.model.evaluate(&x),
+                        score: ctx.model.evaluate(x),
                     });
                     if let Some(floor) = heap.floor() {
                         ctx.bound.offer(floor);
@@ -517,13 +545,15 @@ fn resilient_worker<S: CellSource>(
         }
         let mut local = EffortReport::default();
         let mut failed = None;
-        for child in ctx.pyramids[0].children(region.level, region.row, region.col) {
-            match region_bound(
+        ctx.pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            match region_bound_into(
                 ctx.model,
                 ctx.pyramids,
                 region.level - 1,
                 child.row,
                 child.col,
+                ranges,
                 &mut local,
             ) {
                 Ok(ub) => frontier.push(Region {

@@ -31,7 +31,8 @@
 //! bit-identical to [`pyramid_top_k`](crate::engine::pyramid_top_k).
 
 use crate::engine::{
-    read_base_vector, region_bound, validate_grid_inputs, EffortReport, Region, ScoredCell,
+    read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, QueryScratch,
+    Region, ScoredCell,
 };
 use crate::error::CoreError;
 use crate::source::CellSource;
@@ -41,7 +42,7 @@ use mbir_index::scan::TopKHeap;
 use mbir_index::stats::ScoredItem;
 use mbir_models::linear::LinearModel;
 use mbir_progressive::pyramid::AggregatePyramid;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Work ceilings for one retrieval, checked at cooperative checkpoints
@@ -240,6 +241,24 @@ pub fn resilient_top_k<S: CellSource>(
     source: &S,
     budget: &ExecutionBudget,
 ) -> Result<ResilientTopK, CoreError> {
+    resilient_top_k_with_scratch(model, pyramids, k, source, budget, &mut QueryScratch::new())
+}
+
+/// [`resilient_top_k`] with descent buffers reused from `scratch` (see
+/// [`pyramid_top_k_with_scratch`](crate::engine::pyramid_top_k_with_scratch)).
+/// Results are bit-identical to [`resilient_top_k`].
+///
+/// # Errors
+///
+/// Same as [`resilient_top_k`].
+pub fn resilient_top_k_with_scratch<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    scratch: &mut QueryScratch,
+) -> Result<ResilientTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
     let (rows, cols) = shape;
     let total_cells = (rows * cols) as u64;
@@ -251,10 +270,18 @@ pub fn resilient_top_k<S: CellSource>(
     let pages_at_entry = source.pages_read();
     let ticks_at_entry = source.ticks_elapsed();
 
+    let caps = scratch.caps();
+    let QueryScratch {
+        children,
+        x,
+        ranges,
+        frontier,
+        ..
+    } = scratch;
+    frontier.clear();
     let mut heap = TopKHeap::new(k);
-    let mut frontier: BinaryHeap<Region> = BinaryHeap::new();
     let top = levels - 1;
-    let root_bound = region_bound(model, pyramids, top, 0, 0, &mut effort)?;
+    let root_bound = region_bound_into(model, pyramids, top, 0, 0, ranges, &mut effort)?;
     frontier.push(Region {
         ub: root_bound,
         level: top,
@@ -288,12 +315,12 @@ pub fn resilient_top_k<S: CellSource>(
             break;
         }
         if region.level == 0 {
-            match read_base_vector(source, model.arity(), region.row, region.col) {
-                Ok(x) => {
+            match read_base_vector_into(source, model.arity(), region.row, region.col, x) {
+                Ok(()) => {
                     effort.multiply_adds += n;
                     heap.offer(ScoredItem {
                         index: region.row * cols + region.col,
-                        score: model.evaluate(&x),
+                        score: model.evaluate(x),
                     });
                 }
                 Err(CoreError::Archive(
@@ -306,13 +333,15 @@ pub fn resilient_top_k<S: CellSource>(
             }
             continue;
         }
-        for child in pyramids[0].children(region.level, region.row, region.col) {
-            let ub = region_bound(
+        pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            let ub = region_bound_into(
                 model,
                 pyramids,
                 region.level - 1,
                 child.row,
                 child.col,
+                ranges,
                 &mut effort,
             )?;
             frontier.push(Region {
@@ -392,6 +421,7 @@ pub fn resilient_top_k<S: CellSource>(
     });
     hits.truncate(k);
 
+    scratch.note_regrowth(&caps);
     Ok(ResilientTopK {
         results: hits,
         effort,

@@ -15,6 +15,10 @@
 //!   `O(M K L^2)` and further with sorted-list early termination.
 //! * [`scan`] — the sequential-scan baseline every speedup is measured
 //!   against, with tuple accounting.
+//! * [`store`] — flat row-major point storage ([`store::PointStore`]):
+//!   one contiguous allocation instead of a `Vec` per tuple.
+//! * [`kernels`] — batched scoring kernels over flat rows, bit-identical
+//!   to the per-point paths by the summation-order contract.
 //!
 //! ```
 //! use mbir_index::onion::OnionIndex;
@@ -25,14 +29,17 @@
 //! assert_eq!(top.results[0].index, 3);
 //! ```
 
+pub mod kernels;
 pub mod onion;
 pub mod rstar;
 pub mod scan;
 pub mod sproc;
 pub mod stats;
+pub mod store;
 
 pub use onion::OnionIndex;
 pub use rstar::RStarTree;
-pub use scan::scan_top_k;
+pub use scan::{scan_top_k, scan_top_k_flat};
 pub use sproc::SprocIndex;
 pub use stats::{QueryStats, ScoredItem, TopKResult};
+pub use store::PointStore;

@@ -29,9 +29,23 @@
 //! any layer contents whatsoever, so results are exactly the scan results
 //! (property-tested) regardless of hull exactness; layer quality only
 //! affects how early the walk stops.
+//!
+//! ## Data layout
+//!
+//! Tuples live in a flat row-major [`PointStore`]. The d >= 3 peel sweep is
+//! the build hot path, and it now makes **one** streaming pass over the
+//! store per layer, updating every bundle direction's running argmax per
+//! row ([`kernels::sweep_argmax_block`]) — instead of one pointer-chased
+//! pass per direction over `Vec<Vec<f64>>`. Per-direction winners are
+//! unchanged (same visit order, same strict-max rule), so layers are
+//! bit-identical to the legacy build, which remains available as
+//! [`OnionIndex::build_legacy`] for benchmarking and as the reference in
+//! bit-identity property tests.
 
+use crate::kernels;
 use crate::scan::TopKHeap;
 use crate::stats::{QueryStats, ScoredItem, TopKResult};
+use crate::store::PointStore;
 use mbir_models::error::ModelError;
 use rand_like::DirectionBundle;
 
@@ -115,20 +129,20 @@ struct BoundingBox {
 }
 
 impl BoundingBox {
-    fn of(
-        points: &[Vec<f64>],
-        members: impl Iterator<Item = usize> + Clone,
-        d: usize,
-    ) -> Option<Self> {
+    /// Encloses `members`, reading coordinates through `row` — the one
+    /// implementation serves both the flat store and the legacy nested
+    /// points (identical per-coordinate fold order either way).
+    fn of<'a, F, M>(row: F, members: M, d: usize) -> Option<Self>
+    where
+        F: Fn(usize) -> &'a [f64],
+        M: Iterator<Item = usize> + Clone,
+    {
         let mut lo = vec![f64::INFINITY; d];
         let mut hi = vec![f64::NEG_INFINITY; d];
         let mut any = false;
         for idx in members.clone() {
             any = true;
-            for (j, v) in points[idx].iter().enumerate() {
-                lo[j] = lo[j].min(*v);
-                hi[j] = hi[j].max(*v);
-            }
+            kernels::min_max_update(&mut lo, &mut hi, row(idx));
         }
         if !any {
             return None;
@@ -136,7 +150,7 @@ impl BoundingBox {
         let center: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| (l + h) / 2.0).collect();
         let mut radius: f64 = 0.0;
         for idx in members {
-            let d2: f64 = points[idx]
+            let d2: f64 = row(idx)
                 .iter()
                 .zip(&center)
                 .map(|(v, c)| (v - c) * (v - c))
@@ -153,10 +167,7 @@ impl BoundingBox {
 
     /// Grows the enclosure to cover one more point.
     fn extend(&mut self, point: &[f64]) {
-        for (j, v) in point.iter().enumerate() {
-            self.lo[j] = self.lo[j].min(*v);
-            self.hi[j] = self.hi[j].max(*v);
-        }
+        kernels::min_max_update(&mut self.lo, &mut self.hi, point);
         let d2: f64 = point
             .iter()
             .zip(&self.center)
@@ -193,7 +204,7 @@ impl BoundingBox {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnionIndex {
-    points: Vec<Vec<f64>>,
+    points: PointStore,
     dims: usize,
     /// Layers outermost-first; the final entry is the unpeeled core.
     layers: Vec<Vec<usize>>,
@@ -292,6 +303,46 @@ impl OnionIndex {
         seed: u64,
         threads: usize,
     ) -> Result<Self, ModelError> {
+        OnionIndex::build_impl(points, hints, max_layers, extra_dirs, seed, threads, false)
+    }
+
+    /// Builds via the pre-`PointStore` reference path: nested
+    /// `Vec<Vec<f64>>` storage end to end, one sweep pass per direction.
+    /// Layers, bounds, and query answers are bit-identical to
+    /// [`OnionIndex::build`]; only the construction cost differs. Kept as
+    /// the honest "before" baseline for the kernels benchmark and as the
+    /// reference in bit-identity property tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build`].
+    pub fn build_legacy(points: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        OnionIndex::build_legacy_with(points, 64, 32, 7)
+    }
+
+    /// [`OnionIndex::build_legacy`] with explicit peel limits and seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build_with`].
+    pub fn build_legacy_with(
+        points: Vec<Vec<f64>>,
+        max_layers: usize,
+        extra_dirs: usize,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        OnionIndex::build_impl(points, &[], max_layers, extra_dirs, seed, 1, true)
+    }
+
+    fn build_impl(
+        points: Vec<Vec<f64>>,
+        hints: &[Vec<f64>],
+        max_layers: usize,
+        extra_dirs: usize,
+        seed: u64,
+        threads: usize,
+        legacy: bool,
+    ) -> Result<Self, ModelError> {
         let first = points.first().ok_or(ModelError::Empty)?;
         let dims = first.len();
         if dims == 0 {
@@ -324,29 +375,20 @@ impl OnionIndex {
         }
 
         let n = points.len();
+        let store = PointStore::from_rows(&points)?;
         let mut alive = vec![true; n];
         let mut remaining = n;
         let mut layers: Vec<Vec<usize>> = Vec::new();
         let mut remaining_box: Vec<BoundingBox> = Vec::new();
         let mut hint_support: Vec<Vec<f64>> = Vec::new();
-        let support_of = |alive: &[bool], points: &[Vec<f64>], dir: &[f64]| -> f64 {
-            let mut best = f64::NEG_INFINITY;
-            for (i, p) in points.iter().enumerate() {
-                if alive[i] {
-                    let s: f64 = dir.iter().zip(p).map(|(a, v)| a * v).sum();
-                    best = best.max(s);
-                }
-            }
-            best
-        };
 
         // Pre-sort for 2-D monotone chain reuse.
         let sorted_2d: Option<Vec<usize>> = if dims == 2 {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                points[a][0]
-                    .total_cmp(&points[b][0])
-                    .then(points[a][1].total_cmp(&points[b][1]))
+                store.row(a)[0]
+                    .total_cmp(&store.row(b)[0])
+                    .then(store.row(a)[1].total_cmp(&store.row(b)[1]))
             });
             Some(order)
         } else {
@@ -354,20 +396,41 @@ impl OnionIndex {
         };
         let bundle = DirectionBundle::new(dims, extra_dirs, seed).with_extra(&unit_hints);
 
+        let enclose = |alive: &[bool]| -> BoundingBox {
+            let members = (0..n).filter(|i| alive[*i]);
+            if legacy {
+                BoundingBox::of(|i| points[i].as_slice(), members, dims)
+            } else {
+                BoundingBox::of(|i| store.row(i), members, dims)
+            }
+            .expect("remaining > 0")
+        };
+        let supports = |alive: &[bool]| -> Vec<f64> {
+            unit_hints
+                .iter()
+                .map(|h| {
+                    if legacy {
+                        support_of_rows(alive, &points, h)
+                    } else {
+                        kernels::max_score_alive(store.flat(), dims, alive, h)
+                    }
+                })
+                .collect()
+        };
+
         while remaining > 0 && layers.len() < max_layers {
-            let bbox = BoundingBox::of(&points, (0..n).filter(|i| alive[*i]), dims)
-                .expect("remaining > 0");
-            remaining_box.push(bbox);
-            hint_support.push(
-                unit_hints
-                    .iter()
-                    .map(|h| support_of(&alive, &points, h))
-                    .collect(),
-            );
+            remaining_box.push(enclose(&alive));
+            hint_support.push(supports(&alive));
             let layer = match (&sorted_2d, dims) {
-                (_, 1) => extremes_1d(&points, &alive),
-                (Some(order), 2) => hull_2d(&points, &alive, order),
-                _ => sweep_layer_threads(&points, &alive, &bundle, threads),
+                (_, 1) => extremes_1d(&store, &alive),
+                (Some(order), 2) => hull_2d(&store, &alive, order),
+                _ => {
+                    if legacy {
+                        sweep_layer_threads(&points, &alive, &bundle, threads)
+                    } else {
+                        sweep_layer_flat_threads(&store, &alive, &bundle, threads)
+                    }
+                }
             };
             debug_assert!(!layer.is_empty(), "peel must remove at least one point");
             for &idx in &layer {
@@ -377,15 +440,8 @@ impl OnionIndex {
             layers.push(layer);
         }
         if remaining > 0 {
-            let bbox = BoundingBox::of(&points, (0..n).filter(|i| alive[*i]), dims)
-                .expect("remaining > 0");
-            remaining_box.push(bbox);
-            hint_support.push(
-                unit_hints
-                    .iter()
-                    .map(|h| support_of(&alive, &points, h))
-                    .collect(),
-            );
+            remaining_box.push(enclose(&alive));
+            hint_support.push(supports(&alive));
             layers.push((0..n).filter(|i| alive[*i]).collect());
         }
         // For d <= 2 every peeled layer is an exact hull; the trailing
@@ -397,7 +453,7 @@ impl OnionIndex {
         };
         let exact_hull_layers = if dims <= 2 { peeled } else { 0 };
         Ok(OnionIndex {
-            points,
+            points: store,
             dims,
             layers,
             remaining_box,
@@ -423,7 +479,6 @@ impl OnionIndex {
                 actual: point.len(),
             });
         }
-        let idx = self.points.len();
         // Update every remaining-set enclosure: the new point is "visible"
         // from depth 0 only (it lives in layer 0), so only that level's
         // bounds must cover it — but remaining_box[l] must bound layers
@@ -437,8 +492,8 @@ impl OnionIndex {
                 level0[h] = level0[h].max(s);
             }
         }
+        let idx = self.points.push_row(&point)?;
         self.layers[0].push(idx);
-        self.points.push(point);
         Ok(idx)
     }
 
@@ -451,7 +506,7 @@ impl OnionIndex {
     /// validated by `insert`).
     pub fn rebuild(&mut self) -> Result<(), ModelError> {
         let rebuilt =
-            OnionIndex::build_with_hints(self.points.clone(), &self.hints.clone(), 64, 32, 7)?;
+            OnionIndex::build_with_hints(self.points.to_rows(), &self.hints.clone(), 64, 32, 7)?;
         *self = rebuilt;
         Ok(())
     }
@@ -483,6 +538,29 @@ impl OnionIndex {
     /// Returns [`ModelError::ArityMismatch`] for a wrong-length direction
     /// and [`ModelError::InvalidValue`] for `k == 0`.
     pub fn top_k_max(&self, direction: &[f64], k: usize) -> Result<TopKResult, ModelError> {
+        self.top_k_impl(direction, k, kernels::dot)
+    }
+
+    /// [`OnionIndex::top_k_max`] scoring through the legacy per-point
+    /// `iter().zip()` fold instead of the dispatched kernel. Bit-identical
+    /// answers (the kernel preserves the summation order); kept for the
+    /// before/after benchmark and bit-identity tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::top_k_max`].
+    pub fn top_k_max_legacy(&self, direction: &[f64], k: usize) -> Result<TopKResult, ModelError> {
+        self.top_k_impl(direction, k, |dir: &[f64], row: &[f64]| {
+            dir.iter().zip(row).map(|(a, v)| a * v).sum()
+        })
+    }
+
+    fn top_k_impl<F: Fn(&[f64], &[f64]) -> f64>(
+        &self,
+        direction: &[f64],
+        k: usize,
+        score: F,
+    ) -> Result<TopKResult, ModelError> {
         if direction.len() != self.dims {
             return Err(ModelError::ArityMismatch {
                 expected: self.dims,
@@ -510,12 +588,10 @@ impl OnionIndex {
             stats.nodes_visited += 1;
             for &idx in layer {
                 stats.tuples_examined += 1;
-                let score: f64 = direction
-                    .iter()
-                    .zip(&self.points[idx])
-                    .map(|(a, v)| a * v)
-                    .sum();
-                heap.offer(ScoredItem { index: idx, score });
+                heap.offer(ScoredItem {
+                    index: idx,
+                    score: score(direction, self.points.row(idx)),
+                });
             }
             // Classical Onion theorem (exact-hull prefix only): the j-th
             // best of any linear query lies within the first j convex
@@ -558,18 +634,32 @@ impl OnionIndex {
     }
 }
 
+/// Exact support `max dir . x` over the alive rows of the nested legacy
+/// representation — the "before" counterpart of
+/// [`kernels::max_score_alive`].
+fn support_of_rows(alive: &[bool], points: &[Vec<f64>], dir: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        if alive[i] {
+            let s: f64 = dir.iter().zip(p).map(|(a, v)| a * v).sum();
+            best = best.max(s);
+        }
+    }
+    best
+}
+
 /// 1-D "hull": the min and max of the remaining points.
-fn extremes_1d(points: &[Vec<f64>], alive: &[bool]) -> Vec<usize> {
+fn extremes_1d(store: &PointStore, alive: &[bool]) -> Vec<usize> {
     let mut lo: Option<usize> = None;
     let mut hi: Option<usize> = None;
-    for (i, p) in points.iter().enumerate() {
+    for (i, p) in store.rows().enumerate() {
         if !alive[i] {
             continue;
         }
-        if lo.map(|j| p[0] < points[j][0]).unwrap_or(true) {
+        if lo.map(|j| p[0] < store.row(j)[0]).unwrap_or(true) {
             lo = Some(i);
         }
-        if hi.map(|j| p[0] > points[j][0]).unwrap_or(true) {
+        if hi.map(|j| p[0] > store.row(j)[0]).unwrap_or(true) {
             hi = Some(i);
         }
     }
@@ -587,14 +677,14 @@ fn extremes_1d(points: &[Vec<f64>], alive: &[bool]) -> Vec<usize> {
 
 /// Exact 2-D convex hull (monotone chain) over the still-alive points,
 /// reusing a global x-then-y sorted order.
-fn hull_2d(points: &[Vec<f64>], alive: &[bool], order: &[usize]) -> Vec<usize> {
+fn hull_2d(store: &PointStore, alive: &[bool], order: &[usize]) -> Vec<usize> {
     let live: Vec<usize> = order.iter().copied().filter(|&i| alive[i]).collect();
     if live.len() <= 2 {
         return live;
     }
     let cross = |o: usize, a: usize, b: usize| -> f64 {
-        (points[a][0] - points[o][0]) * (points[b][1] - points[o][1])
-            - (points[a][1] - points[o][1]) * (points[b][0] - points[o][0])
+        let (po, pa, pb) = (store.row(o), store.row(a), store.row(b));
+        (pa[0] - po[0]) * (pb[1] - po[1]) - (pa[1] - po[1]) * (pb[0] - po[0])
     };
     let mut lower: Vec<usize> = Vec::new();
     for &p in &live {
@@ -636,10 +726,11 @@ fn sweep_argmax(points: &[Vec<f64>], alive: &[bool], dir: &[f64]) -> Option<usiz
     best.map(|(i, _)| i)
 }
 
-/// Direction-sweep extreme set for d >= 3, fanning the direction bundle
-/// across `threads` OS threads. Each direction's argmax is independent and
-/// the union is sorted + deduplicated, so the result is identical for every
-/// thread count.
+/// Legacy direction-sweep extreme set for d >= 3 over nested points: one
+/// pass over `Vec<Vec<f64>>` per direction, fanned across `threads` OS
+/// threads. Each direction's argmax is independent and the union is
+/// sorted + deduplicated, so the result is identical for every thread
+/// count — and identical to [`sweep_layer_flat_threads`].
 fn sweep_layer_threads(
     points: &[Vec<f64>],
     alive: &[bool],
@@ -655,6 +746,9 @@ fn sweep_layer_threads(
     } else {
         let chunk = dirs.len().div_ceil(workers);
         std::thread::scope(|scope| {
+            // Collecting the handles is what makes this parallel: a lazy
+            // chain would join each worker before spawning the next.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = dirs
                 .chunks(chunk)
                 .map(|part| {
@@ -664,6 +758,49 @@ fn sweep_layer_threads(
                             .collect::<Vec<usize>>()
                     })
                 })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+    };
+    layer.sort_unstable();
+    layer.dedup();
+    layer
+}
+
+/// Direction-sweep extreme set for d >= 3 over the flat store: **one**
+/// streaming row-major pass updates every direction's running argmax
+/// ([`kernels::sweep_argmax_block`]); with threads, each worker makes one
+/// pass for its direction chunk. Per-direction winners match the legacy
+/// per-direction sweep exactly (same row order, same strict-max rule), so
+/// the sorted + deduplicated union is bit-identical at any thread count.
+fn sweep_layer_flat_threads(
+    store: &PointStore,
+    alive: &[bool],
+    bundle: &DirectionBundle,
+    threads: usize,
+) -> Vec<usize> {
+    let dirs = bundle.directions();
+    let workers = threads.max(1).min(dirs.len()).max(1);
+    let sweep_chunk = |part: &[Vec<f64>]| -> Vec<usize> {
+        let mut best = vec![None; part.len()];
+        kernels::sweep_argmax_block(store.flat(), store.dims(), alive, part, &mut best);
+        best.into_iter().flatten().map(|(i, _)| i).collect()
+    };
+    let mut layer: Vec<usize> = if workers <= 1 {
+        sweep_chunk(dirs)
+    } else {
+        let chunk = dirs.len().div_ceil(workers);
+        let sweep_chunk = &sweep_chunk;
+        std::thread::scope(|scope| {
+            // Collecting the handles is what makes this parallel: a lazy
+            // chain would join each worker before spawning the next.
+            #[allow(clippy::needless_collect)]
+            let handles: Vec<_> = dirs
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || sweep_chunk(part)))
                 .collect();
             handles
                 .into_iter()
@@ -980,6 +1117,28 @@ mod tests {
     }
 
     #[test]
+    fn legacy_build_and_query_are_bit_identical() {
+        // The whole point of the kernel rewrite: same bits, fewer cycles.
+        // Layer structure, bounds, and query results (values *and* work
+        // accounting) must match the nested-representation reference
+        // exactly, for the 2-D hull path and the d >= 3 sweep path alike.
+        for d in [2usize, 3, 5] {
+            let points = gaussian_points(101 + d as u64, 700, d);
+            let kernel = OnionIndex::build(points.clone()).unwrap();
+            let legacy = OnionIndex::build_legacy(points).unwrap();
+            assert_eq!(kernel.layers, legacy.layers, "d={d}");
+            assert_eq!(kernel.remaining_box, legacy.remaining_box, "d={d}");
+            assert_eq!(kernel.exact_hull_layers, legacy.exact_hull_layers);
+            for k in [1usize, 5, 20] {
+                let dir: Vec<f64> = (0..d).map(|i| 0.9 - 0.33 * i as f64).collect();
+                let a = kernel.top_k_max(&dir, k).unwrap();
+                let b = legacy.top_k_max_legacy(&dir, k).unwrap();
+                assert_eq!(a, b, "d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn hint_validation() {
         let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
         assert!(OnionIndex::build_with_hints(points.clone(), &[vec![1.0]], 4, 4, 1).is_err());
@@ -1008,6 +1167,30 @@ mod tests {
             let fast = onion.top_k_max(&dir, k).unwrap();
             let slow = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
             prop_assert!(fast.score_equivalent(&slow, 1e-9));
+        }
+
+        #[test]
+        fn prop_kernel_build_bit_identical_to_legacy(
+            seed in 0u64..500,
+            n in 10usize..200,
+            d in 1usize..5,
+            k in 1usize..10,
+            dir_seed in 0u64..100,
+        ) {
+            let points = gaussian_points(seed.wrapping_add(7_000), n, d);
+            let kernel = OnionIndex::build(points.clone()).unwrap();
+            let legacy = OnionIndex::build_legacy(points).unwrap();
+            prop_assert_eq!(&kernel.layers, &legacy.layers);
+            prop_assert_eq!(&kernel.remaining_box, &legacy.remaining_box);
+            let mut s = dir_seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(3);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let dir: Vec<f64> = (0..d).map(|_| next() * 4.0).collect();
+            let a = kernel.top_k_max(&dir, k).unwrap();
+            let b = legacy.top_k_max_legacy(&dir, k).unwrap();
+            prop_assert_eq!(a, b);
         }
     }
 }

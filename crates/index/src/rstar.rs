@@ -16,8 +16,10 @@
 //! and forced reinsertion of the 30% most-distant leaf entries on first
 //! overflow.
 
+use crate::kernels;
 use crate::scan::TopKHeap;
 use crate::stats::{QueryStats, ScoredItem, TopKResult};
+use crate::store::PointStore;
 use mbir_models::error::ModelError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -193,7 +195,7 @@ impl Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RStarTree {
-    points: Vec<Vec<f64>>,
+    points: PointStore,
     dims: usize,
     root: Node,
 }
@@ -229,7 +231,7 @@ impl RStarTree {
             }
         }
         let mut tree = RStarTree {
-            points: Vec::new(),
+            points: PointStore::new(dims),
             dims,
             root: Node::Leaf {
                 rects: Vec::new(),
@@ -255,9 +257,8 @@ impl RStarTree {
     /// Inserts one point, returning its index.
     pub fn insert_point(&mut self, p: Vec<f64>) -> usize {
         assert_eq!(p.len(), self.dims, "point dimension mismatch");
-        let idx = self.points.len();
         let rect = Rect::point(&p);
-        self.points.push(p);
+        let idx = self.points.push_row(&p).expect("dimension checked above");
         // Forced reinsertion: collect evicted leaf entries once, then insert
         // them without further reinsertion.
         let mut pending: Vec<(Rect, usize)> = vec![(rect, idx)];
@@ -379,12 +380,12 @@ impl RStarTree {
                 Node::Leaf { items, .. } => {
                     for &i in items {
                         stats.tuples_examined += 1;
-                        let score: f64 = direction
-                            .iter()
-                            .zip(&self.points[i])
-                            .map(|(a, v)| a * v)
-                            .sum();
-                        heap.offer(ScoredItem { index: i, score });
+                        heap.offer(ScoredItem {
+                            index: i,
+                            // Same left-to-right fold as before, now over a
+                            // flat row — bit-identical scores.
+                            score: kernels::dot(direction, self.points.row(i)),
+                        });
                     }
                 }
                 Node::Internal { rects, children } => {
@@ -480,7 +481,9 @@ impl RStarTree {
             match node {
                 Node::Leaf { items, .. } => {
                     for &i in items {
-                        let d2: f64 = self.points[i]
+                        let d2: f64 = self
+                            .points
+                            .row(i)
                             .iter()
                             .zip(query)
                             .map(|(p, q)| (p - q) * (p - q))

@@ -1,11 +1,14 @@
 //! Sequential-scan baseline: evaluate the model on every tuple, keep a
 //! top-K heap. Every index speedup in the paper is quoted against this.
 
-use crate::stats::{sort_desc, QueryStats, ScoredItem, TopKResult};
+use crate::kernels;
+use crate::stats::{rank_cmp, sort_desc, QueryStats, ScoredItem, TopKResult};
+use crate::store::PointStore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Min-heap adapter so the heap root is the current K-th best.
+/// Min-heap adapter so the heap root is the current K-th best: the heap
+/// max under this order is the *worst-ranked* item held.
 #[derive(Debug, PartialEq)]
 struct MinScored(ScoredItem);
 
@@ -19,15 +22,11 @@ impl PartialOrd for MinScored {
 
 impl Ord for MinScored {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse score order (min-heap); ascending index breaks ties so
-        // the *largest* index is evicted first, matching ascending-index
-        // ranks: the heap keeps exactly the K best items under the total
-        // order (score descending, index ascending).
-        other
-            .0
-            .score
-            .total_cmp(&self.0.score)
-            .then(self.0.index.cmp(&other.0.index))
+        // The one canonical order (score desc, index asc): under
+        // `rank_cmp`, `Less` ranks better, so the BinaryHeap max — its
+        // `rank_cmp`-greatest element — is the worst item and is evicted
+        // first. `offer` uses the same comparator.
+        rank_cmp(&self.0, &other.0)
     }
 }
 
@@ -54,28 +53,26 @@ impl TopKHeap {
         }
     }
 
-    /// Offers an item; returns whether it was kept.
+    /// Offers an item; returns whether it was kept. A full heap keeps the
+    /// newcomer exactly when it ranks strictly better (under
+    /// [`rank_cmp`]) than the worst item held, which that item then
+    /// leaves — so the held set is always the K best seen.
     pub fn offer(&mut self, item: ScoredItem) -> bool {
         self.comparisons += 1;
         if self.heap.len() < self.k {
             self.heap.push(MinScored(item));
             return true;
         }
-        let floor = self.floor().expect("heap is full");
-        if item.score > floor
-            || (item.score == floor
-                && self
-                    .heap
-                    .peek()
-                    .map(|m| item.index < m.0.index)
-                    .unwrap_or(false))
-        {
+        let keep = self
+            .heap
+            .peek()
+            .map(|worst| rank_cmp(&item, &worst.0) == Ordering::Less)
+            .unwrap_or(false);
+        if keep {
             self.heap.pop();
             self.heap.push(MinScored(item));
-            true
-        } else {
-            false
         }
+        keep
     }
 
     /// The current K-th best score (`None` until K items are held). Any
@@ -133,6 +130,67 @@ pub fn scan_top_k<T, F: FnMut(&T) -> f64>(data: &[T], k: usize, mut score: F) ->
             tuples_examined: data.len() as u64,
             nodes_visited: 0,
             comparisons,
+        },
+    }
+}
+
+/// Rows per scoring block in [`scan_top_k_flat`]: big enough to amortize
+/// the per-block dimension dispatch, small enough that the score buffer
+/// stays resident in L1/L2.
+const SCAN_BLOCK_ROWS: usize = 4096;
+
+/// Scans a flat [`PointStore`], returning the top-K maximizers of
+/// `direction . x` — bit-identical to
+/// `scan_top_k(rows, k, |p| direction.iter().zip(p).map(|(a, v)| a * v).sum())`
+/// on the same data, but scoring contiguous row blocks through
+/// [`kernels::score_block_into`] instead of chasing a pointer per tuple.
+/// One block-sized score buffer is the only allocation per call.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the direction length does not match the store.
+pub fn scan_top_k_flat(store: &PointStore, direction: &[f64], k: usize) -> TopKResult {
+    assert_eq!(
+        direction.len(),
+        store.dims(),
+        "direction length must match store dims"
+    );
+    let dims = store.dims();
+    let mut heap = TopKHeap::new(k);
+    let mut scores: Vec<f64> = Vec::with_capacity(SCAN_BLOCK_ROWS.min(store.len()));
+    let mut base = 0usize;
+    // Cached copy of the heap floor: a score strictly below it can never
+    // be kept (`rank_cmp` ranks it worse than the worst item held), so
+    // the hot loop is one predictable float compare per tuple instead of
+    // a heap probe. `score < floor` is false for NaN and for a tied
+    // (±0.0-tied) score, which fall through to `offer` — the one place
+    // that decides ties — so the kept set is untouched. Legacy charges
+    // one comparison per tuple; the precheck *is* that comparison, so
+    // the accounting stays one-per-tuple either way.
+    let mut floor: Option<f64> = None;
+    for block in store.flat().chunks(SCAN_BLOCK_ROWS * dims) {
+        kernels::score_block_into(block, dims, direction, &mut scores);
+        for (offset, &score) in scores.iter().enumerate() {
+            if let Some(f) = floor {
+                if score < f {
+                    continue;
+                }
+            }
+            if heap.offer(ScoredItem {
+                index: base + offset,
+                score,
+            }) {
+                floor = heap.floor();
+            }
+        }
+        base += scores.len();
+    }
+    TopKResult {
+        results: heap.into_sorted(),
+        stats: QueryStats {
+            tuples_examined: store.len() as u64,
+            nodes_visited: 0,
+            comparisons: store.len() as u64,
         },
     }
 }
@@ -207,6 +265,59 @@ mod tests {
         let _ = TopKHeap::new(0);
     }
 
+    #[test]
+    fn offer_and_sort_share_one_tie_order() {
+        // Locks the PR-2 tie-eviction fix through the shared comparator:
+        // with the heap full at a tied floor, a smaller index must evict
+        // the largest tied index, and a larger index must be rejected —
+        // exactly what `rank_cmp` says, with no second opinion in
+        // `offer`.
+        let mut heap = TopKHeap::new(2);
+        heap.offer(ScoredItem {
+            index: 5,
+            score: 1.0,
+        });
+        heap.offer(ScoredItem {
+            index: 3,
+            score: 1.0,
+        });
+        assert!(
+            !heap.offer(ScoredItem {
+                index: 7,
+                score: 1.0
+            }),
+            "worse-ranked tie must be rejected"
+        );
+        assert!(
+            heap.offer(ScoredItem {
+                index: 1,
+                score: 1.0
+            }),
+            "better-ranked tie must evict index 5"
+        );
+        assert_eq!(
+            heap.into_sorted()
+                .iter()
+                .map(|s| s.index)
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn flat_scan_matches_legacy_scan() {
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos(), i as f64])
+            .collect();
+        let store = PointStore::from_rows(&rows).unwrap();
+        let dir = vec![2.0, -1.5, 0.01];
+        for k in [1usize, 7, 100] {
+            let flat = scan_top_k_flat(&store, &dir, k);
+            let legacy = scan_top_k(&rows, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+            assert_eq!(flat, legacy, "k={k}");
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_scan_matches_full_sort(
@@ -222,6 +333,48 @@ mod tests {
             sort_desc(&mut all);
             all.truncate(k);
             prop_assert_eq!(r.results, all);
+        }
+
+        #[test]
+        fn prop_scan_matches_full_sort_with_heavy_ties(
+            // Scores drawn from five values force constant floor ties, the
+            // adversarial regime for offer-time eviction order.
+            data in proptest::collection::vec(0u8..5, 1..200),
+            k in 1usize..20,
+        ) {
+            let data: Vec<f64> = data.into_iter().map(f64::from).collect();
+            let r = scan_top_k(&data, k, |x| *x);
+            let mut all: Vec<ScoredItem> = data
+                .iter()
+                .enumerate()
+                .map(|(index, score)| ScoredItem { index, score: *score })
+                .collect();
+            sort_desc(&mut all);
+            all.truncate(k);
+            prop_assert_eq!(r.results, all);
+        }
+
+        #[test]
+        fn prop_flat_scan_bit_identical_to_legacy(
+            n in 1usize..300,
+            d in 1usize..6,
+            k in 1usize..12,
+            seed in 0u64..5_000,
+        ) {
+            let mut state = seed ^ 0x5ca9;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| next() * 20.0).collect())
+                .collect();
+            let dir: Vec<f64> = (0..d).map(|_| next() * 4.0).collect();
+            let store = PointStore::from_rows(&rows).unwrap();
+            let flat = scan_top_k_flat(&store, &dir, k);
+            let legacy =
+                scan_top_k(&rows, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+            prop_assert_eq!(flat, legacy);
         }
     }
 }

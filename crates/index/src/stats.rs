@@ -1,5 +1,6 @@
 //! Shared query-result and accounting types for all index structures.
 
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Work counters for one query, the basis of every speedup figure.
@@ -75,9 +76,20 @@ impl TopKResult {
     }
 }
 
+/// The canonical total order on scored items: descending score
+/// (`total_cmp`), ties broken by ascending index. `Ordering::Less` means
+/// `a` ranks *better* than `b`. Every top-K structure — result sorting,
+/// the heap's eviction order, and offer-time comparisons — must route
+/// through this one function so the order can never drift apart again
+/// (the PR-2 tie-eviction bug was exactly such a divergence).
+#[inline]
+pub fn rank_cmp(a: &ScoredItem, b: &ScoredItem) -> Ordering {
+    b.score.total_cmp(&a.score).then(a.index.cmp(&b.index))
+}
+
 /// Canonical ordering for scored items: descending score, ascending index.
 pub fn sort_desc(items: &mut [ScoredItem]) {
-    items.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
+    items.sort_by(rank_cmp);
 }
 
 #[cfg(test)]

@@ -146,32 +146,50 @@ impl AggregatePyramid {
 
     /// The children coordinates of `(level, row, col)` at `level - 1`.
     ///
-    /// Returns an empty vector at level 0.
+    /// Returns an empty vector at level 0. Descent loops that run once per
+    /// popped frontier region should prefer
+    /// [`AggregatePyramid::children_into`] with a reused buffer.
     pub fn children(&self, level: usize, row: usize, col: usize) -> Vec<CellCoord> {
+        let mut out = Vec::with_capacity(4);
+        self.children_into(level, row, col, &mut out);
+        out
+    }
+
+    /// Writes the children of `(level, row, col)` into `out` (cleared
+    /// first) — the allocation-free form of [`AggregatePyramid::children`]
+    /// for hot descent loops. `out` is left empty at level 0.
+    pub fn children_into(&self, level: usize, row: usize, col: usize, out: &mut Vec<CellCoord>) {
+        out.clear();
         if level == 0 || level >= self.levels.len() {
-            return Vec::new();
+            return;
         }
         let child = &self.levels[level - 1];
-        let mut out = Vec::with_capacity(4);
         for rr in row * 2..(row * 2 + 2).min(child.rows()) {
             for cc in col * 2..(col * 2 + 2).min(child.cols()) {
                 out.push(CellCoord::new(rr, cc));
             }
         }
-        out
     }
 
     /// The base-resolution cells covered by `(level, row, col)`.
     pub fn base_cells(&self, level: usize, row: usize, col: usize) -> Vec<CellCoord> {
+        let mut out = Vec::new();
+        self.base_cells_into(level, row, col, &mut out);
+        out
+    }
+
+    /// Writes the base cells covered by `(level, row, col)` into `out`
+    /// (cleared first) — the allocation-free form of
+    /// [`AggregatePyramid::base_cells`].
+    pub fn base_cells_into(&self, level: usize, row: usize, col: usize, out: &mut Vec<CellCoord>) {
+        out.clear();
         let scale = 1usize << level;
         let (rows, cols) = self.base_shape();
-        let mut out = Vec::new();
         for rr in row * scale..((row + 1) * scale).min(rows) {
             for cc in col * scale..((col + 1) * scale).min(cols) {
                 out.push(CellCoord::new(rr, cc));
             }
         }
-        out
     }
 }
 
@@ -247,6 +265,29 @@ mod tests {
         let pyr = AggregatePyramid::build(&Grid2::filled(4, 4, 1.0));
         assert!(pyr.cell(0, 4, 0).is_err());
         assert!(pyr.cell(99, 0, 0).is_err());
+    }
+
+    #[test]
+    fn into_variants_agree_with_allocating_forms() {
+        // Odd shape exercises clamped 2x2 blocks and ragged base coverage;
+        // the reused buffer must also be fully cleared between calls.
+        let pyr = AggregatePyramid::build(&Grid2::from_fn(7, 5, |r, c| (r * 5 + c) as f64));
+        let mut buf = vec![CellCoord::new(999, 999); 3];
+        for level in 0..pyr.levels() {
+            let (lr, lc) = pyr.level_shape(level);
+            for r in 0..lr {
+                for c in 0..lc {
+                    pyr.children_into(level, r, c, &mut buf);
+                    assert_eq!(buf, pyr.children(level, r, c), "children {level} ({r},{c})");
+                    pyr.base_cells_into(level, r, c, &mut buf);
+                    assert_eq!(buf, pyr.base_cells(level, r, c), "base {level} ({r},{c})");
+                }
+            }
+        }
+        // Beyond-top levels yield no children in either form.
+        pyr.children_into(99, 0, 0, &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(pyr.children(99, 0, 0), Vec::<CellCoord>::new());
     }
 
     proptest! {

@@ -89,7 +89,7 @@ fn engine_rejects_degenerate_worlds_without_panicking() {
     let r = pyramid_top_k(&model, std::slice::from_ref(&tiny), 5).unwrap();
     assert_eq!(r.results.len(), 1);
     // Arity mismatch: error, not panic.
-    assert!(pyramid_top_k(&model, &[tiny.clone(), tiny.clone()], 1).is_err());
+    assert!(pyramid_top_k(&model, &[tiny.clone(), tiny], 1).is_err());
     // Constant world: all scores identical, still well-formed.
     let flat = AggregatePyramid::build(&Grid2::filled(8, 8, 3.0));
     let r = pyramid_top_k(&model, &[flat], 3).unwrap();

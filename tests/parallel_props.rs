@@ -8,14 +8,20 @@
 //! entries, sound bounds, an honest budget stop, and the true winner
 //! confirmed or covered.
 
-use mbir::core::engine::{pyramid_top_k, staged_top_k};
+use mbir::core::engine::{
+    pyramid_top_k, pyramid_top_k_with_scratch, staged_top_k, staged_top_k_with_scratch,
+    QueryScratch,
+};
 use mbir::core::parallel::{
     grid_query_with_source, par_pyramid_top_k, par_resilient_top_k, par_staged_top_k, QueryBatch,
     WorkerPool, THREADS_ENV,
 };
 use mbir::core::query::{Objective, TopKQuery};
 use mbir::core::resilient::{resilient_top_k, BudgetStop, ExecutionBudget};
-use mbir::core::source::{CachedTileSource, TileSource};
+use mbir::core::source::{CachedTileSource, PyramidSource, TileSource};
+use mbir::index::onion::OnionIndex;
+use mbir::index::scan::{scan_top_k, scan_top_k_flat};
+use mbir::index::store::PointStore;
 use mbir::models::linear::{LinearModel, ProgressiveLinearModel};
 use mbir::progressive::pyramid::AggregatePyramid;
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
@@ -57,6 +63,18 @@ fn world(
         })
         .collect();
     (LinearModel::new(coeffs, 0.1).unwrap(), pyramids, stores)
+}
+
+/// Deterministic pseudo-random points for the kernel-vs-legacy tests.
+fn pseudo_points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = seed ^ 0xfeed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 40.0
+    };
+    (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
 }
 
 /// A deterministic pseudo-random subset of pages derived from `seed`.
@@ -189,6 +207,95 @@ proptest! {
             prop_assert_eq!(parallel.completeness, sequential.completeness);
             prop_assert_eq!(&parallel.skipped_pages, &sequential.skipped_pages);
             prop_assert_eq!(parallel.budget_stop, sequential.budget_stop);
+        }
+    }
+
+    #[test]
+    fn flat_scan_kernel_bit_identical_to_legacy(
+        seed in 0u64..500,
+        n in 1usize..400,
+        d in 1usize..8,
+        k in 1usize..16,
+    ) {
+        // The flat (PointStore + kernels) scan must return exactly the
+        // same TopKResult — scores bit for bit — as the legacy
+        // iterator-zip scan over nested rows.
+        let points = pseudo_points(seed, n, d);
+        let dir: Vec<f64> = pseudo_points(seed ^ 0xd1, 1, d).remove(0);
+        let store = PointStore::from_rows(&points).unwrap();
+        let flat = scan_top_k_flat(&store, &dir, k);
+        let legacy = scan_top_k(&points, k, |p| {
+            dir.iter().zip(p).map(|(a, v)| a * v).sum()
+        });
+        prop_assert_eq!(flat, legacy);
+    }
+
+    #[test]
+    fn onion_kernel_build_and_query_bit_identical_to_legacy(
+        seed in 0u64..200,
+        n in 4usize..250,
+        d in 2usize..5,
+        k in 1usize..10,
+    ) {
+        // Kernel-path build (at every thread count) and query must agree
+        // bit for bit with the nested-Vec legacy build and the legacy
+        // iterator-zip query path.
+        let points = pseudo_points(seed, n, d);
+        let legacy = OnionIndex::build_legacy_with(points.clone(), 32, 16, 7).unwrap();
+        let dir: Vec<f64> = pseudo_points(seed ^ 0xa7, 1, d).remove(0);
+        for threads in THREAD_COUNTS {
+            let kernel =
+                OnionIndex::build_with_hints_threads(points.clone(), &[], 32, 16, 7, threads)
+                    .unwrap();
+            prop_assert_eq!(
+                kernel.layer_sizes(),
+                legacy.layer_sizes(),
+                "threads={}",
+                threads
+            );
+            let kq = kernel.top_k_max(&dir, k).unwrap();
+            prop_assert_eq!(&kq, &legacy.top_k_max_legacy(&dir, k).unwrap(),
+                "threads={}", threads);
+            prop_assert_eq!(&kq, &legacy.top_k_max(&dir, k).unwrap(),
+                "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn scratch_engines_bit_identical_to_allocating_engines(
+        seed in 0u64..300,
+        side in 8usize..32,
+        arity in 1usize..4,
+        k in 1usize..10,
+    ) {
+        // The allocation-free scratch variants must reproduce the
+        // allocating engines exactly, including when one scratch is
+        // reused across consecutive differently-shaped queries.
+        let (model, pyramids, _) = world(seed, side, arity, 8);
+        let source = PyramidSource::new(&pyramids);
+        let mut scratch = QueryScratch::new();
+        let want = pyramid_top_k(&model, &pyramids, k).unwrap();
+        for _ in 0..2 {
+            let got =
+                pyramid_top_k_with_scratch(&model, &pyramids, k, &source, &mut scratch).unwrap();
+            prop_assert_eq!(&got, &want);
+        }
+        let ranges: Vec<(f64, f64)> = pyramids
+            .iter()
+            .map(|p| { let r = p.root(); (r.min, r.max) })
+            .collect();
+        let prog = ProgressiveLinearModel::new(model, &ranges).unwrap();
+        let tuples: Vec<Vec<f64>> = (0..side * side)
+            .map(|i| {
+                (0..arity)
+                    .map(|a| pyramids[a].cell(0, i / side, i % side).unwrap().mean)
+                    .collect()
+            })
+            .collect();
+        let want = staged_top_k(&prog, &tuples, k).unwrap();
+        for _ in 0..2 {
+            let got = staged_top_k_with_scratch(&prog, &tuples, k, &mut scratch).unwrap();
+            prop_assert_eq!(&got, &want);
         }
     }
 
