@@ -44,6 +44,13 @@ pub enum ArchiveError {
         /// Page index under quarantine.
         page: usize,
     },
+    /// The page was read, but its payload failed checksum verification —
+    /// silent corruption detected by the integrity layer
+    /// ([`crate::integrity`]).
+    PageCorrupt {
+        /// Page index whose payload failed verification.
+        page: usize,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -65,6 +72,9 @@ impl fmt::Display for ArchiveError {
             ArchiveError::PageIo { page } => write!(f, "i/o failure reading page {page}"),
             ArchiveError::PageQuarantined { page } => {
                 write!(f, "page {page} is quarantined after repeated failures")
+            }
+            ArchiveError::PageCorrupt { page } => {
+                write!(f, "page {page} payload failed checksum verification")
             }
         }
     }

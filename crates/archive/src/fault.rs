@@ -45,6 +45,12 @@ pub enum FaultKind {
         /// Per-access failure probability in `[0, 1]`.
         p: f64,
     },
+    /// Every access *succeeds* at the I/O level but delivers a payload
+    /// with flipped bits (see
+    /// [`corrupt_value`](crate::integrity::corrupt_value)). The store
+    /// itself cannot tell — only checksum verification catches it. Models
+    /// silent bit rot on an untrusted replica.
+    Corruption,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -115,6 +121,14 @@ impl FaultProfile {
             "probability must be in [0, 1], got {p}"
         );
         self.spec_mut(page).kind = Some(FaultKind::Probabilistic { p });
+        self
+    }
+
+    /// Marks `page` as silently corrupted: reads succeed but every payload
+    /// value comes back with flipped bits. Only checksum verification
+    /// ([`crate::integrity`]) detects it.
+    pub fn corrupt(mut self, page: usize) -> Self {
+        self.spec_mut(page).kind = Some(FaultKind::Corruption);
         self
     }
 
@@ -290,6 +304,14 @@ pub(crate) enum AttemptOutcome {
         /// Injected latency ticks for this access.
         latency_ticks: u64,
     },
+    /// The attempt *appeared* to succeed, but the delivered payload is
+    /// silently corrupted. The breaker is not advanced here — the store
+    /// has no way to know; detection is the verifying reader's job
+    /// ([`note_checksum_failure`](FaultRuntime::note_checksum_failure)).
+    Corrupted {
+        /// Injected latency ticks for this access.
+        latency_ticks: u64,
+    },
     /// The page is quarantined; no attempt was made and no ticks accrue.
     Quarantined,
 }
@@ -352,9 +374,17 @@ impl FaultRuntime {
             return AttemptOutcome::Quarantined;
         }
         let spec = self.profile.specs.get(&page).cloned().unwrap_or_default();
+        if spec.kind == Some(FaultKind::Corruption) {
+            // Silent at the I/O level: neither the transient counter nor
+            // the breaker advances. Consecutive checksum failures are fed
+            // back through `note_checksum_failure` by verifying readers.
+            return AttemptOutcome::Corrupted {
+                latency_ticks: spec.latency_ticks,
+            };
+        }
         let state = self.states.entry(page).or_default();
         let fails = match spec.kind {
-            None => false,
+            None | Some(FaultKind::Corruption) => false,
             Some(FaultKind::Permanent) => true,
             Some(FaultKind::Transient { fails_before_heal }) => {
                 state.failed_accesses < fails_before_heal
@@ -378,6 +408,40 @@ impl FaultRuntime {
             AttemptOutcome::Ok {
                 latency_ticks: spec.latency_ticks,
             }
+        }
+    }
+
+    /// Feeds one detected checksum failure into the circuit breaker.
+    ///
+    /// Called by verifying readers after an access came back
+    /// [`Corrupted`](AttemptOutcome::Corrupted) (the attempt itself could
+    /// not know). Counts toward the same consecutive-failure run as I/O
+    /// failures. Returns `true` when this failure *newly* quarantined the
+    /// page.
+    pub(crate) fn note_checksum_failure(&mut self, page: usize) -> bool {
+        let state = self.states.entry(page).or_default();
+        if state.quarantined {
+            return false;
+        }
+        state.failed_accesses += 1;
+        state.consecutive_failures += 1;
+        if let Some(m) = self.config.quarantine_after {
+            if state.consecutive_failures >= m {
+                state.quarantined = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Lifts every quarantine and resets consecutive-failure runs, so the
+    /// next access re-attempts (and re-verifies) the page. Transient heal
+    /// progress (`failed_accesses`) is preserved: a healed page stays
+    /// healed.
+    pub(crate) fn clear_quarantine(&mut self) {
+        for state in self.states.values_mut() {
+            state.quarantined = false;
+            state.consecutive_failures = 0;
         }
     }
 }
@@ -474,6 +538,55 @@ mod tests {
         assert_ne!(run(9), run(10), "different seed, different trace");
         let fails = run(9).iter().filter(|&&f| f).count();
         assert!((10..=40).contains(&fails), "p=0.4 of 64: {fails}");
+    }
+
+    #[test]
+    fn corruption_is_silent_at_the_attempt_level() {
+        let profile = FaultProfile::new(0).corrupt(4).latency(4, 6);
+        let cfg = ResilienceConfig::new(RetryPolicy::none(), Some(1));
+        let mut rt = FaultRuntime::new(profile, cfg);
+        // Corrupted attempts never advance the breaker, no matter how many.
+        for _ in 0..5 {
+            assert_eq!(
+                rt.attempt(4),
+                AttemptOutcome::Corrupted { latency_ticks: 6 }
+            );
+        }
+        assert!(!rt.is_quarantined(4));
+    }
+
+    #[test]
+    fn checksum_failures_trip_the_breaker() {
+        let profile = FaultProfile::new(0).corrupt(4);
+        let cfg = ResilienceConfig::new(RetryPolicy::none(), Some(3));
+        let mut rt = FaultRuntime::new(profile, cfg);
+        assert!(!rt.note_checksum_failure(4));
+        assert!(!rt.note_checksum_failure(4));
+        // Third consecutive detected corruption newly quarantines the page…
+        assert!(rt.note_checksum_failure(4));
+        assert!(rt.is_quarantined(4));
+        // …and further reports are not "new".
+        assert!(!rt.note_checksum_failure(4));
+        assert_eq!(rt.attempt(4), AttemptOutcome::Quarantined);
+    }
+
+    #[test]
+    fn clear_quarantine_reopens_pages_but_keeps_heal_progress() {
+        let profile = FaultProfile::new(0).permanent(1).transient(2, 2);
+        let cfg = ResilienceConfig::new(RetryPolicy::none(), Some(2));
+        let mut rt = FaultRuntime::new(profile, cfg);
+        // Trip both breakers (the transient page fails twice before healing).
+        for _ in 0..2 {
+            let _ = rt.attempt(1);
+            let _ = rt.attempt(2);
+        }
+        assert_eq!(rt.quarantined_pages(), vec![1, 2]);
+        rt.clear_quarantine();
+        assert_eq!(rt.quarantined_pages(), Vec::<usize>::new());
+        // The permanent page is re-attempted (and fails again for real);
+        // the transient page already burned its failures and now succeeds.
+        assert!(matches!(rt.attempt(1), AttemptOutcome::Failed { .. }));
+        assert!(matches!(rt.attempt(2), AttemptOutcome::Ok { .. }));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod extent;
 pub mod fault;
 pub mod gis;
 pub mod grid;
+pub mod integrity;
 pub mod lithology;
 pub mod randx;
 pub mod region;
@@ -56,6 +57,7 @@ pub use extent::{CellCoord, GeoExtent};
 pub use fault::{FaultKind, FaultProfile, ResilienceConfig, RetryPolicy};
 pub use gis::{PointFeature, PointLayer};
 pub use grid::Grid2;
+pub use integrity::{fnv1a64, PageEnvelope};
 pub use lithology::{ColumnGenerator, Layer, Lithology};
 pub use region::{Polygon, Region, RegionLayer};
 pub use scene::{BandId, Scene};

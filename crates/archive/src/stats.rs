@@ -38,6 +38,7 @@ struct Counters {
     retries: AtomicU64,
     failures: AtomicU64,
     quarantines: AtomicU64,
+    corruptions: AtomicU64,
     ticks: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -77,6 +78,12 @@ impl AccessStats {
     /// Records `n` pages newly quarantined by the circuit breaker.
     pub fn record_quarantines(&self, n: u64) {
         self.inner.quarantines.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` page payloads that failed checksum verification
+    /// (detected silent corruption).
+    pub fn record_corruptions(&self, n: u64) {
+        self.inner.corruptions.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Advances the virtual I/O clock by `n` ticks (page access costs,
@@ -127,6 +134,11 @@ impl AccessStats {
         self.inner.quarantines.load(Ordering::Relaxed)
     }
 
+    /// Checksum verification failures so far.
+    pub fn corruptions(&self) -> u64 {
+        self.inner.corruptions.load(Ordering::Relaxed)
+    }
+
     /// Virtual I/O clock: total ticks accrued by page accesses, injected
     /// latency, and retry backoff. Execution budgets use this as their
     /// deadline clock.
@@ -163,6 +175,7 @@ impl AccessStats {
         self.inner.retries.store(0, Ordering::Relaxed);
         self.inner.failures.store(0, Ordering::Relaxed);
         self.inner.quarantines.store(0, Ordering::Relaxed);
+        self.inner.corruptions.store(0, Ordering::Relaxed);
         self.inner.ticks.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.cache_misses.store(0, Ordering::Relaxed);
@@ -264,6 +277,16 @@ mod tests {
         assert!((disk - 1025.6).abs() < 1.0, "disk {disk}");
         let nvme = s.simulated_ms(&IoModel::nvme());
         assert!(nvme < disk / 50.0, "nvme {nvme} vs disk {disk}");
+    }
+
+    #[test]
+    fn corruption_counter_accumulates_and_resets() {
+        let s = AccessStats::new();
+        s.record_corruptions(2);
+        s.record_corruptions(1);
+        assert_eq!(s.corruptions(), 3);
+        s.reset();
+        assert_eq!(s.corruptions(), 0);
     }
 
     #[test]

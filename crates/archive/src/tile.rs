@@ -16,6 +16,7 @@ use crate::error::ArchiveError;
 use crate::extent::CellCoord;
 use crate::fault::{AttemptOutcome, FaultProfile, FaultRuntime, ResilienceConfig};
 use crate::grid::Grid2;
+use crate::integrity::{corrupt_value, PageEnvelope};
 use crate::stats::AccessStats;
 use std::sync::Mutex;
 
@@ -152,11 +153,23 @@ impl TileStore {
     }
 
     /// Pages currently under quarantine, sorted ascending.
-    pub fn quarantined_pages(&self) -> Vec<usize> {
+    pub fn quarantined_pages(&self) -> impl Iterator<Item = usize> {
         self.fault
             .lock()
             .expect("fault state lock")
             .quarantined_pages()
+            .into_iter()
+    }
+
+    /// Lifts every quarantine, so the next access re-attempts (and, through
+    /// [`read_page_verified`](Self::read_page_verified), re-verifies) the
+    /// page. An operator hook: after replacing a bad device, quarantines
+    /// from the old hardware should not outlive it.
+    pub fn clear_quarantine(&self) {
+        self.fault
+            .lock()
+            .expect("fault state lock")
+            .clear_quarantine();
     }
 
     /// The shared stats handle.
@@ -215,7 +228,12 @@ impl TileStore {
     /// read, retries failed attempts per the policy (accruing backoff
     /// ticks), and trips the circuit breaker on repeated failure. Every
     /// attempt costs one base tick plus any injected latency.
-    fn access_page(&self, page: usize) -> Result<(), ArchiveError> {
+    ///
+    /// `Ok(true)` means the access "succeeded" but delivered a silently
+    /// corrupted payload — the caller decides whether it verifies
+    /// checksums ([`read_page_verified`](Self::read_page_verified)) or
+    /// trusts the bytes like a legacy reader ([`read`](Self::read)).
+    fn access_page(&self, page: usize) -> Result<bool, ArchiveError> {
         let mut rt = self.fault.lock().expect("fault state lock");
         let policy = rt.config().retry;
         let mut retry = 0u32;
@@ -226,7 +244,13 @@ impl TileStore {
                 }
                 AttemptOutcome::Ok { latency_ticks } => {
                     self.stats.record_ticks(1 + latency_ticks);
-                    return Ok(());
+                    return Ok(false);
+                }
+                AttemptOutcome::Corrupted { latency_ticks } => {
+                    // Indistinguishable from success at the I/O level:
+                    // same accounting, no failure recorded here.
+                    self.stats.record_ticks(1 + latency_ticks);
+                    return Ok(true);
                 }
                 AttemptOutcome::Failed { latency_ticks } => {
                     self.stats.record_ticks(1 + latency_ticks);
@@ -250,7 +274,30 @@ impl TileStore {
         }
     }
 
+    /// Reports a checksum failure on `page` to the circuit breaker.
+    /// Returns the error verified readers surface: `PageCorrupt`, after
+    /// recording the detection (and, if the breaker tripped, the new
+    /// quarantine).
+    fn note_corruption(&self, page: usize) -> ArchiveError {
+        self.stats.record_corruptions(1);
+        self.stats.record_failures(1);
+        let newly_quarantined = self
+            .fault
+            .lock()
+            .expect("fault state lock")
+            .note_checksum_failure(page);
+        if newly_quarantined {
+            self.stats.record_quarantines(1);
+        }
+        ArchiveError::PageCorrupt { page }
+    }
+
     /// Reads one cell, accounting one tuple and one page access.
+    ///
+    /// This is the *trusting* read path: a silently corrupted page
+    /// delivers its flipped bits without complaint, exactly like a legacy
+    /// reader with no checksums. Use
+    /// [`read_page_verified`](Self::read_page_verified) for detection.
     ///
     /// # Errors
     ///
@@ -261,14 +308,15 @@ impl TileStore {
     pub fn read(&self, row: usize, col: usize) -> Result<f64, ArchiveError> {
         let v = *self.grid.get(row, col)?;
         let page = self.page_of(row, col);
-        self.access_page(page)?;
+        let corrupted = self.access_page(page)?;
         self.stats.record_tuples(1);
         self.stats.record_pages(1);
-        Ok(v)
+        Ok(if corrupted { corrupt_value(v) } else { v })
     }
 
     /// Reads an entire page as `(coord, value)` tuples, accounting one page
-    /// and `len` tuples.
+    /// and `len` tuples. Trusting, like [`read`](Self::read): corrupted
+    /// payloads are delivered as-is.
     ///
     /// # Errors
     ///
@@ -276,8 +324,26 @@ impl TileStore {
     /// [`ArchiveError::PageIo`] when the page's fault outlasts the retry
     /// budget, and [`ArchiveError::PageQuarantined`] for quarantined pages.
     pub fn read_page(&self, page: usize) -> Result<Vec<(CellCoord, f64)>, ArchiveError> {
+        Ok(self.read_page_envelope(page)?.into_payload())
+    }
+
+    /// Reads a page as a checksummed [`PageEnvelope`].
+    ///
+    /// The checksum models a write-time seal: it is computed over the
+    /// payload as stored, so a corrupted access yields an envelope whose
+    /// payload no longer matches its checksum —
+    /// [`verify`](PageEnvelope::verify) returns `false`. Callers that
+    /// want automatic retry-on-mismatch should use
+    /// [`read_page_verified`](Self::read_page_verified) instead; this
+    /// method exposes the raw envelope for layers (e.g. a replicated
+    /// source) that handle verification failure themselves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read_page`](Self::read_page).
+    pub fn read_page_envelope(&self, page: usize) -> Result<PageEnvelope, ArchiveError> {
         let (r0, c0, r1, c1) = self.page_extent(page)?;
-        self.access_page(page)?;
+        let corrupted = self.access_page(page)?;
         let mut out = Vec::with_capacity((r1 - r0) * (c1 - c0));
         for r in r0..r1 {
             for c in c0..c1 {
@@ -286,7 +352,47 @@ impl TileStore {
         }
         self.stats.record_pages(1);
         self.stats.record_tuples(out.len() as u64);
-        Ok(out)
+        let mut env = PageEnvelope::seal(out);
+        if corrupted {
+            env.corrupt_payload();
+        }
+        Ok(env)
+    }
+
+    /// Reads a page and verifies its checksum, retrying mismatches per the
+    /// store's [`RetryPolicy`](crate::fault::RetryPolicy) and feeding
+    /// detected corruption into the circuit breaker.
+    ///
+    /// Each mismatch records one corruption and one failure in
+    /// [`AccessStats`]; retries accrue backoff ticks exactly like I/O
+    /// retries. Consecutive checksum failures count toward quarantine the
+    /// same way I/O failures do.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`read_page`](Self::read_page) returns, plus
+    /// [`ArchiveError::PageCorrupt`] when every attempt (initial plus
+    /// retries) failed verification or the breaker tripped mid-loop.
+    pub fn read_page_verified(&self, page: usize) -> Result<Vec<(CellCoord, f64)>, ArchiveError> {
+        let policy = self.resilience().retry;
+        let mut retry = 0u32;
+        loop {
+            let env = self.read_page_envelope(page)?;
+            if env.verify() {
+                return Ok(env.into_payload());
+            }
+            let err = self.note_corruption(page);
+            if self.is_quarantined(page) {
+                return Err(err);
+            }
+            if retry < policy.max_retries {
+                retry += 1;
+                self.stats.record_retries(1);
+                self.stats.record_ticks(policy.backoff_ticks(retry));
+                continue;
+            }
+            return Err(err);
+        }
     }
 
     /// Scans every page in order, calling `f` per tuple. This is the
@@ -429,7 +535,7 @@ mod tests {
         // Third consecutive failure trips the breaker.
         assert_eq!(s.read(0, 0), Err(ArchiveError::PageIo { page: 0 }));
         assert!(s.is_quarantined(0));
-        assert_eq!(s.quarantined_pages(), vec![0]);
+        assert_eq!(s.quarantined_pages().collect::<Vec<_>>(), vec![0]);
         assert_eq!(s.stats().quarantines(), 1);
         let ticks_before = s.stats().ticks_elapsed();
         let failures_before = s.stats().failures();
@@ -485,6 +591,82 @@ mod tests {
         assert!(t.read(0, 2).is_err());
         assert!(s.read(0, 2).is_ok());
         assert!(t.read(0, 2).is_ok());
+    }
+
+    #[test]
+    fn trusting_reads_deliver_corrupted_bits_silently() {
+        use crate::integrity::corrupt_value;
+        let s = store_4x4().with_faults(FaultProfile::new(0).corrupt(0));
+        // Both cell and page reads succeed with flipped values, no errors,
+        // no failure accounting — the legacy reader cannot tell.
+        assert_eq!(s.read(0, 0).unwrap(), corrupt_value(0.0));
+        let page = s.read_page(0).unwrap();
+        assert_eq!(page[1].1, corrupt_value(1.0));
+        assert_eq!(s.stats().failures(), 0);
+        assert_eq!(s.stats().corruptions(), 0);
+        // Healthy pages are untouched.
+        assert_eq!(s.read(0, 2).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn envelope_seal_matches_payload_health() {
+        let s = store_4x4().with_faults(FaultProfile::new(0).corrupt(3));
+        assert!(s.read_page_envelope(0).unwrap().verify());
+        let env = s.read_page_envelope(3).unwrap();
+        assert!(!env.verify(), "corrupted page must fail verification");
+    }
+
+    #[test]
+    fn verified_read_detects_corruption_and_feeds_breaker() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).corrupt(3))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::retries(1), Some(3)));
+        // Attempt + 1 retry both corrupt: detected, not yet quarantined.
+        assert_eq!(
+            s.read_page_verified(3),
+            Err(ArchiveError::PageCorrupt { page: 3 })
+        );
+        assert_eq!(s.stats().corruptions(), 2);
+        assert_eq!(s.stats().failures(), 2);
+        assert!(!s.is_quarantined(3));
+        // The third consecutive checksum failure trips the breaker.
+        assert_eq!(
+            s.read_page_verified(3),
+            Err(ArchiveError::PageCorrupt { page: 3 })
+        );
+        assert!(s.is_quarantined(3));
+        assert_eq!(s.stats().quarantines(), 1);
+        assert_eq!(
+            s.read_page_verified(3),
+            Err(ArchiveError::PageQuarantined { page: 3 })
+        );
+        // Healthy pages verify cleanly through the same path.
+        let page = s.read_page_verified(0).unwrap();
+        assert_eq!(page[0].1, 0.0);
+    }
+
+    #[test]
+    fn clear_quarantine_refetches_and_reverifies() {
+        let s = store_4x4()
+            .with_faults(FaultProfile::new(0).permanent(0))
+            .with_resilience(ResilienceConfig::new(RetryPolicy::none(), Some(1)));
+        assert!(s.read_page_verified(0).is_err());
+        assert_eq!(s.quarantined_pages().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            s.read_page_verified(0),
+            Err(ArchiveError::PageQuarantined { page: 0 })
+        );
+        let pages_before = s.stats().pages_read();
+        s.clear_quarantine();
+        assert_eq!(s.quarantined_pages().count(), 0);
+        // The cleared page is genuinely re-fetched (and fails again for
+        // real — the fault is permanent), not served from breaker state.
+        assert_eq!(
+            s.read_page_verified(0),
+            Err(ArchiveError::PageIo { page: 0 })
+        );
+        assert_eq!(s.stats().pages_read(), pages_before);
+        assert!(s.is_quarantined(0), "breaker re-trips on the fresh failure");
     }
 
     #[test]

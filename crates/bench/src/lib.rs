@@ -202,6 +202,48 @@ pub fn parallel_world(
     (pyramids, model, stores, stats)
 }
 
+/// The R4 chaos world: N independent replicas of the HPS paged archive
+/// (the `hps_paged_world` bands), each replica group sharing one stats
+/// handle, plus the pyramids and risk model. Replicas hold bit-identical
+/// data — corruption and loss are injected per replica by the caller.
+#[allow(clippy::type_complexity)]
+pub fn replicated_world(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    replicas: usize,
+) -> (
+    Vec<AggregatePyramid>,
+    HpsRiskModel,
+    Vec<(Vec<TileStore>, mbir_archive::stats::AccessStats)>,
+) {
+    let scene = SyntheticScene::new(seed, rows, cols).generate();
+    let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
+    let bands: Vec<Grid2<f64>> = vec![
+        scene.band(BandId::TM4).expect("band present").clone(),
+        scene.band(BandId::TM5).expect("band present").clone(),
+        scene.band(BandId::TM7).expect("band present").clone(),
+        dem.grid().clone(),
+    ];
+    let pyramids: Vec<AggregatePyramid> = bands.iter().map(AggregatePyramid::build).collect();
+    let groups: Vec<(Vec<TileStore>, mbir_archive::stats::AccessStats)> = (0..replicas)
+        .map(|_| {
+            let stats = mbir_archive::stats::AccessStats::new();
+            let stores: Vec<TileStore> = bands
+                .iter()
+                .map(|b| {
+                    TileStore::new(b.clone(), tile)
+                        .expect("valid tile size")
+                        .with_stats(stats.clone())
+                })
+                .collect();
+            (stores, stats)
+        })
+        .collect();
+    (pyramids, HpsRiskModel::paper(), groups)
+}
+
 /// A wide linear model (many attributes, skewed coefficients) over smooth
 /// fields — the regime where progressive-model staging pays off; used by
 /// the E6 ablation.

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod query;
+pub mod replica;
 pub mod resilient;
 pub mod source;
 pub mod temporal;
@@ -58,8 +59,8 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use metrics::{
-    precision_recall_at_k, roc_curve, scaling_table, total_cost, CostParams, CostReport, PrReport,
-    RocPoint, ScalingRow,
+    degradation_summary, precision_recall_at_k, roc_curve, scaling_table, total_cost, CostParams,
+    CostReport, DegradationSummary, PrReport, RocPoint, ScalingRow,
 };
 pub use parallel::{
     grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
@@ -70,8 +71,10 @@ pub use plan::{
     QueryPlan,
 };
 pub use query::{Objective, TopKQuery};
+pub use replica::{BreakerState, ReplicaConfig, ReplicaHealth, ReplicatedSource};
 pub use resilient::{
     resilient_top_k, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK, ScoreBounds,
+    WallDeadline,
 };
 pub use source::{CachedTileSource, CellSource, PyramidSource, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

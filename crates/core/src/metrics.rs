@@ -315,6 +315,41 @@ pub fn scaling_table(points: &[(usize, u64)]) -> Vec<ScalingRow> {
         .collect()
 }
 
+/// Compact description of how far a resilient answer drifted from exact —
+/// the chaos harness's per-run scorecard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationSummary {
+    /// Fraction of base cells provably accounted for (1.0 = exact).
+    pub completeness: f64,
+    /// Pages whose cells were lost from the answer.
+    pub skipped_pages: usize,
+    /// Reported hits whose score is a degraded estimate, not an exact
+    /// evaluation.
+    pub inexact_hits: usize,
+    /// Widest reported `hi - lo` score interval (0.0 when every hit is a
+    /// point).
+    pub widest_bound: f64,
+    /// Whether a budget dimension (including the wall-clock deadline)
+    /// stopped the run early.
+    pub budget_stopped: bool,
+}
+
+/// Summarizes a [`ResilientTopK`](crate::resilient::ResilientTopK) for
+/// degradation reporting.
+pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> DegradationSummary {
+    DegradationSummary {
+        completeness: report.completeness,
+        skipped_pages: report.skipped_pages.len(),
+        inexact_hits: report.results.iter().filter(|h| !h.exact).count(),
+        widest_bound: report
+            .results
+            .iter()
+            .map(|h| h.bounds.hi - h.bounds.lo)
+            .fold(0.0, f64::max),
+        budget_stopped: report.budget_stop.is_some(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +527,44 @@ mod tests {
         assert_eq!(pr.precision, 0.0);
         assert_eq!(pr.recall, 0.0);
         assert!(precision_recall_at_k(&risk, &occ, 0).is_err());
+    }
+
+    #[test]
+    fn degradation_summary_reads_the_report_faithfully() {
+        use crate::engine::EffortReport;
+        use crate::resilient::{BudgetStop, ResilientHit, ResilientTopK, ScoreBounds};
+        let hit = |score: f64, lo: f64, hi: f64, exact: bool| ResilientHit {
+            cell: CellCoord::new(0, 0),
+            level: 0,
+            score,
+            bounds: ScoreBounds { lo, hi },
+            exact,
+        };
+        let report = ResilientTopK {
+            results: vec![hit(5.0, 5.0, 5.0, true), hit(3.0, 1.0, 4.5, false)],
+            effort: EffortReport::default(),
+            completeness: 0.75,
+            skipped_pages: vec![2, 9],
+            budget_stop: Some(BudgetStop::WallClock),
+        };
+        let s = degradation_summary(&report);
+        assert_eq!(s.completeness, 0.75);
+        assert_eq!(s.skipped_pages, 2);
+        assert_eq!(s.inexact_hits, 1);
+        assert!((s.widest_bound - 3.5).abs() < 1e-12);
+        assert!(s.budget_stopped);
+
+        let exact = ResilientTopK {
+            results: vec![hit(5.0, 5.0, 5.0, true)],
+            effort: EffortReport::default(),
+            completeness: 1.0,
+            skipped_pages: vec![],
+            budget_stop: None,
+        };
+        let s = degradation_summary(&exact);
+        assert_eq!(s.widest_bound, 0.0);
+        assert!(!s.budget_stopped);
+        assert_eq!(s.inexact_hits, 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::engine::{
 use crate::error::CoreError;
 use crate::parallel::pool::{SharedBound, WorkerPool};
 use crate::resilient::{region_candidate, BudgetStop, ExecutionBudget, ResilientTopK};
-use crate::resilient::{ResilientHit, ScoreBounds};
+use crate::resilient::{ResilientHit, ScoreBounds, WallDeadline};
 use crate::source::{CellSource, PyramidSource};
 use mbir_archive::error::ArchiveError;
 use mbir_archive::extent::CellCoord;
@@ -422,6 +422,7 @@ fn stop_code(stop: BudgetStop) -> u8 {
         BudgetStop::MultiplyAdds => 1,
         BudgetStop::PageReads => 2,
         BudgetStop::Deadline => 3,
+        BudgetStop::WallClock => 4,
     }
 }
 
@@ -430,6 +431,7 @@ fn code_stop(code: u8) -> Option<BudgetStop> {
         1 => Some(BudgetStop::MultiplyAdds),
         2 => Some(BudgetStop::PageReads),
         3 => Some(BudgetStop::Deadline),
+        4 => Some(BudgetStop::WallClock),
         _ => None,
     }
 }
@@ -442,6 +444,9 @@ struct ResilientCtx<'a, S: CellSource> {
     k: usize,
     source: &'a S,
     budget: &'a ExecutionBudget,
+    /// Shared wall-clock deadline latch, observed by every worker at the
+    /// budget checkpoint (alongside the shared bound).
+    deadline: &'a WallDeadline,
     bound: &'a SharedBound,
     /// Budget dimension: multiply-adds spent across *all* workers.
     multiply_adds: &'a AtomicU64,
@@ -500,13 +505,17 @@ fn resilient_worker<S: CellSource>(
             out.leftover.extend(frontier.drain());
             break;
         }
-        if let Some(stop) = ctx.budget.check(
-            ctx.multiply_adds.load(AtomicOrdering::Relaxed),
-            ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
-            ctx.source
-                .ticks_elapsed()
-                .saturating_sub(ctx.ticks_at_entry),
-        ) {
+        let checked = ctx
+            .budget
+            .check(
+                ctx.multiply_adds.load(AtomicOrdering::Relaxed),
+                ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
+                ctx.source
+                    .ticks_elapsed()
+                    .saturating_sub(ctx.ticks_at_entry),
+            )
+            .or_else(|| ctx.deadline.expired().then_some(BudgetStop::WallClock));
+        if let Some(stop) = checked {
             let _ = ctx.stop.compare_exchange(
                 STOP_NONE,
                 stop_code(stop),
@@ -531,7 +540,9 @@ fn resilient_worker<S: CellSource>(
                     }
                 }
                 Err(CoreError::Archive(
-                    ArchiveError::PageIo { page } | ArchiveError::PageQuarantined { page },
+                    ArchiveError::PageIo { page }
+                    | ArchiveError::PageQuarantined { page }
+                    | ArchiveError::PageCorrupt { page },
                 )) => {
                     let page = ctx.source.page_of(region.row, region.col).unwrap_or(page);
                     out.lost.push((region, page));
@@ -613,15 +624,18 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
     };
     let pages_at_entry = source.pages_read();
     let ticks_at_entry = source.ticks_elapsed();
+    let deadline = WallDeadline::starting_now(budget);
 
     let target = pool.threads() * FRONTIER_FANOUT;
     let (regions, warm_stop) =
         expand_frontier(model, pyramids, levels, target, &mut effort, |e| {
-            budget.check(
-                e.multiply_adds,
-                source.pages_read().saturating_sub(pages_at_entry),
-                source.ticks_elapsed().saturating_sub(ticks_at_entry),
-            )
+            budget
+                .check(
+                    e.multiply_adds,
+                    source.pages_read().saturating_sub(pages_at_entry),
+                    source.ticks_elapsed().saturating_sub(ticks_at_entry),
+                )
+                .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
         })?;
 
     let shared = SharedBound::new();
@@ -642,6 +656,7 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
             k,
             source,
             budget,
+            deadline: &deadline,
             bound: &shared,
             multiply_adds: &shared_ma,
             stop: &stop_flag,
@@ -1018,6 +1033,92 @@ mod tests {
             for hit in r.results.iter().filter(|h| !h.exact) {
                 assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
             }
+        }
+    }
+
+    #[test]
+    fn par_resilient_zero_wall_deadline_is_consistent_across_threads() {
+        use std::time::Duration;
+        let (model, pyramids, stores) = smooth_world(2, 64, 64, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited().with_wall_deadline(Duration::ZERO);
+        let reference = resilient_top_k(&model, &pyramids, 5, &src, &budget).unwrap();
+        assert_eq!(reference.budget_stop, Some(BudgetStop::WallClock));
+        assert_eq!(reference.completeness, 0.0);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let r = par_resilient_top_k(&model, &pyramids, 5, &src, &budget, &pool).unwrap();
+            assert_eq!(
+                r.budget_stop,
+                Some(BudgetStop::WallClock),
+                "threads={threads}"
+            );
+            // An already-expired deadline stops every schedule at its first
+            // checkpoint: completeness and bounds match at every width.
+            assert_eq!(r.completeness, reference.completeness, "threads={threads}");
+            assert_eq!(r.results, reference.results, "threads={threads}");
+            assert!(r.results.iter().all(|h| !h.exact));
+            for h in &r.results {
+                assert!(h.bounds.lo <= h.score && h.score <= h.bounds.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn par_resilient_generous_wall_deadline_changes_nothing() {
+        use std::time::Duration;
+        let (model, pyramids, stores) = smooth_world(2, 48, 48, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let plain = par_resilient_top_k(
+            &model,
+            &pyramids,
+            6,
+            &src,
+            &ExecutionBudget::unlimited(),
+            &WorkerPool::new(4),
+        )
+        .unwrap();
+        let timed = par_resilient_top_k(
+            &model,
+            &pyramids,
+            6,
+            &src,
+            &ExecutionBudget::unlimited().with_wall_deadline(Duration::from_secs(3600)),
+            &WorkerPool::new(4),
+        )
+        .unwrap();
+        assert_eq!(timed.budget_stop, None);
+        assert_eq!(timed.results, plain.results);
+    }
+
+    #[test]
+    fn par_resilient_detected_corruption_matches_sequential() {
+        use crate::source::CachedTileSource;
+        let (model, pyramids, stores) = smooth_world(2, 32, 32, 8);
+        let winner = pyramid_top_k(&model, &pyramids, 1).unwrap().results[0].cell;
+        let page = stores[0].page_of(winner.row, winner.col);
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).corrupt(page)))
+            .collect();
+        let src = CachedTileSource::new(&stores, 16).unwrap();
+        let sequential =
+            resilient_top_k(&model, &pyramids, 4, &src, &ExecutionBudget::unlimited()).unwrap();
+        assert!(sequential.skipped_pages.contains(&page));
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let parallel = par_resilient_top_k(
+                &model,
+                &pyramids,
+                4,
+                &src,
+                &ExecutionBudget::unlimited(),
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(parallel.results, sequential.results, "threads={threads}");
+            assert_eq!(parallel.skipped_pages, sequential.skipped_pages);
+            assert_eq!(parallel.completeness, sequential.completeness);
         }
     }
 

@@ -8,7 +8,8 @@
 //! pressures:
 //!
 //! * **Lost pages degrade, they don't abort.** A base read failing with
-//!   [`ArchiveError::PageIo`] or [`ArchiveError::PageQuarantined`] parks
+//!   [`ArchiveError::PageIo`], [`ArchiveError::PageQuarantined`], or
+//!   [`ArchiveError::PageCorrupt`] (detected silent corruption) parks
 //!   the cell instead. A lost cell whose frontier bound falls under the
 //!   final K-th floor is *resolved* (provably outside the top-K, exactly
 //!   like a healthy pruned cell); the rest are carried as *degraded*
@@ -44,6 +45,8 @@ use mbir_models::linear::LinearModel;
 use mbir_progressive::pyramid::AggregatePyramid;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Work ceilings for one retrieval, checked at cooperative checkpoints
 /// (once per frontier pop). `None` fields are unlimited; the default is
@@ -69,6 +72,13 @@ pub struct ExecutionBudget {
     /// Virtual deadline in I/O ticks (see
     /// [`AccessStats::ticks_elapsed`](mbir_archive::stats::AccessStats::ticks_elapsed)).
     pub deadline_ticks: Option<u64>,
+    /// Wall-clock deadline measured from query start. Unlike the virtual
+    /// tick deadline this is real time — interactive callers' "answer in
+    /// 50 ms, whatever you have" contract. Checked through a
+    /// [`WallDeadline`] latch at the same cooperative checkpoints, so
+    /// expiry degrades with the same sound-bounds semantics as any other
+    /// budget stop.
+    pub wall_deadline: Option<Duration>,
 }
 
 impl ExecutionBudget {
@@ -92,6 +102,12 @@ impl ExecutionBudget {
     /// Sets the virtual tick deadline (builder style).
     pub fn with_deadline_ticks(mut self, deadline: u64) -> Self {
         self.deadline_ticks = Some(deadline);
+        self
+    }
+
+    /// Sets the wall-clock deadline (builder style).
+    pub fn with_wall_deadline(mut self, deadline: Duration) -> Self {
+        self.wall_deadline = Some(deadline);
         self
     }
 
@@ -123,6 +139,8 @@ pub enum BudgetStop {
     PageReads,
     /// The virtual tick deadline passed.
     Deadline,
+    /// The wall-clock deadline passed.
+    WallClock,
 }
 
 impl fmt::Display for BudgetStop {
@@ -131,7 +149,50 @@ impl fmt::Display for BudgetStop {
             BudgetStop::MultiplyAdds => "multiply-add cap",
             BudgetStop::PageReads => "page-read cap",
             BudgetStop::Deadline => "tick deadline",
+            BudgetStop::WallClock => "wall-clock deadline",
         })
+    }
+}
+
+/// A shared, latching wall-clock deadline observed at engine checkpoints.
+///
+/// One instance is created per query ([`WallDeadline::starting_now`]) and
+/// shared by every worker of a parallel run, alongside the
+/// [`SharedBound`](crate::parallel::SharedBound). Expiry *latches*: once
+/// any checkpoint observes the deadline passed, every later check on any
+/// thread reports expired, so all workers stop at their next checkpoint
+/// even if the clock were to misbehave. A `None` limit never expires and
+/// costs no clock reads.
+#[derive(Debug)]
+pub struct WallDeadline {
+    started: Instant,
+    limit: Option<Duration>,
+    tripped: AtomicBool,
+}
+
+impl WallDeadline {
+    /// Starts the clock now against `budget.wall_deadline`.
+    pub fn starting_now(budget: &ExecutionBudget) -> Self {
+        WallDeadline {
+            started: Instant::now(),
+            limit: budget.wall_deadline,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the deadline has passed (latching; see the type docs).
+    pub fn expired(&self) -> bool {
+        let Some(limit) = self.limit else {
+            return false;
+        };
+        if self.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.started.elapsed() >= limit {
+            self.tripped.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 }
 
@@ -269,6 +330,7 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
     };
     let pages_at_entry = source.pages_read();
     let ticks_at_entry = source.ticks_elapsed();
+    let deadline = WallDeadline::starting_now(budget);
 
     let caps = scratch.caps();
     let QueryScratch {
@@ -303,12 +365,18 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
                 break;
             }
         }
-        // Cooperative checkpoint: one budget evaluation per pop.
-        if let Some(stop) = budget.check(
-            effort.multiply_adds,
-            source.pages_read().saturating_sub(pages_at_entry),
-            source.ticks_elapsed().saturating_sub(ticks_at_entry),
-        ) {
+        // Cooperative checkpoint: one budget evaluation per pop. The
+        // wall-clock deadline rides the same checkpoint, after the pure
+        // budget dimensions so a run that exhausts both reports the
+        // deterministic one.
+        let stop = budget
+            .check(
+                effort.multiply_adds,
+                source.pages_read().saturating_sub(pages_at_entry),
+                source.ticks_elapsed().saturating_sub(ticks_at_entry),
+            )
+            .or_else(|| deadline.expired().then_some(BudgetStop::WallClock));
+        if let Some(stop) = stop {
             budget_stop = Some(stop);
             leftover.push(region);
             leftover.extend(frontier.drain());
@@ -324,7 +392,9 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
                     });
                 }
                 Err(CoreError::Archive(
-                    ArchiveError::PageIo { page } | ArchiveError::PageQuarantined { page },
+                    ArchiveError::PageIo { page }
+                    | ArchiveError::PageQuarantined { page }
+                    | ArchiveError::PageCorrupt { page },
                 )) => {
                     let page = source.page_of(region.row, region.col).unwrap_or(page);
                     lost.push((region, page));
@@ -702,6 +772,90 @@ mod tests {
         // retries: retry count stays bounded by the breaker threshold.
         assert!(stats.retries() <= 2, "retries {}", stats.retries());
         assert!(stats.quarantines() >= 1);
+    }
+
+    #[test]
+    fn zero_wall_deadline_stops_at_the_first_checkpoint() {
+        let (model, pyramids, stores, _) = world(2, 64, 64, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let r = resilient_top_k(
+            &model,
+            &pyramids,
+            5,
+            &src,
+            &ExecutionBudget::unlimited().with_wall_deadline(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(r.budget_stop, Some(BudgetStop::WallClock));
+        assert_eq!(r.completeness, 0.0, "nothing resolved before expiry");
+        assert!(!r.results.is_empty(), "the frontier itself is reported");
+        assert!(r.results.iter().all(|h| !h.exact));
+        for h in &r.results {
+            assert!(h.bounds.lo <= h.score && h.score <= h.bounds.hi);
+        }
+    }
+
+    #[test]
+    fn generous_wall_deadline_never_interferes() {
+        let (model, pyramids, stores, _) = world(2, 32, 32, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let strict = pyramid_top_k(&model, &pyramids, 4).unwrap();
+        let r = resilient_top_k(
+            &model,
+            &pyramids,
+            4,
+            &src,
+            &ExecutionBudget::unlimited().with_wall_deadline(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(r.budget_stop, None);
+        assert!(!r.is_degraded());
+        for (a, b) in r.results.iter().zip(&strict.results) {
+            assert_eq!((a.cell, a.score), (b.cell, b.score));
+        }
+    }
+
+    #[test]
+    fn wall_deadline_latch_is_sticky() {
+        let expired = WallDeadline::starting_now(
+            &ExecutionBudget::unlimited().with_wall_deadline(Duration::ZERO),
+        );
+        assert!(expired.expired());
+        assert!(expired.expired(), "latched");
+        let unlimited = WallDeadline::starting_now(&ExecutionBudget::unlimited());
+        assert!(!unlimited.expired());
+        let generous = WallDeadline::starting_now(
+            &ExecutionBudget::unlimited().with_wall_deadline(Duration::from_secs(3600)),
+        );
+        assert!(!generous.expired());
+    }
+
+    #[test]
+    fn detected_corruption_degrades_like_a_lost_page() {
+        use crate::source::CachedTileSource;
+        let (model, pyramids, stores, stats) = world(2, 32, 32, 8);
+        let winner = pyramid_top_k(&model, &pyramids, 1).unwrap().results[0].cell;
+        let page = stores[0].page_of(winner.row, winner.col);
+        // Corrupt the winner's page on every store; the verifying cached
+        // source detects it and the engine degrades instead of returning
+        // silently wrong scores.
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).corrupt(page)))
+            .collect();
+        let src = CachedTileSource::new(&stores, 8).unwrap();
+        let r = resilient_top_k(&model, &pyramids, 3, &src, &ExecutionBudget::unlimited()).unwrap();
+        assert!(r.is_degraded());
+        assert!(r.skipped_pages.contains(&page));
+        assert!(stats.corruptions() > 0);
+        let strict = pyramid_top_k(&model, &pyramids, 1).unwrap();
+        let covered = r.results.iter().any(|h| {
+            (h.exact && h.score == strict.results[0].score)
+                || (!h.exact
+                    && h.bounds.lo <= strict.results[0].score
+                    && strict.results[0].score <= h.bounds.hi)
+        });
+        assert!(covered, "true winner must be confirmed or covered");
     }
 
     #[test]

@@ -182,7 +182,12 @@ struct CacheState {
 ///
 /// Failed page reads are **not** cached: a later read attempts the page
 /// again, preserving the stores' transient-fault-healing and quarantine
-/// semantics.
+/// semantics. The same invariant covers checksum failures — pages are
+/// materialized through
+/// [`read_page_verified`](TileStore::read_page_verified), so a payload
+/// that fails verification surfaces as
+/// [`ArchiveError::PageCorrupt`] and is never inserted into the LRU.
+/// (The plain [`TileSource`] stays a trusting legacy reader.)
 #[derive(Debug)]
 pub struct CachedTileSource<'a> {
     stores: &'a [TileStore],
@@ -285,7 +290,9 @@ impl<'a> CachedTileSource<'a> {
         let width = c1 - c0;
         let mut values = Vec::with_capacity(self.stores.len());
         for store in self.stores {
-            let tuples = store.read_page(page)?;
+            // Verified read: corrupt payloads error out (and are therefore
+            // never cached) instead of poisoning the LRU.
+            let tuples = store.read_page_verified(page)?;
             values.push(tuples.into_iter().map(|(_, v)| v).collect());
         }
         Ok(PageBlock {
@@ -482,6 +489,74 @@ mod tests {
         assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
         assert_eq!(src.base_cell(1, 0, 0).unwrap(), 1.0);
         assert_eq!(stats.cache_misses(), 2, "both attempts were misses");
+    }
+
+    #[test]
+    fn corrupted_pages_are_never_cached() {
+        use mbir_archive::fault::FaultProfile;
+        let (stores, stats) = cached_world();
+        // Persistently corrupt page 0 of the first store.
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    s.with_faults(FaultProfile::new(0).corrupt(0))
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        // Every touch of page 0 detects the corruption and errors; nothing
+        // is inserted, so every attempt is a fresh miss.
+        for _ in 0..3 {
+            assert_eq!(
+                src.base_cell(0, 0, 0),
+                Err(ArchiveError::PageCorrupt { page: 0 })
+            );
+        }
+        assert_eq!(stats.cache_misses(), 3);
+        assert_eq!(stats.cache_hits(), 0);
+        assert_eq!(stats.corruptions(), 3);
+        // Healthy pages still verify and cache normally.
+        assert_eq!(src.base_cell(0, 4, 4).unwrap(), 36.0);
+        assert_eq!(src.base_cell(1, 4, 4).unwrap(), 37.0);
+        assert_eq!(stats.cache_hits(), 1);
+    }
+
+    #[test]
+    fn cache_hits_do_not_touch_store_fault_state() {
+        use mbir_archive::fault::FaultProfile;
+        let (stores, stats) = cached_world();
+        // Page 0 of the first store heals after one failure; with the page
+        // cached, the store must never see the extra accesses that would
+        // advance its transient counter or reset breaker runs.
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    s.with_faults(FaultProfile::new(0).transient(0, 1))
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        assert!(src.base_cell(0, 0, 0).is_err());
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        let pages_after_fill = stats.pages_read();
+        let ticks_after_fill = stats.ticks_elapsed();
+        // A burst of cache hits: values flow, but the stores observe
+        // nothing — no page reads, no ticks, no fault-state movement.
+        for _ in 0..16 {
+            assert_eq!(src.base_cell(1, 1, 1).unwrap(), 10.0);
+        }
+        assert_eq!(stats.pages_read(), pages_after_fill);
+        assert_eq!(stats.ticks_elapsed(), ticks_after_fill);
+        assert_eq!(stats.failures(), 1, "only the original transient failure");
+        assert_eq!(stats.cache_hits(), 16);
     }
 
     #[test]

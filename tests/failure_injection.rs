@@ -2,7 +2,9 @@
 //! surface as typed errors without corrupting results.
 
 use mbir::core::engine::pyramid_top_k;
-use mbir::core::resilient::{resilient_top_k, ExecutionBudget};
+use mbir::core::parallel::{par_resilient_top_k, WorkerPool};
+use mbir::core::replica::{ReplicaConfig, ReplicatedSource};
+use mbir::core::resilient::{resilient_top_k, BudgetStop, ExecutionBudget};
 use mbir::core::source::TileSource;
 use mbir::core::workflow::{run_workflow, WorkflowConfig};
 use mbir::models::linear::LinearModel;
@@ -194,7 +196,7 @@ fn quarantine_trips_after_threshold_and_fails_fast() {
     }
     assert_eq!(store.stats().retries(), retries_before);
     assert_eq!(store.stats().ticks_elapsed(), ticks_before);
-    assert_eq!(store.quarantined_pages(), vec![5]);
+    assert_eq!(store.quarantined_pages().collect::<Vec<_>>(), vec![5]);
     // Healthy pages are unaffected.
     assert!(store.read(0, 0).is_ok());
 }
@@ -237,4 +239,152 @@ fn lost_pages_yield_honest_partial_results() {
         .results
         .iter()
         .any(|h| h.bounds.lo <= strict.results[0].score && strict.results[0].score <= h.bounds.hi));
+}
+
+#[test]
+fn clearing_quarantine_restores_access_once_the_fault_heals() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4)
+        .unwrap()
+        .with_faults(FaultProfile::new(0).transient(5, 2))
+        .with_resilience(ResilienceConfig::new(RetryPolicy::none(), Some(2)));
+    // Two failing accesses quarantine the page.
+    assert!(store.read_page_verified(5).is_err());
+    assert!(store.read_page_verified(5).is_err());
+    assert!(store.is_quarantined(5));
+    assert_eq!(store.quarantined_pages().collect::<Vec<_>>(), vec![5]);
+    assert_eq!(
+        store.read_page_verified(5).unwrap_err(),
+        ArchiveError::PageQuarantined { page: 5 }
+    );
+    // Lifting the quarantine re-fetches and re-verifies: the transient
+    // fault has healed, so the page comes back intact.
+    store.clear_quarantine();
+    assert!(store.quarantined_pages().next().is_none());
+    let cells = store.read_page_verified(5).unwrap();
+    assert_eq!(cells.len(), 16);
+    assert!(cells
+        .iter()
+        .all(|(cell, v)| *v == (cell.row * 16 + cell.col) as f64));
+}
+
+/// Two independent replicas of the `paged_world` stores, each group with
+/// its own stats handle.
+fn replica_stores(rows: usize, cols: usize, tile: usize) -> (Vec<TileStore>, AccessStats) {
+    let stats = AccessStats::new();
+    let stores = (0..2)
+        .map(|i| {
+            let g = Grid2::from_fn(rows, cols, |r, c| {
+                ((r as f64 / 7.0 + i as f64).sin() + (c as f64 / 9.0).cos()) * 40.0 + 90.0
+            });
+            TileStore::new(g, tile).unwrap().with_stats(stats.clone())
+        })
+        .collect();
+    (stores, stats)
+}
+
+#[test]
+fn healthy_replicated_source_matches_the_direct_path_exactly() {
+    let (model, pyramids, stores, _) = paged_world(32, 32, 8);
+    let direct = TileSource::new(&stores).unwrap();
+    let budget = ExecutionBudget::unlimited();
+    let reference = resilient_top_k(&model, &pyramids, 5, &direct, &budget).unwrap();
+
+    let (a, _) = replica_stores(32, 32, 8);
+    let (b, _) = replica_stores(32, 32, 8);
+    let src = ReplicatedSource::new(vec![&a, &b], ReplicaConfig::default()).unwrap();
+    let replicated = resilient_top_k(&model, &pyramids, 5, &src, &budget).unwrap();
+
+    // Bit-identical: same hits, same bounds, same accounting.
+    assert_eq!(replicated, reference);
+    assert!(!replicated.is_degraded());
+    assert_eq!(src.replica_health()[1].pages_served, 0);
+}
+
+#[test]
+fn replication_masks_single_replica_corruption_and_loss() {
+    let (model, pyramids, stores, _) = paged_world(32, 32, 8);
+    let strict = pyramid_top_k(&model, &pyramids, 5).unwrap();
+    let winner = strict.results[0].cell;
+    let bad_page = stores[0].page_of(winner.row, winner.col);
+    let dead_page = (bad_page + 1) % stores[0].page_count();
+
+    // Replica 0 serves the winner's page corrupted and has lost another
+    // page outright; replica 1 is clean.
+    let (a, a_stats) = replica_stores(32, 32, 8);
+    let a: Vec<TileStore> = a
+        .into_iter()
+        .map(|s| s.with_faults(FaultProfile::new(3).corrupt(bad_page).permanent(dead_page)))
+        .collect();
+    let (b, _) = replica_stores(32, 32, 8);
+    let src = ReplicatedSource::new(vec![&a, &b], ReplicaConfig::default()).unwrap();
+
+    let r = resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+    // Failover absorbed both faults: the answer is the exact one.
+    assert!(!r.is_degraded());
+    assert_eq!(r.completeness, 1.0);
+    assert!(r.skipped_pages.is_empty());
+    for (hit, want) in r.results.iter().zip(&strict.results) {
+        assert_eq!(hit.cell, want.cell);
+        assert_eq!(hit.score, want.score);
+    }
+    // The corruption was detected (not silently served) and charged to
+    // the bad replica.
+    assert!(a_stats.corruptions() >= 1);
+    let health = src.replica_health();
+    assert!(health[0].failures >= 1);
+    assert!(health[1].pages_served >= 1);
+}
+
+#[test]
+fn all_replicas_losing_a_page_degrades_with_sound_bounds() {
+    let (model, pyramids, stores, _) = paged_world(32, 32, 8);
+    let strict = pyramid_top_k(&model, &pyramids, 5).unwrap();
+    let winner = strict.results[0].cell;
+    let page = stores[0].page_of(winner.row, winner.col);
+
+    let kill = |stores: Vec<TileStore>| -> Vec<TileStore> {
+        stores
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).permanent(page)))
+            .collect()
+    };
+    let (a, _) = replica_stores(32, 32, 8);
+    let (b, _) = replica_stores(32, 32, 8);
+    let (a, b) = (kill(a), kill(b));
+    let src = ReplicatedSource::new(vec![&a, &b], ReplicaConfig::default()).unwrap();
+
+    let r = resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+    // No replica can serve the winner's page: honest degradation.
+    assert!(r.is_degraded());
+    assert!(r.completeness < 1.0);
+    assert_eq!(r.skipped_pages, vec![page]);
+    assert!(r
+        .results
+        .iter()
+        .any(|h| h.bounds.lo <= strict.results[0].score && strict.results[0].score <= h.bounds.hi));
+    for hit in &r.results {
+        assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
+    }
+}
+
+#[test]
+fn wall_deadline_over_replicated_source_is_thread_count_invariant() {
+    let (model, pyramids, _, _) = paged_world(32, 32, 8);
+    let (a, _) = replica_stores(32, 32, 8);
+    let (b, _) = replica_stores(32, 32, 8);
+    let src = ReplicatedSource::new(vec![&a, &b], ReplicaConfig::default()).unwrap();
+    let budget = ExecutionBudget::unlimited().with_wall_deadline(std::time::Duration::ZERO);
+
+    // An already-expired deadline stops every engine at its first
+    // checkpoint — the degraded answer must not depend on parallelism.
+    let seq = resilient_top_k(&model, &pyramids, 5, &src, &budget).unwrap();
+    assert_eq!(seq.budget_stop, Some(BudgetStop::WallClock));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        let par = par_resilient_top_k(&model, &pyramids, 5, &src, &budget, &pool).unwrap();
+        assert_eq!(par.budget_stop, Some(BudgetStop::WallClock));
+        assert_eq!(par.results, seq.results, "threads {threads}");
+        assert_eq!(par.completeness, seq.completeness, "threads {threads}");
+    }
 }
