@@ -42,6 +42,7 @@ struct Counters {
     ticks: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    hedges: AtomicU64,
 }
 
 impl AccessStats {
@@ -104,6 +105,12 @@ impl AccessStats {
         self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` hedged page reads: duplicate requests issued to a
+    /// backup replica because the primary exceeded its hedge delay.
+    pub fn record_hedges(&self, n: u64) {
+        self.inner.hedges.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Tuples touched so far.
     pub fn tuples_touched(&self) -> u64 {
         self.inner.tuples.load(Ordering::Relaxed)
@@ -156,6 +163,11 @@ impl AccessStats {
         self.inner.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Hedged page reads so far.
+    pub fn hedges(&self) -> u64 {
+        self.inner.hedges.load(Ordering::Relaxed)
+    }
+
     /// Fraction of cached lookups served from the cache, or `None` when no
     /// cached lookups happened at all.
     pub fn cache_hit_rate(&self) -> Option<f64> {
@@ -179,6 +191,7 @@ impl AccessStats {
         self.inner.ticks.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.hedges.store(0, Ordering::Relaxed);
     }
 
     /// Speedup of `self` relative to `baseline` in tuples touched

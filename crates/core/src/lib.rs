@@ -26,6 +26,10 @@
 //!   multi-query execution over one shared (optionally page-cached)
 //!   archive. Bit-identical to the sequential engines at every thread
 //!   count.
+//! * [`lifecycle`] — the overload layer: cooperative [`CancelToken`]s
+//!   polled by the resilient engines at page granularity, and an
+//!   [`AdmissionController`] with per-priority queues and best-effort
+//!   load shedding behind a typed [`Overloaded`] rejection.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -43,6 +47,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod lifecycle;
 pub mod metrics;
 pub mod parallel;
 pub mod plan;
@@ -58,13 +63,17 @@ pub use engine::{
     pyramid_top_k_with_source, staged_grid_top_k, staged_top_k, EffortReport,
 };
 pub use error::CoreError;
+pub use lifecycle::{
+    AdmissionController, AdmissionPolicy, CancelToken, ClassCounters, LifecycleState, Overloaded,
+    Priority, SessionId,
+};
 pub use metrics::{
     degradation_summary, precision_recall_at_k, roc_curve, scaling_table, total_cost, CostParams,
     CostReport, DegradationSummary, PrReport, RocPoint, ScalingRow,
 };
 pub use parallel::{
     grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
-    par_staged_top_k, QueryBatch, SharedBound, WorkerPool,
+    par_resilient_top_k_cancellable, par_staged_top_k, QueryBatch, SharedBound, WorkerPool,
 };
 pub use plan::{
     execute_planned, execute_planned_parallel, plan_grid_query, EngineChoice, PlannerConfig,
@@ -73,8 +82,8 @@ pub use plan::{
 pub use query::{Objective, TopKQuery};
 pub use replica::{BreakerState, ReplicaConfig, ReplicaHealth, ReplicatedSource};
 pub use resilient::{
-    resilient_top_k, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK, ScoreBounds,
-    WallDeadline,
+    resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget, ResilientHit,
+    ResilientTopK, ScoreBounds, WallDeadline,
 };
 pub use source::{CachedTileSource, CellSource, PyramidSource, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

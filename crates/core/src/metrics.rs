@@ -332,10 +332,40 @@ pub struct DegradationSummary {
     /// Whether a budget dimension (including the wall-clock deadline)
     /// stopped the run early.
     pub budget_stopped: bool,
+    /// Queries rejected up front by admission control (typed
+    /// [`Overloaded`](crate::lifecycle::Overloaded) errors). Always 0
+    /// from [`degradation_summary`]; folded in via
+    /// [`with_lifecycle`](Self::with_lifecycle).
+    pub shed_queries: u64,
+    /// Queries cancelled mid-flight via their
+    /// [`CancelToken`](crate::lifecycle::CancelToken). Always 0 from
+    /// [`degradation_summary`]; folded in via
+    /// [`with_lifecycle`](Self::with_lifecycle).
+    pub cancelled_queries: u64,
+    /// Hedged replica reads issued (see
+    /// [`ReplicatedSource::hedged_reads`](crate::replica::ReplicatedSource::hedged_reads)).
+    /// Always 0 from [`degradation_summary`]; folded in via
+    /// [`with_lifecycle`](Self::with_lifecycle).
+    pub hedged_reads: u64,
+}
+
+impl DegradationSummary {
+    /// Folds lifecycle-layer degradation counters into the scorecard
+    /// (builder style), so one report covers every degradation source:
+    /// lost pages, budget stops, shed admissions, cancellations, and
+    /// hedged reads.
+    pub fn with_lifecycle(mut self, shed: u64, cancelled: u64, hedged: u64) -> Self {
+        self.shed_queries = shed;
+        self.cancelled_queries = cancelled;
+        self.hedged_reads = hedged;
+        self
+    }
 }
 
 /// Summarizes a [`ResilientTopK`](crate::resilient::ResilientTopK) for
-/// degradation reporting.
+/// degradation reporting. Lifecycle counters (shed / cancelled / hedged)
+/// start at zero — one run report cannot see them — and are folded in by
+/// the harness via [`DegradationSummary::with_lifecycle`].
 pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> DegradationSummary {
     DegradationSummary {
         completeness: report.completeness,
@@ -347,6 +377,9 @@ pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> Degradat
             .map(|h| h.bounds.hi - h.bounds.lo)
             .fold(0.0, f64::max),
         budget_stopped: report.budget_stop.is_some(),
+        shed_queries: 0,
+        cancelled_queries: 0,
+        hedged_reads: 0,
     }
 }
 
@@ -553,6 +586,18 @@ mod tests {
         assert_eq!(s.inexact_hits, 1);
         assert!((s.widest_bound - 3.5).abs() < 1e-12);
         assert!(s.budget_stopped);
+        assert_eq!(
+            (s.shed_queries, s.cancelled_queries, s.hedged_reads),
+            (0, 0, 0)
+        );
+
+        // Lifecycle counters fold in without disturbing the run fields.
+        let folded = s.with_lifecycle(3, 2, 7);
+        assert_eq!(folded.shed_queries, 3);
+        assert_eq!(folded.cancelled_queries, 2);
+        assert_eq!(folded.hedged_reads, 7);
+        assert_eq!(folded.completeness, s.completeness);
+        assert_eq!(folded.skipped_pages, s.skipped_pages);
 
         let exact = ResilientTopK {
             results: vec![hit(5.0, 5.0, 5.0, true)],

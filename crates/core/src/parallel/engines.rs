@@ -27,6 +27,7 @@ use crate::engine::{
     QueryScratch, Region, ScoredCell, TupleTopK,
 };
 use crate::error::CoreError;
+use crate::lifecycle::CancelToken;
 use crate::parallel::pool::{SharedBound, WorkerPool};
 use crate::resilient::{region_candidate, BudgetStop, ExecutionBudget, ResilientTopK};
 use crate::resilient::{ResilientHit, ScoreBounds, WallDeadline};
@@ -423,6 +424,7 @@ fn stop_code(stop: BudgetStop) -> u8 {
         BudgetStop::PageReads => 2,
         BudgetStop::Deadline => 3,
         BudgetStop::WallClock => 4,
+        BudgetStop::Cancelled => 5,
     }
 }
 
@@ -432,6 +434,7 @@ fn code_stop(code: u8) -> Option<BudgetStop> {
         2 => Some(BudgetStop::PageReads),
         3 => Some(BudgetStop::Deadline),
         4 => Some(BudgetStop::WallClock),
+        5 => Some(BudgetStop::Cancelled),
         _ => None,
     }
 }
@@ -447,6 +450,9 @@ struct ResilientCtx<'a, S: CellSource> {
     /// Shared wall-clock deadline latch, observed by every worker at the
     /// budget checkpoint (alongside the shared bound).
     deadline: &'a WallDeadline,
+    /// Caller-held cancellation latch, polled first at every checkpoint
+    /// (stop precedence: Cancelled > WallClock > Budget).
+    cancel: Option<&'a CancelToken>,
     bound: &'a SharedBound,
     /// Budget dimension: multiply-adds spent across *all* workers.
     multiply_adds: &'a AtomicU64,
@@ -505,16 +511,23 @@ fn resilient_worker<S: CellSource>(
             out.leftover.extend(frontier.drain());
             break;
         }
+        // Fixed stop precedence Cancelled > WallClock > Budget: a step
+        // that trips several dimensions at once latches the same reason
+        // on every run and at every thread count.
         let checked = ctx
-            .budget
-            .check(
-                ctx.multiply_adds.load(AtomicOrdering::Relaxed),
-                ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
-                ctx.source
-                    .ticks_elapsed()
-                    .saturating_sub(ctx.ticks_at_entry),
-            )
-            .or_else(|| ctx.deadline.expired().then_some(BudgetStop::WallClock));
+            .cancel
+            .is_some_and(CancelToken::is_cancelled)
+            .then_some(BudgetStop::Cancelled)
+            .or_else(|| ctx.deadline.expired().then_some(BudgetStop::WallClock))
+            .or_else(|| {
+                ctx.budget.check(
+                    ctx.multiply_adds.load(AtomicOrdering::Relaxed),
+                    ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
+                    ctx.source
+                        .ticks_elapsed()
+                        .saturating_sub(ctx.ticks_at_entry),
+                )
+            });
         if let Some(stop) = checked {
             let _ = ctx.stop.compare_exchange(
                 STOP_NONE,
@@ -615,6 +628,44 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
     budget: &ExecutionBudget,
     pool: &WorkerPool,
 ) -> Result<ResilientTopK, CoreError> {
+    par_resilient_top_k_inner(model, pyramids, k, source, budget, None, pool)
+}
+
+/// [`par_resilient_top_k`] polling a
+/// [`CancelToken`](crate::lifecycle::CancelToken) at every worker
+/// checkpoint. Cancellation latches
+/// [`BudgetStop::Cancelled`](crate::resilient::BudgetStop) through the
+/// shared stop flag, so every worker surrenders its frontier at its next
+/// pop and the merged report stays sound. A token cancelled *before* the
+/// call stops the run at the warm-up checkpoint, which makes the degraded
+/// answer bit-identical at every thread count (mid-run cancellation is
+/// schedule-dependent, like any mid-run budget stop). A token that is
+/// never cancelled changes nothing.
+///
+/// # Errors
+///
+/// Same as [`resilient_top_k`](crate::resilient::resilient_top_k).
+pub fn par_resilient_top_k_cancellable<S: CellSource + Sync>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    cancel: &CancelToken,
+    pool: &WorkerPool,
+) -> Result<ResilientTopK, CoreError> {
+    par_resilient_top_k_inner(model, pyramids, k, source, budget, Some(cancel), pool)
+}
+
+fn par_resilient_top_k_inner<S: CellSource + Sync>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    cancel: Option<&CancelToken>,
+    pool: &WorkerPool,
+) -> Result<ResilientTopK, CoreError> {
     let ((rows, cols), levels) = validate_grid_inputs(model, pyramids, k)?;
     let total_cells = (rows * cols) as u64;
     let n = model.arity() as u64;
@@ -629,13 +680,19 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
     let target = pool.threads() * FRONTIER_FANOUT;
     let (regions, warm_stop) =
         expand_frontier(model, pyramids, levels, target, &mut effort, |e| {
-            budget
-                .check(
-                    e.multiply_adds,
-                    source.pages_read().saturating_sub(pages_at_entry),
-                    source.ticks_elapsed().saturating_sub(ticks_at_entry),
-                )
+            // Same fixed stop precedence as the worker checkpoints:
+            // Cancelled > WallClock > Budget.
+            cancel
+                .is_some_and(CancelToken::is_cancelled)
+                .then_some(BudgetStop::Cancelled)
                 .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
+                .or_else(|| {
+                    budget.check(
+                        e.multiply_adds,
+                        source.pages_read().saturating_sub(pages_at_entry),
+                        source.ticks_elapsed().saturating_sub(ticks_at_entry),
+                    )
+                })
         })?;
 
     let shared = SharedBound::new();
@@ -657,6 +714,7 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
             source,
             budget,
             deadline: &deadline,
+            cancel,
             bound: &shared,
             multiply_adds: &shared_ma,
             stop: &stop_flag,
@@ -745,9 +803,14 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
         hits.push(candidate);
     }
 
+    // Rank by upper bound first — mirrors the sequential engine: exact
+    // hits have hi == score, and under degradation the truncation to k
+    // can never drop the only candidate that might still be the winner.
     hits.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
+        b.bounds
+            .hi
+            .total_cmp(&a.bounds.hi)
+            .then_with(|| b.score.total_cmp(&a.score))
             .then_with(|| a.cell.cmp(&b.cell))
     });
     hits.truncate(k);
@@ -765,7 +828,7 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
 mod tests {
     use super::*;
     use crate::engine::{naive_grid_top_k, pyramid_top_k, staged_top_k};
-    use crate::resilient::resilient_top_k;
+    use crate::resilient::{resilient_top_k, resilient_top_k_cancellable};
     use crate::source::TileSource;
     use mbir_archive::fault::FaultProfile;
     use mbir_archive::grid::Grid2;
@@ -1061,6 +1124,64 @@ mod tests {
             for h in &r.results {
                 assert!(h.bounds.lo <= h.score && h.score <= h.bounds.hi);
             }
+        }
+    }
+
+    #[test]
+    fn cancelled_stop_beats_deadline_and_budget_at_every_thread_count() {
+        use crate::lifecycle::CancelToken;
+        use std::time::Duration;
+        let (model, pyramids, stores) = smooth_world(2, 64, 64, 8);
+        let src = TileSource::new(&stores).unwrap();
+        // All three stop families trip at the first checkpoint: a
+        // pre-cancelled token, an expired wall deadline, and an exhausted
+        // multiply-add cap. The fixed precedence Cancelled > WallClock >
+        // Budget must hold on every schedule.
+        let budget = ExecutionBudget::unlimited()
+            .with_max_multiply_adds(1)
+            .with_wall_deadline(Duration::ZERO);
+        let token = CancelToken::new();
+        token.cancel();
+        let reference =
+            resilient_top_k_cancellable(&model, &pyramids, 5, &src, &budget, &token).unwrap();
+        assert_eq!(reference.budget_stop, Some(BudgetStop::Cancelled));
+        assert_eq!(reference.completeness, 0.0);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let r =
+                par_resilient_top_k_cancellable(&model, &pyramids, 5, &src, &budget, &token, &pool)
+                    .unwrap();
+            assert_eq!(
+                r.budget_stop,
+                Some(BudgetStop::Cancelled),
+                "threads={threads}"
+            );
+            // A pre-cancelled token stops every schedule at the warm-up
+            // checkpoint: the degraded answer matches at every width.
+            assert_eq!(r.completeness, reference.completeness, "threads={threads}");
+            assert_eq!(r.results, reference.results, "threads={threads}");
+            for h in &r.results {
+                assert!(h.bounds.lo <= h.score && h.score <= h.bounds.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn par_resilient_uncancelled_token_changes_nothing() {
+        use crate::lifecycle::CancelToken;
+        let (model, pyramids, stores) = smooth_world(2, 48, 48, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        let token = CancelToken::new();
+        let plain = resilient_top_k(&model, &pyramids, 6, &src, &budget).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let r =
+                par_resilient_top_k_cancellable(&model, &pyramids, 6, &src, &budget, &token, &pool)
+                    .unwrap();
+            assert_eq!(r.results, plain.results, "threads={threads}");
+            assert_eq!(r.budget_stop, None);
+            assert_eq!(r.completeness, 1.0);
         }
     }
 

@@ -25,6 +25,14 @@
 //!   health or replica stores — a replica cannot earn health credit for
 //!   I/O it never performed. In-flight loads are dedup'd through a
 //!   condvar, so concurrent workers materialize each page once.
+//! * **Hedged reads against stragglers.** With
+//!   [`ReplicaConfig::hedge_after_ticks`] set, a primary load that runs
+//!   past the hedge delay on the simulated I/O clock races a duplicate
+//!   issued to the next healthy replica; the first success wins and the
+//!   loser is cancelled. A cancelled load leaves no health record (no
+//!   double counting), a failed hedge is charged to its replica like any
+//!   failure, and only verified winners reach the cache — the
+//!   never-cache-corrupt invariant is untouched.
 //!
 //! With every replica healthy and verification on, the source returns
 //! exactly the bytes a direct [`TileSource`](crate::source::TileSource)
@@ -58,6 +66,11 @@ pub struct ReplicaConfig {
     /// silently — and exists so the chaos benchmark can isolate the cost
     /// of verification itself.
     pub verify: bool,
+    /// Hedged-read delay in ticks: when a primary page load runs longer
+    /// than this on the simulated I/O clock, the same page is issued to
+    /// the next healthy replica and the first success wins (the loser is
+    /// cancelled and leaves no health record). `None` disables hedging.
+    pub hedge_after_ticks: Option<u64>,
 }
 
 impl Default for ReplicaConfig {
@@ -68,6 +81,7 @@ impl Default for ReplicaConfig {
             cooldown_ticks: 64,
             cache_pages: 32,
             verify: true,
+            hedge_after_ticks: None,
         }
     }
 }
@@ -95,6 +109,13 @@ impl ReplicaConfig {
     /// Sets the LRU capacity in pages (builder style).
     pub fn with_cache_pages(mut self, pages: usize) -> Self {
         self.cache_pages = pages;
+        self
+    }
+
+    /// Enables hedged reads after `ticks` on the simulated I/O clock
+    /// (builder style); see [`hedge_after_ticks`](Self::hedge_after_ticks).
+    pub fn with_hedge_after_ticks(mut self, ticks: u64) -> Self {
+        self.hedge_after_ticks = Some(ticks);
         self
     }
 }
@@ -285,6 +306,35 @@ impl<'a> ReplicatedSource<'a> {
             .collect()
     }
 
+    /// Current breaker state of every replica, in failover order — the
+    /// lightweight companion to [`replica_health`](Self::replica_health)
+    /// for harnesses that only steer on Closed/Open/HalfOpen.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.health
+            .lock()
+            .expect("replica health lock")
+            .iter()
+            .map(|s| s.state)
+            .collect()
+    }
+
+    /// Resets every replica's breaker and health record to the initial
+    /// Closed state (EWMA, consecutive-error count, and served/failed
+    /// tallies included), so one source can be reused across harness
+    /// scenarios without carrying breaker history over.
+    pub fn reset_breakers(&self) {
+        let mut health = self.health.lock().expect("replica health lock");
+        for s in health.iter_mut() {
+            *s = ReplicaState::new();
+        }
+    }
+
+    /// Hedged page reads issued so far, summed across replicas (each
+    /// hedge is recorded on the backup replica it was issued to).
+    pub fn hedged_reads(&self) -> u64 {
+        self.replicas.iter().map(|r| r[0].stats().hedges()).sum()
+    }
+
     /// The breaker cooldown clock: total virtual I/O ticks accrued across
     /// all replicas (each replica's first store carries its group's
     /// shared stats). Deterministic under deterministic fault profiles.
@@ -380,9 +430,23 @@ impl<'a> ReplicatedSource<'a> {
             eligible
         };
         let mut last_err: Option<ArchiveError> = None;
-        for replica in order {
+        for (attempt, &replica) in order.iter().enumerate() {
+            let before = self.now_ticks();
             match self.load_from(replica, page) {
                 Ok(block) => {
+                    // Hedging races only the *primary* attempt: failover
+                    // attempts are already a retry and never hedge.
+                    if attempt == 0 {
+                        if let Some(delay) = self.config.hedge_after_ticks {
+                            let elapsed = self.now_ticks().saturating_sub(before);
+                            if elapsed > delay {
+                                if let Some(&backup) = order.get(1) {
+                                    return Ok(self
+                                        .hedge_race(page, replica, block, elapsed, backup, delay));
+                                }
+                            }
+                        }
+                    }
                     self.record_outcome(replica, true, self.now_ticks());
                     return Ok(block);
                 }
@@ -393,6 +457,54 @@ impl<'a> ReplicatedSource<'a> {
             }
         }
         Err(last_err.unwrap_or(ArchiveError::PageQuarantined { page }))
+    }
+
+    /// Resolves a hedged read: the primary's result arrived after the
+    /// hedge delay, so the same page was issued to `backup` and the two
+    /// race on the simulated timeline — the primary completing at
+    /// `primary_ticks`, the hedge at `delay` (its launch time) plus its
+    /// own load cost. First success wins; the loser is cancelled, and a
+    /// cancelled load leaves *no* health record, so neither replica is
+    /// ever credited or charged twice for one page. A hedge that comes
+    /// back failing was not cancelled — it completed, and is charged to
+    /// the backup like any failed load. Replicas agree bit-for-bit on
+    /// verified payloads, so either winner returns identical data.
+    fn hedge_race(
+        &self,
+        page: usize,
+        primary: usize,
+        primary_block: PageBlock,
+        primary_ticks: u64,
+        backup: usize,
+        delay: u64,
+    ) -> PageBlock {
+        self.replicas[backup][0].stats().record_hedges(1);
+        let before = self.now_ticks();
+        match self.load_from(backup, page) {
+            Ok(hedge_block) => {
+                let hedge_done = delay + self.now_ticks().saturating_sub(before);
+                if hedge_done < primary_ticks {
+                    // Hedge wins: the primary's slow result is cancelled.
+                    self.record_outcome(backup, true, self.now_ticks());
+                    hedge_block
+                } else {
+                    // Primary wins: the hedge is cancelled.
+                    self.record_outcome(primary, true, self.now_ticks());
+                    primary_block
+                }
+            }
+            Err(_) => {
+                // The hedge completed as a failure; the primary's success
+                // stands and the backup's failure feeds its breaker. A
+                // corrupt hedge payload lands here (`load_from` verifies
+                // before returning), so it can never win the race — and
+                // `fetch_page` caches only what this function returns, so
+                // a corrupt hedge is never cached either.
+                self.record_outcome(backup, false, self.now_ticks());
+                self.record_outcome(primary, true, self.now_ticks());
+                primary_block
+            }
+        }
     }
 
     /// Returns the cached page, materializing it through failover on a
@@ -794,5 +906,131 @@ mod tests {
         assert_eq!(a_stats.cache_misses(), 1, "one materialization total");
         assert_eq!(a_stats.cache_hits(), 7);
         assert_eq!(src.replica_health()[0].pages_served, 1);
+    }
+
+    #[test]
+    fn hedge_fires_on_slow_primary_and_faster_backup_wins() {
+        let (a, _) = replica(1);
+        // 10 extra ticks of injected latency on page 0: the primary load
+        // costs 11 ticks, far past the 2-tick hedge delay.
+        let a: Vec<TileStore> = a
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).latency(0, 10)))
+            .collect();
+        let (b, b_stats) = replica(1);
+        let config = ReplicaConfig::default().with_hedge_after_ticks(2);
+        let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(src.hedged_reads(), 1);
+        assert_eq!(b_stats.hedges(), 1, "the hedge is charged to the backup");
+        let health = src.replica_health();
+        // Hedge completes at 2 + 1 < 11: the backup wins, the primary's
+        // in-flight result is cancelled and leaves no health record.
+        assert_eq!(health[1].pages_served, 1);
+        assert_eq!(health[0].pages_served, 0, "cancelled loser not credited");
+        assert_eq!(health[0].failures, 0, "cancelled loser not charged");
+    }
+
+    #[test]
+    fn slow_primary_still_wins_when_the_hedge_is_slower() {
+        let (a, _) = replica(1);
+        let a: Vec<TileStore> = a
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).latency(0, 3)))
+            .collect();
+        let (b, _) = replica(1);
+        let b: Vec<TileStore> = b
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).latency(0, 10)))
+            .collect();
+        let config = ReplicaConfig::default().with_hedge_after_ticks(2);
+        let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+        // Primary completes at 4 ticks; the hedge launched at 2 would
+        // finish at 2 + 11 = 13. The primary wins, the hedge is cancelled.
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(src.hedged_reads(), 1);
+        let health = src.replica_health();
+        assert_eq!(health[0].pages_served, 1);
+        assert_eq!(health[1].pages_served, 0, "cancelled hedge not credited");
+        assert_eq!(health[1].failures, 0, "cancelled hedge not charged");
+    }
+
+    #[test]
+    fn fast_primary_never_hedges() {
+        let (a, _) = replica(1);
+        let (b, b_stats) = replica(1);
+        let config = ReplicaConfig::default().with_hedge_after_ticks(100);
+        let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(src.hedged_reads(), 0);
+        assert_eq!(b_stats.pages_read(), 0, "backup never touched");
+        assert_eq!(src.replica_health()[0].pages_served, 1);
+    }
+
+    #[test]
+    fn failed_hedge_is_charged_and_the_primary_result_stands() {
+        let (a, _) = replica(1);
+        let a: Vec<TileStore> = a
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).latency(0, 5)))
+            .collect();
+        let (b, b_stats) = replica(1);
+        // The hedge target serves silent corruption: verification fails,
+        // the hedge completes as a failure, and the clean primary result
+        // is returned (and is the only thing that can be cached).
+        let b: Vec<TileStore> = b
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).corrupt(0)))
+            .collect();
+        let config = ReplicaConfig::default().with_hedge_after_ticks(2);
+        let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0, "clean bits win");
+        assert_eq!(src.hedged_reads(), 1);
+        assert_eq!(b_stats.corruptions(), 1);
+        let health = src.replica_health();
+        assert_eq!(health[0].pages_served, 1);
+        assert_eq!(health[1].failures, 1, "completed hedge failure counts");
+        // The cached copy is the verified primary payload.
+        assert_eq!(src.base_cell(0, 0, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn breaker_states_snapshot_and_reset() {
+        let (a, _) = replica(1);
+        let a: Vec<TileStore> = a
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).permanent(0).permanent(1)))
+            .collect();
+        let (b, _) = replica(1);
+        let config = ReplicaConfig::default()
+            .with_open_after(1)
+            .with_cooldown_ticks(u64::MAX)
+            .with_cache_pages(1);
+        let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+        assert_eq!(
+            src.breaker_states(),
+            vec![BreakerState::Closed, BreakerState::Closed]
+        );
+        // One failing load trips replica 0 (threshold 1).
+        assert_eq!(src.base_cell(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(
+            src.breaker_states(),
+            vec![BreakerState::Open, BreakerState::Closed]
+        );
+        src.reset_breakers();
+        assert_eq!(
+            src.breaker_states(),
+            vec![BreakerState::Closed, BreakerState::Closed]
+        );
+        let health = src.replica_health();
+        assert_eq!(health[0].failures, 0, "reset clears tallies");
+        assert_eq!(health[1].pages_served, 0);
+        // The reset source is fully reusable: the next failing load walks
+        // the same Closed → Open transition from scratch.
+        assert_eq!(src.base_cell(0, 0, 4).unwrap(), 4.0);
+        assert_eq!(
+            src.breaker_states(),
+            vec![BreakerState::Open, BreakerState::Closed]
+        );
     }
 }

@@ -23,6 +23,12 @@
 //!   tick deadline; it is checked once per frontier pop. On exhaustion the
 //!   remaining frontier — the deepest fully-bounded pyramid frontier — is
 //!   converted to degraded candidates instead of being discarded.
+//! * **Cancellation is cooperative too.** [`resilient_top_k_cancellable`]
+//!   polls a [`CancelToken`](crate::lifecycle::CancelToken) at the same
+//!   page-granular checkpoint and stops with [`BudgetStop::Cancelled`]
+//!   under the same degradation contract. When several stop reasons trip
+//!   in the same step, precedence is fixed: Cancelled > WallClock >
+//!   Budget dimensions — deterministic at every thread count.
 //!
 //! The result is honest about what it knows: every hit carries sound
 //! [`ScoreBounds`], the [`completeness`](ResilientTopK::completeness)
@@ -36,6 +42,7 @@ use crate::engine::{
     Region, ScoredCell,
 };
 use crate::error::CoreError;
+use crate::lifecycle::CancelToken;
 use crate::source::CellSource;
 use mbir_archive::error::ArchiveError;
 use mbir_archive::extent::CellCoord;
@@ -141,6 +148,9 @@ pub enum BudgetStop {
     Deadline,
     /// The wall-clock deadline passed.
     WallClock,
+    /// The caller cancelled the query via its
+    /// [`CancelToken`](crate::lifecycle::CancelToken).
+    Cancelled,
 }
 
 impl fmt::Display for BudgetStop {
@@ -150,6 +160,7 @@ impl fmt::Display for BudgetStop {
             BudgetStop::PageReads => "page-read cap",
             BudgetStop::Deadline => "tick deadline",
             BudgetStop::WallClock => "wall-clock deadline",
+            BudgetStop::Cancelled => "cancelled",
         })
     }
 }
@@ -305,6 +316,35 @@ pub fn resilient_top_k<S: CellSource>(
     resilient_top_k_with_scratch(model, pyramids, k, source, budget, &mut QueryScratch::new())
 }
 
+/// [`resilient_top_k`] polling a [`CancelToken`] at every page-granular
+/// checkpoint. Cancellation is just another early stop: the run latches
+/// [`BudgetStop::Cancelled`] and degrades with sound bounds and
+/// completeness accounting, exactly like a budget or deadline stop. A
+/// token that is never cancelled changes nothing: results are
+/// bit-identical to [`resilient_top_k`].
+///
+/// # Errors
+///
+/// Same as [`resilient_top_k`].
+pub fn resilient_top_k_cancellable<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    cancel: &CancelToken,
+) -> Result<ResilientTopK, CoreError> {
+    resilient_top_k_inner(
+        model,
+        pyramids,
+        k,
+        source,
+        budget,
+        Some(cancel),
+        &mut QueryScratch::new(),
+    )
+}
+
 /// [`resilient_top_k`] with descent buffers reused from `scratch` (see
 /// [`pyramid_top_k_with_scratch`](crate::engine::pyramid_top_k_with_scratch)).
 /// Results are bit-identical to [`resilient_top_k`].
@@ -318,6 +358,18 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
     k: usize,
     source: &S,
     budget: &ExecutionBudget,
+    scratch: &mut QueryScratch,
+) -> Result<ResilientTopK, CoreError> {
+    resilient_top_k_inner(model, pyramids, k, source, budget, None, scratch)
+}
+
+fn resilient_top_k_inner<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    cancel: Option<&CancelToken>,
     scratch: &mut QueryScratch,
 ) -> Result<ResilientTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
@@ -365,17 +417,21 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
                 break;
             }
         }
-        // Cooperative checkpoint: one budget evaluation per pop. The
-        // wall-clock deadline rides the same checkpoint, after the pure
-        // budget dimensions so a run that exhausts both reports the
-        // deterministic one.
-        let stop = budget
-            .check(
-                effort.multiply_adds,
-                source.pages_read().saturating_sub(pages_at_entry),
-                source.ticks_elapsed().saturating_sub(ticks_at_entry),
-            )
-            .or_else(|| deadline.expired().then_some(BudgetStop::WallClock));
+        // Cooperative checkpoint: one stop evaluation per pop, in the
+        // fixed precedence order Cancelled > WallClock > Budget, so a
+        // step that trips several dimensions at once reports the same
+        // reason on every run and at every thread count.
+        let stop = cancel
+            .is_some_and(CancelToken::is_cancelled)
+            .then_some(BudgetStop::Cancelled)
+            .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
+            .or_else(|| {
+                budget.check(
+                    effort.multiply_adds,
+                    source.pages_read().saturating_sub(pages_at_entry),
+                    source.ticks_elapsed().saturating_sub(ticks_at_entry),
+                )
+            });
         if let Some(stop) = stop {
             budget_stop = Some(stop);
             leftover.push(region);
@@ -484,9 +540,15 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
         hits.push(candidate);
     }
 
+    // Rank by upper bound first: for exact hits hi == score, so complete
+    // answers keep the plain score order, while under degradation the
+    // truncation to k can never drop the only candidate that might still
+    // be the true winner — every surviving hit's hi is at least as large.
     hits.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
+        b.bounds
+            .hi
+            .total_cmp(&a.bounds.hi)
+            .then_with(|| b.score.total_cmp(&a.score))
             .then_with(|| a.cell.cmp(&b.cell))
     });
     hits.truncate(k);
@@ -873,5 +935,110 @@ mod tests {
             &ExecutionBudget::unlimited()
         )
         .is_err());
+    }
+
+    /// Delegating source that cancels a token once the inner source has
+    /// read `after` pages — deterministic page-granular cancellation.
+    struct CancelAfterPages<'a, S: CellSource> {
+        inner: &'a S,
+        token: CancelToken,
+        after: u64,
+    }
+
+    impl<S: CellSource> CellSource for CancelAfterPages<'_, S> {
+        fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+            let v = self.inner.base_cell(attr, row, col);
+            if self.inner.pages_read() >= self.after {
+                self.token.cancel();
+            }
+            v
+        }
+        fn page_of(&self, row: usize, col: usize) -> Option<usize> {
+            self.inner.page_of(row, col)
+        }
+        fn pages_read(&self) -> u64 {
+            self.inner.pages_read()
+        }
+        fn ticks_elapsed(&self) -> u64 {
+            self.inner.ticks_elapsed()
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let (model, pyramids, stores, _) = world(2, 32, 32, 8);
+        let src = TileSource::new(&stores).unwrap();
+        let plain =
+            resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+        let token = CancelToken::new();
+        let r = resilient_top_k_cancellable(
+            &model,
+            &pyramids,
+            5,
+            &src,
+            &ExecutionBudget::unlimited(),
+            &token,
+        )
+        .unwrap();
+        assert_eq!(r, plain, "live token is free");
+    }
+
+    #[test]
+    fn mid_flight_cancellation_degrades_with_sound_bounds() {
+        let (model, pyramids, stores, _) = world(2, 64, 64, 8);
+        let strict = pyramid_top_k(&model, &pyramids, 5).unwrap();
+        let inner = TileSource::new(&stores).unwrap();
+        let token = CancelToken::new();
+        let src = CancelAfterPages {
+            inner: &inner,
+            token: token.clone(),
+            after: 3,
+        };
+        let r = resilient_top_k_cancellable(
+            &model,
+            &pyramids,
+            5,
+            &src,
+            &ExecutionBudget::unlimited(),
+            &token,
+        )
+        .unwrap();
+        assert_eq!(r.budget_stop, Some(BudgetStop::Cancelled));
+        assert!(r.is_degraded());
+        assert!(r.completeness < 1.0);
+        for h in &r.results {
+            assert!(h.bounds.lo <= h.score && h.score <= h.bounds.hi);
+        }
+        // The true winner is either confirmed exactly or covered by some
+        // surviving candidate's bounds — same contract as a budget stop.
+        let best = strict.results[0].score;
+        assert!(
+            r.results
+                .iter()
+                .any(|h| (h.exact && h.score == best) || (!h.exact && h.bounds.hi >= best)),
+            "true winner neither confirmed nor covered"
+        );
+    }
+
+    #[test]
+    fn cancellation_takes_precedence_over_deadline_and_budget() {
+        let (model, pyramids, stores, _) = world(2, 64, 64, 8);
+        let src = TileSource::new(&stores).unwrap();
+        // All three stop families trip at the very first checkpoint: a
+        // pre-cancelled token, an expired wall deadline, and an exhausted
+        // multiply-add cap. The fixed precedence reports Cancelled.
+        let budget = ExecutionBudget::unlimited()
+            .with_max_multiply_adds(1)
+            .with_wall_deadline(Duration::ZERO);
+        let token = CancelToken::new();
+        token.cancel();
+        let r = resilient_top_k_cancellable(&model, &pyramids, 5, &src, &budget, &token).unwrap();
+        assert_eq!(r.budget_stop, Some(BudgetStop::Cancelled));
+        assert_eq!(r.completeness, 0.0, "nothing resolved before the stop");
+        assert!(!r.results.is_empty(), "the frontier itself is reported");
+        // Without the token, the same racing budget reports WallClock —
+        // the next rung of the precedence order.
+        let r2 = resilient_top_k(&model, &pyramids, 5, &src, &budget).unwrap();
+        assert_eq!(r2.budget_stop, Some(BudgetStop::WallClock));
     }
 }

@@ -15,16 +15,47 @@
 //!   chaos confined to the other replica, bit-for-bit.
 
 use mbir::core::engine::pyramid_top_k;
+use mbir::core::lifecycle::CancelToken;
 use mbir::core::parallel::{par_resilient_top_k, WorkerPool};
 use mbir::core::replica::{ReplicaConfig, ReplicatedSource};
-use mbir::core::resilient::{resilient_top_k, ExecutionBudget};
-use mbir::core::source::CachedTileSource;
+use mbir::core::resilient::{
+    resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget,
+};
+use mbir::core::source::{CachedTileSource, CellSource};
 use mbir::models::linear::LinearModel;
 use mbir::progressive::pyramid::AggregatePyramid;
+use mbir_archive::error::ArchiveError;
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
 use mbir_archive::tile::TileStore;
 use proptest::prelude::*;
+
+/// Delegating source that cancels `token` once the inner source has read
+/// `after` pages — deterministic page-granular mid-flight cancellation.
+struct CancelAfterPages<'a, S: CellSource> {
+    inner: &'a S,
+    token: CancelToken,
+    after: u64,
+}
+
+impl<S: CellSource> CellSource for CancelAfterPages<'_, S> {
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        let v = self.inner.base_cell(attr, row, col);
+        if self.inner.pages_read() >= self.after {
+            self.token.cancel();
+        }
+        v
+    }
+    fn page_of(&self, row: usize, col: usize) -> Option<usize> {
+        self.inner.page_of(row, col)
+    }
+    fn pages_read(&self) -> u64 {
+        self.inner.pages_read()
+    }
+    fn ticks_elapsed(&self) -> u64 {
+        self.inner.ticks_elapsed()
+    }
+}
 
 fn world(seed: u64, side: usize) -> (LinearModel, Vec<AggregatePyramid>, Vec<Grid2<f64>>) {
     let grids: Vec<Grid2<f64>> = (0..2)
@@ -222,6 +253,49 @@ proptest! {
         let src = CachedTileSource::new(&stores, 8).unwrap();
         let r = resilient_top_k(&model, &pyramids, k, &src, &ExecutionBudget::unlimited()).unwrap();
 
+        prop_assert!(
+            r.results
+                .iter()
+                .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+            "winner score {} escaped all bounds", truth
+        );
+    }
+
+    /// Cancelling at a random page index *on top of* a random chaos
+    /// cocktail still yields sound bounds that cover the true winner —
+    /// cancellation degrades, it never corrupts.
+    #[test]
+    fn prop_cancellation_under_chaos_keeps_winner_in_bounds(
+        seed in 0u64..150,
+        side_pow in 3u32..6,
+        tile in 2usize..9,
+        k in 1usize..7,
+        cancel_after in 0u64..24,
+    ) {
+        let side = 1usize << side_pow;
+        let (model, pyramids, grids) = world(seed, side);
+        let strict = pyramid_top_k(&model, &pyramids, k).unwrap();
+        let truth = strict.results[0].score;
+        let page_count = TileStore::new(grids[0].clone(), tile).unwrap().page_count();
+        let (profile, _) = chaos_profile(seed, page_count);
+
+        let stores = chaos_stores(&grids, tile, &profile);
+        let inner = CachedTileSource::new(&stores, 8).unwrap();
+        let token = CancelToken::new();
+        let src = CancelAfterPages { inner: &inner, token: token.clone(), after: cancel_after };
+        let r = resilient_top_k_cancellable(
+            &model, &pyramids, k, &src, &ExecutionBudget::unlimited(), &token,
+        )
+        .unwrap();
+
+        // With an unlimited budget the only possible early stop is the
+        // cancellation itself.
+        prop_assert!(matches!(r.budget_stop, None | Some(BudgetStop::Cancelled)));
+        prop_assert!((0.0..=1.0).contains(&r.completeness));
+        for hit in &r.results {
+            prop_assert!(hit.score.is_finite());
+            prop_assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
+        }
         prop_assert!(
             r.results
                 .iter()

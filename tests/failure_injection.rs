@@ -3,7 +3,7 @@
 
 use mbir::core::engine::pyramid_top_k;
 use mbir::core::parallel::{par_resilient_top_k, WorkerPool};
-use mbir::core::replica::{ReplicaConfig, ReplicatedSource};
+use mbir::core::replica::{BreakerState, ReplicaConfig, ReplicatedSource};
 use mbir::core::resilient::{resilient_top_k, BudgetStop, ExecutionBudget};
 use mbir::core::source::TileSource;
 use mbir::core::workflow::{run_workflow, WorkflowConfig};
@@ -366,6 +366,68 @@ fn all_replicas_losing_a_page_degrades_with_sound_bounds() {
     for hit in &r.results {
         assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
     }
+}
+
+#[test]
+fn breaker_states_report_and_reset_restores_a_tripped_replica() {
+    let (model, pyramids, _, _) = paged_world(32, 32, 8);
+    let strict = pyramid_top_k(&model, &pyramids, 5).unwrap();
+
+    // Replica 0 is dead on every page; one failure opens its breaker and
+    // the cooldown is effectively infinite, so it stays open.
+    let (a, _) = replica_stores(32, 32, 8);
+    let a: Vec<TileStore> = a
+        .into_iter()
+        .map(|s| {
+            let dead = (0..s.page_count()).fold(FaultProfile::new(9), |p, page| p.permanent(page));
+            s.with_faults(dead)
+        })
+        .collect();
+    let (b, _) = replica_stores(32, 32, 8);
+    // A one-page cache keeps later runs from being absorbed by the LRU,
+    // so the post-reset run genuinely re-probes the dead replica.
+    let config = ReplicaConfig::default()
+        .with_open_after(1)
+        .with_cooldown_ticks(u64::MAX)
+        .with_cache_pages(1);
+    let src = ReplicatedSource::new(vec![&a, &b], config).unwrap();
+
+    assert_eq!(
+        src.breaker_states(),
+        vec![BreakerState::Closed, BreakerState::Closed]
+    );
+    let r = resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+    // The clean replica masked the outage, and the dead replica's breaker
+    // is now open.
+    assert!(!r.is_degraded());
+    assert_eq!(
+        src.breaker_states(),
+        vec![BreakerState::Open, BreakerState::Closed]
+    );
+    assert!(src.replica_health()[0].failures >= 1);
+
+    // Operator reset: both breakers close and the accounting restarts.
+    src.reset_breakers();
+    assert_eq!(
+        src.breaker_states(),
+        vec![BreakerState::Closed, BreakerState::Closed]
+    );
+    let health = src.replica_health();
+    assert_eq!((health[0].failures, health[0].pages_served), (0, 0));
+    assert_eq!((health[1].failures, health[1].pages_served), (0, 0));
+
+    // The source remains fully usable after the reset — and since the
+    // fault is permanent, the very next run re-opens the breaker.
+    let r = resilient_top_k(&model, &pyramids, 5, &src, &ExecutionBudget::unlimited()).unwrap();
+    assert!(!r.is_degraded());
+    for (hit, want) in r.results.iter().zip(&strict.results) {
+        assert_eq!(hit.cell, want.cell);
+        assert_eq!(hit.score, want.score);
+    }
+    assert_eq!(
+        src.breaker_states(),
+        vec![BreakerState::Open, BreakerState::Closed]
+    );
 }
 
 #[test]

@@ -7,14 +7,45 @@
 //! reports unsound bounds.
 
 use mbir::core::engine::pyramid_top_k;
-use mbir::core::resilient::{resilient_top_k, ExecutionBudget};
-use mbir::core::source::TileSource;
+use mbir::core::lifecycle::CancelToken;
+use mbir::core::resilient::{
+    resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget,
+};
+use mbir::core::source::{CellSource, TileSource};
 use mbir::models::linear::LinearModel;
 use mbir::progressive::pyramid::AggregatePyramid;
+use mbir_archive::error::ArchiveError;
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
 use mbir_archive::tile::TileStore;
 use proptest::prelude::*;
+
+/// Delegating source that cancels `token` once the inner source has read
+/// `after` pages — deterministic page-granular mid-flight cancellation.
+struct CancelAfterPages<'a, S: CellSource> {
+    inner: &'a S,
+    token: CancelToken,
+    after: u64,
+}
+
+impl<S: CellSource> CellSource for CancelAfterPages<'_, S> {
+    fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
+        let v = self.inner.base_cell(attr, row, col);
+        if self.inner.pages_read() >= self.after {
+            self.token.cancel();
+        }
+        v
+    }
+    fn page_of(&self, row: usize, col: usize) -> Option<usize> {
+        self.inner.page_of(row, col)
+    }
+    fn pages_read(&self) -> u64 {
+        self.inner.pages_read()
+    }
+    fn ticks_elapsed(&self) -> u64 {
+        self.inner.ticks_elapsed()
+    }
+}
 
 fn world(
     seed: u64,
@@ -137,5 +168,52 @@ proptest! {
         if faulty.is_empty() {
             prop_assert!(!r.is_degraded());
         }
+    }
+
+    /// Cancelling at a random page index under random permanent faults
+    /// still yields sound bounds, and some reported bound always covers
+    /// the true winner's exact score.
+    #[test]
+    fn prop_cancellation_under_faults_keeps_winner_in_bounds(
+        seed in 0u64..200,
+        side_pow in 3u32..6,
+        tile in 2usize..9,
+        k in 1usize..7,
+        cancel_after in 0u64..24,
+    ) {
+        let side = 1usize << side_pow;
+        let (model, pyramids, stores) = world(seed, side, tile);
+        let strict = pyramid_top_k(&model, &pyramids, k).unwrap();
+        let truth = strict.results[0].score;
+        let profile = fault_pages(seed, stores[0].page_count())
+            .into_iter()
+            .fold(FaultProfile::new(seed), |p, page| p.permanent(page));
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .map(|s| s.with_faults(profile.clone()))
+            .collect();
+        let inner = TileSource::new(&stores).unwrap();
+        let token = CancelToken::new();
+        let src = CancelAfterPages { inner: &inner, token: token.clone(), after: cancel_after };
+        let r = resilient_top_k_cancellable(
+            &model, &pyramids, k, &src, &ExecutionBudget::unlimited(), &token,
+        )
+        .unwrap();
+
+        // Under an unlimited budget the only possible early stop is the
+        // cancellation itself (a run that finishes before the token trips
+        // reports no stop at all).
+        prop_assert!(matches!(r.budget_stop, None | Some(BudgetStop::Cancelled)));
+        prop_assert!((0.0..=1.0).contains(&r.completeness));
+        for hit in &r.results {
+            prop_assert!(hit.score.is_finite());
+            prop_assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
+        }
+        prop_assert!(
+            r.results
+                .iter()
+                .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+            "winner score {} escaped all bounds", truth
+        );
     }
 }
