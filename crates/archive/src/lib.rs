@@ -42,6 +42,7 @@ pub mod randx;
 pub mod region;
 pub mod scene;
 pub mod series;
+pub mod shard;
 pub mod stats;
 pub mod synth;
 pub mod temporal;
@@ -62,6 +63,7 @@ pub use lithology::{ColumnGenerator, Layer, Lithology};
 pub use region::{Polygon, Region, RegionLayer};
 pub use scene::{BandId, Scene};
 pub use series::TimeSeries;
+pub use shard::{ShardBand, ShardPlan};
 pub use stats::{AccessStats, IoModel};
 pub use temporal::TemporalStack;
 pub use tile::TileStore;

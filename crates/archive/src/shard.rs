@@ -1,0 +1,228 @@
+//! Row-band shard planning: deterministic, tile-aligned partitioning of a
+//! grid archive into contiguous row bands, one per shard.
+//!
+//! The plan is pure geometry — it owns no data. The retrieval layer builds
+//! per-band pyramids and stores from it (one independent failure domain
+//! per band), and [`ShardPlan::shard_of_row`] routes any global row back
+//! to its shard. Bands are aligned to whole tile rows so that a page of
+//! the original tiling never straddles two shards: a lost page stays a
+//! single-shard fault.
+
+use crate::error::ArchiveError;
+use crate::extent::CellCoord;
+use crate::grid::Grid2;
+
+/// One contiguous row band of a [`ShardPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBand {
+    /// Shard index, in band order from row 0.
+    pub shard: usize,
+    /// First global row of the band.
+    pub row_offset: usize,
+    /// Band height in rows.
+    pub rows: usize,
+}
+
+impl ShardBand {
+    /// One past the band's last global row.
+    pub fn row_end(&self) -> usize {
+        self.row_offset + self.rows
+    }
+}
+
+/// A deterministic partition of `rows × cols` cells into contiguous,
+/// tile-aligned row bands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bands: Vec<ShardBand>,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+}
+
+impl ShardPlan {
+    /// Plans `shards` contiguous row bands over a `rows × cols` grid
+    /// tiled with `tile × tile` pages. Whole tile rows are distributed as
+    /// evenly as possible (earlier shards get the remainder), so every
+    /// band is page-aligned and the same inputs always produce the same
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::EmptyDimension`] when `rows`, `cols`, `tile`, or
+    /// `shards` is zero; [`ArchiveError::Misaligned`] when the grid has
+    /// fewer tile rows than shards (some shard would own no rows).
+    pub fn row_bands(
+        rows: usize,
+        cols: usize,
+        shards: usize,
+        tile: usize,
+    ) -> Result<Self, ArchiveError> {
+        if rows == 0 || cols == 0 || tile == 0 || shards == 0 {
+            return Err(ArchiveError::EmptyDimension);
+        }
+        let tile_rows = rows.div_ceil(tile);
+        if shards > tile_rows {
+            return Err(ArchiveError::Misaligned(format!(
+                "cannot split {tile_rows} tile rows ({rows} rows at tile {tile}) into {shards} shards"
+            )));
+        }
+        let per = tile_rows / shards;
+        let extra = tile_rows % shards;
+        let mut bands = Vec::with_capacity(shards);
+        let mut row = 0usize;
+        for shard in 0..shards {
+            let band_tile_rows = per + usize::from(shard < extra);
+            let band_rows = (band_tile_rows * tile).min(rows - row);
+            bands.push(ShardBand {
+                shard,
+                row_offset: row,
+                rows: band_rows,
+            });
+            row += band_rows;
+        }
+        debug_assert_eq!(row, rows);
+        Ok(ShardPlan {
+            bands,
+            rows,
+            cols,
+            tile,
+        })
+    }
+
+    /// The planned bands, in order from row 0.
+    pub fn bands(&self) -> &[ShardBand] {
+        &self.bands
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// The planned global shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Tile size the bands are aligned to.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// The shard owning a global row, or `None` outside the grid.
+    pub fn shard_of_row(&self, row: usize) -> Option<usize> {
+        if row >= self.rows {
+            return None;
+        }
+        // Bands are contiguous and sorted; binary search on the offset.
+        let i = self
+            .bands
+            .partition_point(|b| b.row_offset <= row)
+            .saturating_sub(1);
+        Some(self.bands[i].shard)
+    }
+
+    /// Copies one shard's row band out of a full grid. Returns `None`
+    /// when the grid's shape differs from the planned shape or the shard
+    /// index is out of range.
+    pub fn extract_band<T: Clone>(&self, grid: &Grid2<T>, shard: usize) -> Option<Grid2<T>> {
+        if grid.rows() != self.rows || grid.cols() != self.cols {
+            return None;
+        }
+        let band = self.bands.get(shard)?;
+        grid.window(CellCoord::new(band.row_offset, 0), band.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_tile_the_grid_contiguously() {
+        for (rows, shards, tile) in [(64, 4, 4), (64, 16, 4), (48, 3, 8), (100, 7, 4), (8, 1, 8)] {
+            let plan = ShardPlan::row_bands(rows, 32, shards, tile).unwrap();
+            assert_eq!(plan.shard_count(), shards);
+            let mut next = 0usize;
+            for (i, band) in plan.bands().iter().enumerate() {
+                assert_eq!(band.shard, i);
+                assert_eq!(band.row_offset, next, "rows={rows} shards={shards}");
+                assert!(band.rows > 0, "every shard owns rows");
+                // All but the last band end on a tile boundary.
+                if i + 1 < shards {
+                    assert_eq!(band.row_end() % tile, 0, "page-aligned band break");
+                }
+                next = band.row_end();
+            }
+            assert_eq!(next, rows, "bands cover every row");
+        }
+    }
+
+    #[test]
+    fn row_routing_matches_the_bands() {
+        let plan = ShardPlan::row_bands(100, 16, 7, 4).unwrap();
+        for band in plan.bands() {
+            for row in band.row_offset..band.row_end() {
+                assert_eq!(plan.shard_of_row(row), Some(band.shard), "row {row}");
+            }
+        }
+        assert_eq!(plan.shard_of_row(100), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        assert!(matches!(
+            ShardPlan::row_bands(0, 8, 2, 4),
+            Err(ArchiveError::EmptyDimension)
+        ));
+        assert!(matches!(
+            ShardPlan::row_bands(8, 0, 2, 4),
+            Err(ArchiveError::EmptyDimension)
+        ));
+        assert!(matches!(
+            ShardPlan::row_bands(8, 8, 0, 4),
+            Err(ArchiveError::EmptyDimension)
+        ));
+        assert!(matches!(
+            ShardPlan::row_bands(8, 8, 2, 0),
+            Err(ArchiveError::EmptyDimension)
+        ));
+        // 8 rows at tile 4 = 2 tile rows; 3 shards cannot all own rows.
+        assert!(matches!(
+            ShardPlan::row_bands(8, 8, 3, 4),
+            Err(ArchiveError::Misaligned(_))
+        ));
+    }
+
+    #[test]
+    fn extract_band_windows_the_grid() {
+        let grid = Grid2::from_fn(12, 5, |r, c| (r * 5 + c) as f64);
+        let plan = ShardPlan::row_bands(12, 5, 3, 2).unwrap();
+        let mut reassembled = Vec::new();
+        for shard in 0..3 {
+            let band = plan.extract_band(&grid, shard).unwrap();
+            assert_eq!(band.rows(), plan.bands()[shard].rows);
+            assert_eq!(band.cols(), 5);
+            for r in 0..band.rows() {
+                for c in 0..5 {
+                    reassembled.push(*band.at(r, c));
+                }
+            }
+        }
+        let flat: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        assert_eq!(reassembled, flat, "bands reassemble the original grid");
+        assert!(plan.extract_band(&grid, 3).is_none());
+        let wrong_shape = Grid2::filled(4, 4, 0.0f64);
+        assert!(plan.extract_band(&wrong_shape, 0).is_none());
+    }
+
+    #[test]
+    fn ragged_last_tile_row_stays_in_bounds() {
+        // 10 rows, tile 4 → tile rows of 4, 4, 2; 3 shards get 4/4/2.
+        let plan = ShardPlan::row_bands(10, 6, 3, 4).unwrap();
+        let rows: Vec<usize> = plan.bands().iter().map(|b| b.rows).collect();
+        assert_eq!(rows, vec![4, 4, 2]);
+        assert_eq!(plan.bands()[2].row_end(), 10);
+    }
+}

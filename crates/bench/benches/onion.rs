@@ -10,8 +10,9 @@ fn bench_onion(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_onion");
     for n in [10_000usize, 100_000] {
         let (points, dir) = onion_workload(1, n);
-        let index = OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7)
-            .expect("valid workload");
+        let index =
+            OnionIndex::build_with_hints(points.clone(), std::slice::from_ref(&dir), 64, 32, 7)
+                .expect("valid workload");
         for k in [1usize, 10] {
             group.bench_with_input(BenchmarkId::new(format!("scan_n{n}"), k), &k, |b, &k| {
                 b.iter(|| {

@@ -13,8 +13,8 @@ fn bench_rstar(c: &mut Criterion) {
     let n = 20_000usize;
     let (points, dir) = onion_workload(13, n);
     let rstar = RStarTree::bulk(points.clone()).expect("valid points");
-    let onion =
-        OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7).expect("valid");
+    let onion = OnionIndex::build_with_hints(points.clone(), std::slice::from_ref(&dir), 64, 32, 7)
+        .expect("valid");
 
     for k in [1usize, 10] {
         group.bench_with_input(BenchmarkId::new("scan_topk", k), &k, |b, &k| {

@@ -1,7 +1,8 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|all]
-//! [--threads N] [--legacy] [--seed N] [--load L]` (default: all). Output is
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|r6|all]
+//! [--threads N] [--legacy] [--seed N] [--load L] [--shards S]
+//! [--kill-shards F]` (default: all). Output is
 //! Markdown, pasted into EXPERIMENTS.md. The R2 experiment additionally
 //! writes machine-readable scaling numbers to `BENCH_parallel.json`;
 //! `--threads N` caps the thread counts it sweeps (default: the pool's
@@ -15,7 +16,13 @@
 //! storm through the admission controller over a replicated archive with
 //! hedged reads (`--load L` scales submissions per service cycle, default
 //! 4), asserts that completed queries are bit-identical to unloaded runs at
-//! every thread count, and writes `BENCH_overload.json`.
+//! every thread count, and writes `BENCH_overload.json`. The R6 shard harness
+//! scatter-gathers over a row-band-sharded archive: healthy runs must be
+//! bit-identical to the unsharded resilient engine for shards ∈ {1, 4, 16}
+//! and threads ∈ {1, 2, 4, 8}; `--shards S --kill-shards F` then kills F
+//! whole fault domains (always including the winner's) and gates on zero
+//! wrong answers, sound bounds, typed `InsufficientShards` quorum errors,
+//! and straggler hedging, writing `BENCH_shard.json`.
 
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
@@ -25,7 +32,7 @@ use mbir_archive::weather::WeatherGenerator;
 use mbir_archive::welllog::WellLog;
 use mbir_bench::{
     classification_world, hps_paged_world, hps_world, onion_workload, parallel_world,
-    replicated_world, sproc_workload, texture_world, wide_model_world,
+    replicated_world, sharded_world, sproc_workload, texture_world, wide_model_world,
 };
 use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
 use mbir_core::lifecycle::{
@@ -33,7 +40,8 @@ use mbir_core::lifecycle::{
     SessionId,
 };
 use mbir_core::metrics::{
-    degradation_summary, precision_recall_at_k, scaling_table, threshold_sweep,
+    degradation_summary, merge_shard_summaries, precision_recall_at_k, scaling_table,
+    sharded_degradation_summary, threshold_sweep,
 };
 use mbir_core::parallel::{
     grid_query_with_source, par_pyramid_top_k, par_resilient_top_k, par_staged_top_k, QueryBatch,
@@ -43,6 +51,9 @@ use mbir_core::query::{Objective, TopKQuery};
 use mbir_core::replica::{ReplicaConfig, ReplicatedSource};
 use mbir_core::resilient::{
     resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget,
+};
+use mbir_core::shard::{
+    scatter_gather_top_k, ArchiveShard, ScatterPolicy, ShardError, ShardOutcome, ShardedArchive,
 };
 use mbir_core::source::{CachedTileSource, CellSource, TileSource};
 use mbir_core::workflow::{run_workflow, WorkflowConfig};
@@ -64,6 +75,8 @@ fn main() {
     let mut legacy_only = false;
     let mut seed = 7u64;
     let mut load = 4usize;
+    let mut shards = 4usize;
+    let mut kill_shards = 1usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +101,24 @@ fn main() {
                 Some(l) if l > 0 => load = l,
                 _ => {
                     eprintln!("--load needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--shards" {
+            match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(s) if s > 0 => shards = s,
+                _ => {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else if args[i] == "--kill-shards" {
+            match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(f) => kill_shards = f,
+                None => {
+                    eprintln!("--kill-shards needs a positive integer");
                     std::process::exit(2);
                 }
             }
@@ -155,6 +186,13 @@ fn main() {
     }
     if run("r5") {
         r5_overload(seed, load);
+    }
+    if run("r6") {
+        if kill_shards == 0 || kill_shards >= shards {
+            eprintln!("--kill-shards must be in 1..shards (the chaos gate needs a victim)");
+            std::process::exit(2);
+        }
+        r6_shard(seed, shards, kill_shards);
     }
 }
 
@@ -721,7 +759,7 @@ fn r4_chaos(seed: u64) {
     let winner_page = groups[0].0[0].page_of(winner.row, winner.col);
     let p0 = (0..page_count).fold(FaultProfile::new(seed + 3), |p, pg| p.transient(pg, 1));
     let unmasked_groups = fresh(&[
-        Some(&p0.clone().corrupt(winner_page)),
+        Some(&p0.corrupt(winner_page)),
         Some(&FaultProfile::new(seed + 4).permanent(winner_page)),
         Some(&FaultProfile::new(seed + 5).corrupt(winner_page)),
     ]);
@@ -836,6 +874,356 @@ fn r4_chaos(seed: u64) {
     match std::fs::write("BENCH_chaos.json", &json) {
         Ok(()) => println!("\nwrote BENCH_chaos.json"),
         Err(e) => eprintln!("\ncould not write BENCH_chaos.json: {e}"),
+    }
+}
+
+/// R6 — fault-domain sharded scatter-gather. Gates, in order: healthy
+/// scatter-gather is bit-identical to the unsharded resilient engine for
+/// shards ∈ {1, 4, 16} × threads ∈ {1, 2, 4, 8}; killing `kill_shards`
+/// whole fault domains (always including the winner's, so the loss can
+/// never be masked by pruning) yields zero wrong answers — every hit's
+/// score inside its bounds, every exact score verifiable against base
+/// data, the true winner covered by some reported bound — at every thread
+/// count; `require_all` surfaces the kill as a typed `InsufficientShards`
+/// error while `quorum(S-F)` still answers; a slow shard trips its soft
+/// deadline and is hedged back to a bit-identical answer. Prints the
+/// per-shard latency/completeness table and writes `BENCH_shard.json`.
+fn r6_shard(seed: u64, shards: usize, kill_shards: usize) {
+    println!(
+        "\n## R6 — Sharded scatter-gather: fault domains, stragglers, quorum \
+         (seed {seed}, shards {shards}, kill {kill_shards})\n"
+    );
+    let (rows, cols, tile, k, n_replicas) = (256usize, 256usize, 16usize, 10usize, 2usize);
+    let budget = ExecutionBudget::unlimited();
+
+    // The unsharded reference over the same synthetic scene.
+    let (global_pyramids, model, ref_groups) = replicated_world(seed, rows, cols, tile, 1);
+    let reference_src = TileSource::new(&ref_groups[0].0).expect("aligned stores");
+    let reference = resilient_top_k(model.model(), &global_pyramids, k, &reference_src, &budget)
+        .expect("healthy reference");
+    let truth = reference.results[0].score;
+    let truth_of = |cell: mbir_archive::extent::CellCoord| -> f64 {
+        let x: Vec<f64> = global_pyramids
+            .iter()
+            .map(|p| p.cell(0, cell.row, cell.col).expect("cell in range").mean)
+            .collect();
+        model.model().evaluate(&x)
+    };
+
+    // Builds per-shard ReplicatedSources over (optionally faulted) store
+    // groups and runs the body with the assembled archive.
+    let with_sharded_archive =
+        |worlds: &[mbir_bench::ShardWorld],
+         faults: &dyn Fn(usize) -> Option<FaultProfile>,
+         body: &mut dyn FnMut(&ShardedArchive<'_, ReplicatedSource<'_>>)| {
+            let groups: Vec<Vec<Vec<TileStore>>> = worlds
+                .iter()
+                .enumerate()
+                .map(|(s, w)| {
+                    w.groups
+                        .iter()
+                        .map(|(g, _)| match faults(s) {
+                            Some(profile) => g
+                                .iter()
+                                .map(|st| st.clone().with_faults(profile.clone()))
+                                .collect(),
+                            None => g.clone(),
+                        })
+                        .collect()
+                })
+                .collect();
+            let sources: Vec<ReplicatedSource<'_>> = groups
+                .iter()
+                .map(|gs| {
+                    ReplicatedSource::new(
+                        gs.iter().map(|g| g.as_slice()).collect(),
+                        ReplicaConfig::default(),
+                    )
+                    .expect("aligned replicas")
+                })
+                .collect();
+            let handles: Vec<ArchiveShard<'_, ReplicatedSource<'_>>> = worlds
+                .iter()
+                .zip(&sources)
+                .map(|(w, src)| ArchiveShard::new(&w.pyramids, src, w.row_offset))
+                .collect();
+            let archive = ShardedArchive::new(handles).expect("contiguous bands");
+            body(&archive);
+        };
+
+    // Gate 1: healthy bit-identity across shard counts × thread counts.
+    let identity_shards = [1usize, 4, 16];
+    let identity_threads = [1usize, 2, 4, 8];
+    for shard_count in identity_shards {
+        let (_, _, worlds, _) = sharded_world(seed, rows, cols, tile, shard_count, n_replicas);
+        with_sharded_archive(&worlds, &|_| None, &mut |archive| {
+            for threads in identity_threads {
+                let pool = WorkerPool::new(threads);
+                let r = scatter_gather_top_k(
+                    model.model(),
+                    archive,
+                    k,
+                    &budget,
+                    &ScatterPolicy::require_all(),
+                    &pool,
+                )
+                .expect("healthy scatter");
+                assert_eq!(
+                    r.results, reference.results,
+                    "healthy bit-identity: shards={shard_count} threads={threads}"
+                );
+                assert_eq!(r.completeness, 1.0);
+                assert!(r.shards.iter().all(|s| s.outcome == ShardOutcome::Complete));
+            }
+        });
+    }
+    println!(
+        "healthy scatter-gather bit-identical to the unsharded resilient engine \
+         for shards x threads = {identity_shards:?} x {identity_threads:?}: yes\n"
+    );
+
+    // Gate 2: shard-kill chaos. The winner's fault domain always dies (so
+    // pruning can never mask the loss); additional victims rotate by seed.
+    let (_, _, worlds, plan) = sharded_world(seed, rows, cols, tile, shards, n_replicas);
+    let winner_shard = plan
+        .shard_of_row(reference.results[0].cell.row)
+        .expect("winner inside the grid");
+    let mut killed = vec![winner_shard];
+    let mut next = (seed as usize) % shards;
+    while killed.len() < kill_shards {
+        if !killed.contains(&next) {
+            killed.push(next);
+        }
+        next = (next + 1) % shards;
+    }
+    killed.sort_unstable();
+    let page_count = worlds[0].groups[0].0[0].page_count();
+    let kill_profile = |s: usize| -> Option<FaultProfile> {
+        killed
+            .contains(&s)
+            .then(|| (0..page_count).fold(FaultProfile::new(seed), |p, pg| p.permanent(pg)))
+    };
+    let mut chaos_table: Vec<(usize, ShardOutcome, f64, usize, u64, u64, bool)> = Vec::new();
+    let mut chaos_completeness = 1.0f64;
+    let mut quorum_tally = (0usize, 0usize);
+    for threads in identity_threads {
+        with_sharded_archive(&worlds, &kill_profile, &mut |archive| {
+            let pool = WorkerPool::new(threads);
+            let r = scatter_gather_top_k(
+                model.model(),
+                archive,
+                k,
+                &budget,
+                &ScatterPolicy::best_effort(),
+                &pool,
+            )
+            .expect("best-effort scatter under shard kill");
+            // Zero wrong answers: scores inside bounds, exact scores real.
+            for hit in &r.results {
+                assert!(
+                    hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi,
+                    "hit score outside its own bounds"
+                );
+                if hit.exact {
+                    assert_eq!(
+                        hit.score,
+                        truth_of(hit.cell),
+                        "exact hit must match base data at {:?}",
+                        hit.cell
+                    );
+                }
+            }
+            assert!(
+                r.results
+                    .iter()
+                    .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+                "true winner score must stay inside some reported bound"
+            );
+            assert_eq!(
+                r.shards[winner_shard].outcome,
+                ShardOutcome::Failed,
+                "the winner's dead fault domain must classify as failed"
+            );
+            assert!(r.completeness < 1.0, "a dead shard lowers completeness");
+            // Per-shard summaries must merge back to the global scorecard.
+            let parts: Vec<(mbir_core::metrics::DegradationSummary, u64)> = r
+                .shards
+                .iter()
+                .map(|s| {
+                    (
+                        mbir_core::metrics::DegradationSummary {
+                            completeness: s.completeness,
+                            skipped_pages: s.skipped_pages.len(),
+                            inexact_hits: 0,
+                            widest_bound: 0.0,
+                            budget_stopped: s.budget_stop.is_some(),
+                            shed_queries: 0,
+                            cancelled_queries: 0,
+                            hedged_reads: 0,
+                            pages_read: s.pages_read,
+                            quarantined_pages: 0,
+                        },
+                        s.cells,
+                    )
+                })
+                .collect();
+            let merged = merge_shard_summaries(&parts);
+            assert!(
+                (merged.completeness - r.completeness).abs() < 1e-9,
+                "cell-weighted shard completeness must merge to the global one"
+            );
+            assert_eq!(
+                merged.pages_read,
+                r.shards.iter().map(|s| s.pages_read).sum::<u64>(),
+                "page counts conserve across the merge"
+            );
+            // Quorum: require-all must fail typed, quorum(S-F) must pass.
+            match scatter_gather_top_k(
+                model.model(),
+                archive,
+                k,
+                &budget,
+                &ScatterPolicy::require_all(),
+                &pool,
+            ) {
+                Err(ShardError::Insufficient(e)) => {
+                    assert!(e.failed.contains(&winner_shard));
+                    assert_eq!(e.required, shards);
+                    assert!(e.responded < shards);
+                    if threads == 1 {
+                        quorum_tally = (e.responded, e.required);
+                    }
+                }
+                other => panic!(
+                    "require-all over dead shards must fail typed, got {:?}",
+                    other.map(|r| r.results.len())
+                ),
+            }
+            let q = scatter_gather_top_k(
+                model.model(),
+                archive,
+                k,
+                &budget,
+                &ScatterPolicy::quorum(shards - kill_shards),
+                &pool,
+            )
+            .expect("quorum(S-F) must still answer");
+            assert!(q.is_degraded());
+            // The printed table and JSON come from the single-threaded
+            // iteration: the merged answer is thread-invariant, but a
+            // shard's attempted reads (and thus its retry ticks) depend
+            // on when the other shards' bounds arrive, which only a
+            // sequential wave makes run-to-run reproducible.
+            if threads == 1 {
+                chaos_completeness = r.completeness;
+                chaos_table = r
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.shard,
+                            s.outcome,
+                            s.completeness,
+                            s.exact_hits,
+                            s.pages_read,
+                            s.ticks,
+                            s.hedged,
+                        )
+                    })
+                    .collect();
+            }
+        });
+    }
+    println!("| shard | outcome | completeness | exact hits | pages read | ticks | hedged |");
+    println!("|---|---|---|---|---|---|---|");
+    for (s, outcome, completeness, exact, pages, ticks, hedged) in &chaos_table {
+        println!(
+            "| {s} | {outcome} | {completeness:.3} | {exact} | {pages} | {ticks} | {} |",
+            if *hedged { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nkilled shards {killed:?} (winner domain {winner_shard}): zero wrong answers at \
+         threads {identity_threads:?}; require-all failed typed ({} of {} responded); \
+         quorum({}) answered degraded (completeness {:.3}).",
+        quorum_tally.0,
+        quorum_tally.1,
+        shards - kill_shards,
+        chaos_completeness,
+    );
+
+    // Gate 3: straggler hedging. The winner's domain turns slow, not dead:
+    // its primary attempt trips the per-shard soft deadline, the hedged
+    // re-dispatch finishes clean, and the merge is bit-identical again.
+    let mut straggler_hedged = false;
+    let mut straggler_won = false;
+    let slow_profile = |s: usize| -> Option<FaultProfile> {
+        (s == winner_shard)
+            .then(|| (0..page_count).fold(FaultProfile::new(seed), |p, pg| p.latency(pg, 10_000)))
+    };
+    with_sharded_archive(&worlds, &slow_profile, &mut |archive| {
+        // Single-threaded for a reproducible pages-read figure; the soft
+        // deadline rides the shard's own tick clock, so straggler
+        // detection is identical at any worker count.
+        let pool = WorkerPool::new(1);
+        let policy = ScatterPolicy::require_all()
+            .with_soft_deadline_ticks(5_000)
+            .with_hedged_stragglers();
+        let r = scatter_gather_top_k(model.model(), archive, k, &budget, &policy, &pool)
+            .expect("hedged scatter");
+        let report = &r.shards[winner_shard];
+        assert!(report.hedged, "slow winner domain must be hedged");
+        assert!(report.hedge_won, "the clean hedge attempt must win");
+        assert_eq!(
+            r.results, reference.results,
+            "hedged answer must be bit-identical to the reference"
+        );
+        straggler_hedged = report.hedged;
+        straggler_won = report.hedge_won;
+        let summary = sharded_degradation_summary(&r);
+        println!(
+            "straggler domain {winner_shard} hedged: yes; hedge won: yes; merged summary \
+             completeness {:.3}, pages read {}.",
+            summary.completeness, summary.pages_read,
+        );
+    });
+
+    // Machine-readable output (hand-rolled JSON; std only).
+    let shard_json = |&(s, outcome, completeness, exact, pages, ticks, hedged): &(
+        usize,
+        ShardOutcome,
+        f64,
+        usize,
+        u64,
+        u64,
+        bool,
+    )|
+     -> String {
+        format!(
+            "{{\"shard\":{s},\"outcome\":\"{outcome}\",\"completeness\":{completeness:.6},\
+             \"exact_hits\":{exact},\"pages_read\":{pages},\"ticks\":{ticks},\"hedged\":{hedged}}}"
+        )
+    };
+    let per_shard: Vec<String> = chaos_table.iter().map(shard_json).collect();
+    let killed_list: Vec<String> = killed.iter().map(usize::to_string).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"r6_shard\",\n  \"seed\": {seed},\n  \"world\": {{\"rows\": {rows}, \
+         \"cols\": {cols}, \"tile\": {tile}, \"replicas\": {n_replicas}, \"pages_per_shard\": \
+         {page_count}}},\n  \"identity\": {{\"shards\": [1, 4, 16], \"threads\": [1, 2, 4, 8], \
+         \"bit_identical\": true}},\n  \"chaos\": {{\"shards\": {shards}, \"killed\": [{}], \
+         \"winner_shard\": {winner_shard}, \"zero_wrong_answers\": true, \"winner_covered\": true, \
+         \"completeness\": {chaos_completeness:.6}, \"quorum_error\": {{\"responded\": {}, \
+         \"required\": {}}},\n    \"per_shard\": [\n      {}\n    ]}},\n  \"straggler\": \
+         {{\"hedged\": {straggler_hedged}, \"hedge_won\": {straggler_won}, \
+         \"bit_identical_after_hedge\": true}}\n}}\n",
+        killed_list.join(", "),
+        quorum_tally.0,
+        quorum_tally.1,
+        per_shard.join(",\n      "),
+    );
+    match std::fs::write("BENCH_shard.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_shard.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_shard.json: {e}"),
     }
 }
 
@@ -1332,8 +1720,9 @@ fn e1_onion() {
     };
     for n in [10_000usize, 100_000, 1_000_000] {
         let (points, dir) = onion_workload(1, n);
-        let index = OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7)
-            .expect("valid workload");
+        let index =
+            OnionIndex::build_with_hints(points.clone(), std::slice::from_ref(&dir), 64, 32, 7)
+                .expect("valid workload");
         for k in [1usize, 10, 100] {
             let t0 = Instant::now();
             let scan = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
@@ -1565,8 +1954,9 @@ fn e7_rstar_baseline() {
     for n in [10_000usize, 50_000] {
         let (points, dir) = onion_workload(13, n);
         let rstar = RStarTree::bulk(points.clone()).expect("valid points");
-        let onion = OnionIndex::build_with_hints(points.clone(), &[dir.clone()], 64, 32, 7)
-            .expect("valid points");
+        let onion =
+            OnionIndex::build_with_hints(points.clone(), std::slice::from_ref(&dir), 64, 32, 7)
+                .expect("valid points");
         for k in [1usize, 10] {
             let scan = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
             let r = rstar.top_k_max(&dir, k).expect("valid query");
@@ -1645,7 +2035,7 @@ fn f4_geology() {
         .map(|(i, w)| (i, model.well_score(w)))
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let planted = |i: usize| i % 5 == 0;
+    let planted = |i: usize| i.is_multiple_of(5);
     println!("| K | planted wells in top-K | precision |");
     println!("|---|---|---|");
     for k in [5usize, 10, 20] {

@@ -244,6 +244,82 @@ pub fn replicated_world(
     (pyramids, HpsRiskModel::paper(), groups)
 }
 
+/// One shard of the R6 fault-domain world: the shard's band pyramids plus
+/// N replica store groups over the same band (each group shares one stats
+/// handle — one tick clock and page ledger per replica).
+pub struct ShardWorld {
+    /// Per-attribute pyramids built over the shard's row band.
+    pub pyramids: Vec<AggregatePyramid>,
+    /// Replica groups: each a full set of band stores plus the group's
+    /// shared access stats. Faults are injected per group by the caller.
+    pub groups: Vec<(Vec<TileStore>, mbir_archive::stats::AccessStats)>,
+    /// First global row of the shard's band.
+    pub row_offset: usize,
+}
+
+/// The R6 scatter-gather world: the HPS archive split into tile-aligned
+/// row-band shards by a [`ShardPlan`](mbir_archive::shard::ShardPlan),
+/// each shard an independent failure domain with its own band pyramids
+/// and its own replica groups. Also returns the unsharded global pyramids
+/// (the bit-identity reference) and the plan itself.
+#[allow(clippy::type_complexity)]
+pub fn sharded_world(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    shards: usize,
+    replicas: usize,
+) -> (
+    Vec<AggregatePyramid>,
+    HpsRiskModel,
+    Vec<ShardWorld>,
+    mbir_archive::shard::ShardPlan,
+) {
+    let scene = SyntheticScene::new(seed, rows, cols).generate();
+    let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
+    let bands: Vec<Grid2<f64>> = vec![
+        scene.band(BandId::TM4).expect("band present").clone(),
+        scene.band(BandId::TM5).expect("band present").clone(),
+        scene.band(BandId::TM7).expect("band present").clone(),
+        dem.grid().clone(),
+    ];
+    let global_pyramids: Vec<AggregatePyramid> =
+        bands.iter().map(AggregatePyramid::build).collect();
+    let plan = mbir_archive::shard::ShardPlan::row_bands(rows, cols, shards, tile)
+        .expect("valid shard plan");
+    let worlds = plan
+        .bands()
+        .iter()
+        .map(|band| {
+            let slices: Vec<Grid2<f64>> = bands
+                .iter()
+                .map(|b| plan.extract_band(b, band.shard).expect("band in range"))
+                .collect();
+            let groups = (0..replicas)
+                .map(|_| {
+                    let stats = mbir_archive::stats::AccessStats::new();
+                    let stores: Vec<TileStore> = slices
+                        .iter()
+                        .map(|s| {
+                            TileStore::new(s.clone(), tile)
+                                .expect("valid tile size")
+                                .with_stats(stats.clone())
+                        })
+                        .collect();
+                    (stores, stats)
+                })
+                .collect();
+            ShardWorld {
+                pyramids: slices.iter().map(AggregatePyramid::build).collect(),
+                groups,
+                row_offset: band.row_offset,
+            }
+        })
+        .collect();
+    (global_pyramids, HpsRiskModel::paper(), worlds, plan)
+}
+
 /// A wide linear model (many attributes, skewed coefficients) over smooth
 /// fields — the regime where progressive-model staging pays off; used by
 /// the E6 ablation.

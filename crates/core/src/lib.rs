@@ -30,6 +30,13 @@
 //!   polled by the resilient engines at page granularity, and an
 //!   [`AdmissionController`] with per-priority queues and best-effort
 //!   load shedding behind a typed [`Overloaded`] rejection.
+//! * [`shard`] — fault-domain sharded scatter-gather: row-band shards,
+//!   each with its own pyramids and page source, fanned out over the
+//!   worker pool with cross-shard bound propagation, straggler hedging,
+//!   and quorum completion policies behind a typed
+//!   [`InsufficientShards`] error. Healthy runs are bit-identical to the
+//!   unsharded resilient engine; degraded shards widen bounds instead of
+//!   silently flipping the fused top-K.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -54,6 +61,7 @@ pub mod plan;
 pub mod query;
 pub mod replica;
 pub mod resilient;
+pub mod shard;
 pub mod source;
 pub mod temporal;
 pub mod workflow;
@@ -68,8 +76,9 @@ pub use lifecycle::{
     Priority, SessionId,
 };
 pub use metrics::{
-    degradation_summary, precision_recall_at_k, roc_curve, scaling_table, total_cost, CostParams,
-    CostReport, DegradationSummary, PrReport, RocPoint, ScalingRow,
+    degradation_summary, merge_shard_summaries, precision_recall_at_k, roc_curve, scaling_table,
+    sharded_degradation_summary, total_cost, CostParams, CostReport, DegradationSummary, PrReport,
+    RocPoint, ScalingRow,
 };
 pub use parallel::{
     grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
@@ -84,6 +93,11 @@ pub use replica::{BreakerState, ReplicaConfig, ReplicaHealth, ReplicatedSource};
 pub use resilient::{
     resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget, ResilientHit,
     ResilientTopK, ScoreBounds, WallDeadline,
+};
+pub use shard::{
+    scatter_gather_top_k, scatter_gather_top_k_cancellable, ArchiveShard, CompletionPolicy,
+    InsufficientShards, ScatterPolicy, ShardError, ShardOutcome, ShardReport, ShardedArchive,
+    ShardedTopK,
 };
 pub use source::{CachedTileSource, CellSource, PyramidSource, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

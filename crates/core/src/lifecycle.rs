@@ -415,14 +415,15 @@ impl AdmissionController {
         inner.counters[priority.index()].completed += 1;
     }
 
-    /// Cancels a session: latches its token, removes it from its queue
-    /// if still queued, and releases its slot if it held one. Idempotent
-    /// on finished sessions.
+    /// Cancels a session: removes it from its queue if still queued (the
+    /// ledger moves it to `cancelled`, never `completed`), releases its
+    /// slot if it held one, and latches its token. Idempotent on finished
+    /// sessions — cancelling a `Done` or already-`Cancelled` session is a
+    /// no-op that leaves its token and counters untouched.
     pub fn cancel(&self, id: SessionId, now_ticks: u64) {
         let mut inner = self.inner.lock().expect("admission lock");
         let slot = id.0 as usize;
         let session = &inner.sessions[slot];
-        session.token.cancel();
         let priority = session.priority;
         match session.state {
             LifecycleState::Queued => {
@@ -434,6 +435,7 @@ impl AdmissionController {
             LifecycleState::Done | LifecycleState::Cancelled => return,
         }
         let session = &mut inner.sessions[slot];
+        session.token.cancel();
         session.state = LifecycleState::Cancelled;
         session.finished_at = Some(now_ticks);
         inner.counters[priority.index()].cancelled += 1;
@@ -569,6 +571,50 @@ mod tests {
         assert_eq!(ctl.state(a), Some(LifecycleState::Cancelled));
         assert_eq!(ctl.try_admit(2), Some(b), "cancelled session skipped");
         assert_eq!(ctl.counters(Priority::Interactive).cancelled, 1);
+    }
+
+    #[test]
+    fn cancel_while_queued_lands_in_the_cancelled_ledger_column() {
+        // Regression: a queued entry cancelled before admission must be
+        // accounted as `cancelled`, never `completed`, and the per-class
+        // ledger must still close (submitted = shed + cancelled +
+        // completed + still-live).
+        let ctl = AdmissionController::new(AdmissionPolicy::default().with_max_in_flight(1));
+        let queued = ctl.submit(Priority::Interactive, 0).unwrap();
+        let runs = ctl.submit(Priority::Interactive, 0).unwrap();
+        ctl.cancel(queued, 1);
+        let c = ctl.counters(Priority::Interactive);
+        assert_eq!(c.cancelled, 1, "queued cancel must count as cancelled");
+        assert_eq!(c.completed, 0, "queued cancel must not count as completed");
+        assert_eq!(ctl.try_admit(2), Some(runs));
+        ctl.begin(runs);
+        ctl.complete(runs, 3);
+        let c = ctl.counters(Priority::Interactive);
+        assert_eq!(c.submitted, 2);
+        assert_eq!(c.shed + c.cancelled + c.completed, 2, "ledger closes");
+        // A cancelled-while-queued session can never be admitted later.
+        assert_eq!(ctl.try_admit(4), None);
+        assert_eq!(ctl.state(queued), Some(LifecycleState::Cancelled));
+    }
+
+    #[test]
+    fn cancelling_a_finished_session_leaves_its_token_untouched() {
+        // Idempotence, PR-5 hedging style: the loser of a cancel/complete
+        // race leaves no state. Cancelling after completion must not
+        // latch the (possibly still shared) token or touch the ledger.
+        let ctl = AdmissionController::new(AdmissionPolicy::default().with_max_in_flight(1));
+        let a = ctl.submit(Priority::Batch, 0).unwrap();
+        assert_eq!(ctl.try_admit(0), Some(a));
+        let token = ctl.begin(a);
+        ctl.complete(a, 2);
+        ctl.cancel(a, 3);
+        assert!(
+            !token.is_cancelled(),
+            "cancel after completion must not latch the token"
+        );
+        assert_eq!(ctl.state(a), Some(LifecycleState::Done));
+        let c = ctl.counters(Priority::Batch);
+        assert_eq!((c.completed, c.cancelled), (1, 0));
     }
 
     #[test]

@@ -347,6 +347,13 @@ pub struct DegradationSummary {
     /// Always 0 from [`degradation_summary`]; folded in via
     /// [`with_lifecycle`](Self::with_lifecycle).
     pub hedged_reads: u64,
+    /// Pages actually read through the source during the run. Always 0
+    /// from [`degradation_summary`] — the run report does not carry I/O
+    /// totals — and folded in via [`with_io`](Self::with_io).
+    pub pages_read: u64,
+    /// Pages sitting in quarantine at the end of the run. Always 0 from
+    /// [`degradation_summary`]; folded in via [`with_io`](Self::with_io).
+    pub quarantined_pages: u64,
 }
 
 impl DegradationSummary {
@@ -358,6 +365,16 @@ impl DegradationSummary {
         self.shed_queries = shed;
         self.cancelled_queries = cancelled;
         self.hedged_reads = hedged;
+        self
+    }
+
+    /// Folds storage-layer I/O counters into the scorecard (builder
+    /// style): pages read and pages left quarantined. With
+    /// [`skipped_pages`](Self::skipped_pages) these close the page ledger
+    /// that [`merge_shard_summaries`] conserves.
+    pub fn with_io(mut self, pages_read: u64, quarantined_pages: u64) -> Self {
+        self.pages_read = pages_read;
+        self.quarantined_pages = quarantined_pages;
         self
     }
 }
@@ -380,7 +397,74 @@ pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> Degradat
         shed_queries: 0,
         cancelled_queries: 0,
         hedged_reads: 0,
+        pages_read: 0,
+        quarantined_pages: 0,
     }
+}
+
+/// Summarizes a [`ShardedTopK`](crate::shard::ShardedTopK) the same way
+/// [`degradation_summary`] summarizes an unsharded run, with the winning
+/// attempts' page reads already folded in. Per-shard completeness flows
+/// through the merged report's cell-weighted completeness; quarantine and
+/// lifecycle counters are folded in by the harness.
+pub fn sharded_degradation_summary(report: &crate::shard::ShardedTopK) -> DegradationSummary {
+    DegradationSummary {
+        completeness: report.completeness,
+        skipped_pages: report.skipped_pages.len(),
+        inexact_hits: report.results.iter().filter(|h| !h.exact).count(),
+        widest_bound: report
+            .results
+            .iter()
+            .map(|h| h.bounds.hi - h.bounds.lo)
+            .fold(0.0, f64::max),
+        budget_stopped: report.budget_stop.is_some(),
+        shed_queries: 0,
+        cancelled_queries: 0,
+        hedged_reads: 0,
+        pages_read: report.shards.iter().map(|s| s.pages_read).sum(),
+        quarantined_pages: 0,
+    }
+}
+
+/// Merges per-shard degradation scorecards into one, each paired with its
+/// shard's base-cell count for weighting. The merge *conserves* every
+/// count: pages read, skipped, and quarantined (plus the lifecycle
+/// counters) are exact sums over the parts, completeness is the
+/// cell-weighted mean, the widest bound is the max, and `budget_stopped`
+/// is true when any shard stopped early. An empty slice merges to the
+/// pristine summary (completeness 1.0, all counters zero).
+pub fn merge_shard_summaries(parts: &[(DegradationSummary, u64)]) -> DegradationSummary {
+    let total_cells: u64 = parts.iter().map(|(_, cells)| cells).sum();
+    let mut merged = DegradationSummary {
+        completeness: 1.0,
+        skipped_pages: 0,
+        inexact_hits: 0,
+        widest_bound: 0.0,
+        budget_stopped: false,
+        shed_queries: 0,
+        cancelled_queries: 0,
+        hedged_reads: 0,
+        pages_read: 0,
+        quarantined_pages: 0,
+    };
+    if total_cells == 0 {
+        return merged;
+    }
+    let mut weighted = 0.0;
+    for (part, cells) in parts {
+        weighted += part.completeness * *cells as f64;
+        merged.skipped_pages += part.skipped_pages;
+        merged.inexact_hits += part.inexact_hits;
+        merged.widest_bound = merged.widest_bound.max(part.widest_bound);
+        merged.budget_stopped |= part.budget_stopped;
+        merged.shed_queries += part.shed_queries;
+        merged.cancelled_queries += part.cancelled_queries;
+        merged.hedged_reads += part.hedged_reads;
+        merged.pages_read += part.pages_read;
+        merged.quarantined_pages += part.quarantined_pages;
+    }
+    merged.completeness = weighted / total_cells as f64;
+    merged
 }
 
 #[cfg(test)]
@@ -590,6 +674,7 @@ mod tests {
             (s.shed_queries, s.cancelled_queries, s.hedged_reads),
             (0, 0, 0)
         );
+        assert_eq!((s.pages_read, s.quarantined_pages), (0, 0));
 
         // Lifecycle counters fold in without disturbing the run fields.
         let folded = s.with_lifecycle(3, 2, 7);
@@ -598,6 +683,13 @@ mod tests {
         assert_eq!(folded.hedged_reads, 7);
         assert_eq!(folded.completeness, s.completeness);
         assert_eq!(folded.skipped_pages, s.skipped_pages);
+
+        // So do the storage-layer I/O counters.
+        let folded = folded.with_io(41, 3);
+        assert_eq!(folded.pages_read, 41);
+        assert_eq!(folded.quarantined_pages, 3);
+        assert_eq!(folded.shed_queries, 3);
+        assert_eq!(folded.completeness, s.completeness);
 
         let exact = ResilientTopK {
             results: vec![hit(5.0, 5.0, 5.0, true)],
@@ -610,6 +702,51 @@ mod tests {
         assert_eq!(s.widest_bound, 0.0);
         assert!(!s.budget_stopped);
         assert_eq!(s.inexact_hits, 0);
+    }
+
+    #[test]
+    fn merged_shard_summaries_conserve_counts_and_weight_completeness() {
+        let part =
+            |completeness: f64, skipped: usize, read: u64, quarantined: u64| DegradationSummary {
+                completeness,
+                skipped_pages: skipped,
+                inexact_hits: skipped,
+                widest_bound: completeness * 2.0,
+                budget_stopped: skipped > 0,
+                shed_queries: 1,
+                cancelled_queries: 2,
+                hedged_reads: 3,
+                pages_read: read,
+                quarantined_pages: quarantined,
+            };
+        let parts = [
+            (part(1.0, 0, 10, 0), 100u64),
+            (part(0.5, 4, 6, 2), 100),
+            (part(0.0, 8, 0, 8), 200),
+        ];
+        let merged = merge_shard_summaries(&parts);
+        // Counts are conserved exactly across the merge.
+        assert_eq!(merged.skipped_pages, 12);
+        assert_eq!(merged.pages_read, 16);
+        assert_eq!(merged.quarantined_pages, 10);
+        assert_eq!(merged.inexact_hits, 12);
+        assert_eq!(
+            (
+                merged.shed_queries,
+                merged.cancelled_queries,
+                merged.hedged_reads
+            ),
+            (3, 6, 9)
+        );
+        // Completeness is the cell-weighted mean: (100 + 50 + 0) / 400.
+        assert!((merged.completeness - 0.375).abs() < 1e-12);
+        assert_eq!(merged.widest_bound, 2.0);
+        assert!(merged.budget_stopped);
+        // Empty merge is pristine.
+        let empty = merge_shard_summaries(&[]);
+        assert_eq!(empty.completeness, 1.0);
+        assert_eq!(empty.pages_read, 0);
+        assert!(!empty.budget_stopped);
     }
 
     #[test]

@@ -29,8 +29,8 @@ use crate::engine::{
 use crate::error::CoreError;
 use crate::lifecycle::CancelToken;
 use crate::parallel::pool::{SharedBound, WorkerPool};
-use crate::resilient::{region_candidate, BudgetStop, ExecutionBudget, ResilientTopK};
-use crate::resilient::{ResilientHit, ScoreBounds, WallDeadline};
+use crate::resilient::{checkpoint_stop, region_candidate, BudgetStop, ExecutionBudget};
+use crate::resilient::{ResilientHit, ResilientTopK, ScoreBounds, WallDeadline};
 use crate::source::{CellSource, PyramidSource};
 use mbir_archive::error::ArchiveError;
 use mbir_archive::extent::CellCoord;
@@ -514,20 +514,16 @@ fn resilient_worker<S: CellSource>(
         // Fixed stop precedence Cancelled > WallClock > Budget: a step
         // that trips several dimensions at once latches the same reason
         // on every run and at every thread count.
-        let checked = ctx
-            .cancel
-            .is_some_and(CancelToken::is_cancelled)
-            .then_some(BudgetStop::Cancelled)
-            .or_else(|| ctx.deadline.expired().then_some(BudgetStop::WallClock))
-            .or_else(|| {
-                ctx.budget.check(
-                    ctx.multiply_adds.load(AtomicOrdering::Relaxed),
-                    ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
-                    ctx.source
-                        .ticks_elapsed()
-                        .saturating_sub(ctx.ticks_at_entry),
-                )
-            });
+        let checked = checkpoint_stop(
+            ctx.cancel,
+            ctx.deadline,
+            ctx.budget,
+            ctx.multiply_adds.load(AtomicOrdering::Relaxed),
+            ctx.source.pages_read().saturating_sub(ctx.pages_at_entry),
+            ctx.source
+                .ticks_elapsed()
+                .saturating_sub(ctx.ticks_at_entry),
+        );
         if let Some(stop) = checked {
             let _ = ctx.stop.compare_exchange(
                 STOP_NONE,
@@ -682,17 +678,14 @@ fn par_resilient_top_k_inner<S: CellSource + Sync>(
         expand_frontier(model, pyramids, levels, target, &mut effort, |e| {
             // Same fixed stop precedence as the worker checkpoints:
             // Cancelled > WallClock > Budget.
-            cancel
-                .is_some_and(CancelToken::is_cancelled)
-                .then_some(BudgetStop::Cancelled)
-                .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
-                .or_else(|| {
-                    budget.check(
-                        e.multiply_adds,
-                        source.pages_read().saturating_sub(pages_at_entry),
-                        source.ticks_elapsed().saturating_sub(ticks_at_entry),
-                    )
-                })
+            checkpoint_stop(
+                cancel,
+                &deadline,
+                budget,
+                e.multiply_adds,
+                source.pages_read().saturating_sub(pages_at_entry),
+                source.ticks_elapsed().saturating_sub(ticks_at_entry),
+            )
         })?;
 
     let shared = SharedBound::new();

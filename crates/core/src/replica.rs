@@ -335,6 +335,18 @@ impl<'a> ReplicatedSource<'a> {
         self.replicas.iter().map(|r| r[0].stats().hedges()).sum()
     }
 
+    /// Pages currently quarantined, summed over every store of every
+    /// replica. Feeds the per-shard page ledger that
+    /// [`merge_shard_summaries`](crate::metrics::merge_shard_summaries)
+    /// conserves across a sharded merge.
+    pub fn quarantined_pages(&self) -> u64 {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|s| s.quarantined_pages().count() as u64)
+            .sum()
+    }
+
     /// The breaker cooldown clock: total virtual I/O ticks accrued across
     /// all replicas (each replica's first store carries its group's
     /// shared stats). Deterministic under deterministic fault profiles.

@@ -421,17 +421,14 @@ fn resilient_top_k_inner<S: CellSource>(
         // fixed precedence order Cancelled > WallClock > Budget, so a
         // step that trips several dimensions at once reports the same
         // reason on every run and at every thread count.
-        let stop = cancel
-            .is_some_and(CancelToken::is_cancelled)
-            .then_some(BudgetStop::Cancelled)
-            .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
-            .or_else(|| {
-                budget.check(
-                    effort.multiply_adds,
-                    source.pages_read().saturating_sub(pages_at_entry),
-                    source.ticks_elapsed().saturating_sub(ticks_at_entry),
-                )
-            });
+        let stop = checkpoint_stop(
+            cancel,
+            &deadline,
+            budget,
+            effort.multiply_adds,
+            source.pages_read().saturating_sub(pages_at_entry),
+            source.ticks_elapsed().saturating_sub(ticks_at_entry),
+        );
         if let Some(stop) = stop {
             budget_stop = Some(stop);
             leftover.push(region);
@@ -561,6 +558,26 @@ fn resilient_top_k_inner<S: CellSource>(
         skipped_pages: skipped.into_iter().collect(),
         budget_stop,
     })
+}
+
+/// One cooperative-checkpoint stop evaluation, shared by every engine that
+/// degrades under pressure (sequential, parallel, and sharded). The fixed
+/// precedence Cancelled > WallClock > Budget dimensions guarantees a step
+/// that trips several dimensions at once reports the same reason on every
+/// run and at every thread count.
+pub(crate) fn checkpoint_stop(
+    cancel: Option<&CancelToken>,
+    deadline: &WallDeadline,
+    budget: &ExecutionBudget,
+    multiply_adds: u64,
+    page_reads: u64,
+    ticks: u64,
+) -> Option<BudgetStop> {
+    cancel
+        .is_some_and(CancelToken::is_cancelled)
+        .then_some(BudgetStop::Cancelled)
+        .or_else(|| deadline.expired().then_some(BudgetStop::WallClock))
+        .or_else(|| budget.check(multiply_adds, page_reads, ticks))
 }
 
 /// Builds a degraded candidate from a pyramid region: score = model at the

@@ -1,0 +1,1435 @@
+//! Fault-domain sharded scatter-gather retrieval.
+//!
+//! The paper's "large archives" premise implies data that outgrows one
+//! store. This module partitions the grid into contiguous *row-band
+//! shards*, each an independent failure domain with its own resident
+//! aggregate pyramids and its own [`CellSource`] (typically a
+//! [`ReplicatedSource`](crate::replica::ReplicatedSource) with its own
+//! circuit breakers, cache, and quarantine). [`scatter_gather_top_k`]
+//! fans one top-K query out across the shards through the
+//! [`WorkerPool`], and gathers a merged answer that stays *provably
+//! sound* no matter which shards degrade, straggle, or die:
+//!
+//! * **Cross-shard bound propagation.** Every shard descent prunes
+//!   against `max(local K-th floor, shared bound)` and publishes its
+//!   floors through one [`SharedBound`], exactly like the parallel
+//!   engine's workers — a hot shard's floor makes a lagging shard skip
+//!   whole subtrees. Because a published floor is the K-th best of a
+//!   *subset* of the evaluated cells, it never exceeds the true global
+//!   K-th score, so no true top-K cell is ever pruned and the healthy
+//!   merged answer is bit-identical to the unsharded resilient engine
+//!   at every shard count and thread count (absent exact score ties at
+//!   the K-th boundary; DESIGN.md §13).
+//! * **Per-shard fault domains.** A shard's lost pages, quarantine, and
+//!   corruption degrade only that shard's contribution. The gather step
+//!   resolves each shard's lost cells and unrefined frontier against the
+//!   deterministic merged K-th floor — the same exclusion rule as the
+//!   unsharded engines — so the degradation report is reproducible.
+//! * **Straggler mitigation.** [`ScatterPolicy::shard_soft_deadline_ticks`]
+//!   imposes a per-shard soft deadline on the shard's own virtual tick
+//!   clock. A shard that trips it is re-dispatched once with the soft
+//!   deadline lifted (PR 5's hedging discipline: the first clean finish
+//!   wins and the losing attempt's output is discarded wholesale — it
+//!   leaves no state in the merge).
+//! * **Quorum semantics.** [`CompletionPolicy`] decides how many shards
+//!   must respond: `RequireAll`, `Quorum(m)`, or `BestEffort`. A shard
+//!   that errored, or whose every attempted page read failed, counts as
+//!   *failed*; when fewer than the required number respond the query
+//!   returns a typed [`InsufficientShards`] error instead of a silently
+//!   truncated answer.
+//! * **Sound partial results.** A failed shard's whole band is carried
+//!   as a degraded candidate bounded by its resident root aggregate (or
+//!   its lost cells' parent aggregates), widening the merged score
+//!   bounds, and its unaccounted cells lower the merged
+//!   [`completeness`](ShardedTopK::completeness) — a degraded shard can
+//!   never silently flip the fused top-K.
+
+use crate::engine::{
+    read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, QueryScratch,
+    Region,
+};
+use crate::error::CoreError;
+use crate::lifecycle::CancelToken;
+use crate::parallel::{SharedBound, WorkerPool};
+use crate::resilient::{
+    checkpoint_stop, region_candidate, BudgetStop, ExecutionBudget, ResilientHit, ScoreBounds,
+    WallDeadline,
+};
+use crate::source::CellSource;
+use mbir_archive::error::ArchiveError;
+use mbir_archive::extent::CellCoord;
+use mbir_index::scan::TopKHeap;
+use mbir_index::stats::{sort_desc, ScoredItem};
+use mbir_models::linear::LinearModel;
+use mbir_progressive::pyramid::AggregatePyramid;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// One shard of a [`ShardedArchive`]: a contiguous row band of the global
+/// grid, with its own resident attribute pyramids (built over the band)
+/// and its own fallible page source.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveShard<'a, S> {
+    pyramids: &'a [AggregatePyramid],
+    source: &'a S,
+    row_offset: usize,
+}
+
+impl<'a, S: CellSource> ArchiveShard<'a, S> {
+    /// Wraps one shard's band pyramids and source. `row_offset` is the
+    /// global row of the band's first local row.
+    pub fn new(pyramids: &'a [AggregatePyramid], source: &'a S, row_offset: usize) -> Self {
+        ArchiveShard {
+            pyramids,
+            source,
+            row_offset,
+        }
+    }
+
+    /// The shard's resident attribute pyramids (one per model attribute).
+    pub fn pyramids(&self) -> &'a [AggregatePyramid] {
+        self.pyramids
+    }
+
+    /// The shard's page source.
+    pub fn source(&self) -> &'a S {
+        self.source
+    }
+
+    /// Global row of the band's first local row.
+    pub fn row_offset(&self) -> usize {
+        self.row_offset
+    }
+
+    /// Band height in rows (0 if the shard has no pyramids).
+    pub fn rows(&self) -> usize {
+        self.pyramids.first().map_or(0, |p| p.base_shape().0)
+    }
+
+    /// Band width in columns (0 if the shard has no pyramids).
+    pub fn cols(&self) -> usize {
+        self.pyramids.first().map_or(0, |p| p.base_shape().1)
+    }
+
+    /// Base cells in the band.
+    pub fn cells(&self) -> u64 {
+        (self.rows() * self.cols()) as u64
+    }
+}
+
+/// A grid archive partitioned into contiguous row-band shards, each an
+/// independent failure domain. Validated on construction: bands must
+/// tile the global row range contiguously and share one column count.
+#[derive(Debug)]
+pub struct ShardedArchive<'a, S> {
+    shards: Vec<ArchiveShard<'a, S>>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, S: CellSource> ShardedArchive<'a, S> {
+    /// Builds the sharded archive from per-shard handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Query`] when no shards are given, a shard has
+    /// no pyramids, column counts differ, or the row bands are not
+    /// contiguous from row 0 (topology bugs, not runtime faults).
+    pub fn new(shards: Vec<ArchiveShard<'a, S>>) -> Result<Self, CoreError> {
+        if shards.is_empty() {
+            return Err(CoreError::Query(
+                "sharded archive needs at least one shard".into(),
+            ));
+        }
+        let cols = shards[0].cols();
+        let mut next_row = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.pyramids.is_empty() {
+                return Err(CoreError::Query(format!(
+                    "shard {i} has no attribute pyramids"
+                )));
+            }
+            if shard.cols() != cols {
+                return Err(CoreError::Query(format!(
+                    "shard {i} has {} columns, shard 0 has {cols}",
+                    shard.cols()
+                )));
+            }
+            if shard.row_offset != next_row {
+                return Err(CoreError::Query(format!(
+                    "shard {i} starts at row {} but the previous band ends at row {next_row}",
+                    shard.row_offset
+                )));
+            }
+            next_row += shard.rows();
+        }
+        Ok(ShardedArchive {
+            shards,
+            rows: next_row,
+            cols,
+        })
+    }
+
+    /// The per-shard handles, in band order.
+    pub fn shards(&self) -> &[ArchiveShard<'a, S>] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global grid shape `(rows, cols)` covered by the bands.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total base cells across all shards.
+    pub fn total_cells(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+}
+
+/// How many shards must respond before a scatter-gather answer is
+/// returned at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionPolicy {
+    /// Every shard must respond; any failed shard fails the query.
+    RequireAll,
+    /// At least `m` shards must respond (clamped to the shard count).
+    Quorum(usize),
+    /// Answer with whatever responded, even if every shard failed.
+    BestEffort,
+}
+
+impl CompletionPolicy {
+    /// Responding shards required out of `total` under this policy.
+    pub fn required(&self, total: usize) -> usize {
+        match self {
+            CompletionPolicy::RequireAll => total,
+            CompletionPolicy::Quorum(m) => (*m).min(total),
+            CompletionPolicy::BestEffort => 0,
+        }
+    }
+}
+
+impl fmt::Display for CompletionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompletionPolicy::RequireAll => f.write_str("require-all"),
+            CompletionPolicy::Quorum(m) => write!(f, "quorum({m})"),
+            CompletionPolicy::BestEffort => f.write_str("best-effort"),
+        }
+    }
+}
+
+/// Scatter-gather execution policy: completion quorum plus straggler
+/// mitigation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterPolicy {
+    /// Shards required for an answer (see [`CompletionPolicy`]).
+    pub completion: CompletionPolicy,
+    /// Per-shard soft deadline in virtual I/O ticks, measured on each
+    /// shard's own tick clock from its attempt start. A shard stopping on
+    /// this deadline is a *straggler*; with
+    /// [`hedge_stragglers`](Self::hedge_stragglers) it is re-dispatched
+    /// once without the soft deadline. `None` disables the soft deadline.
+    /// Only engaged when it is tighter than the caller budget's own
+    /// [`deadline_ticks`](ExecutionBudget::deadline_ticks).
+    pub shard_soft_deadline_ticks: Option<u64>,
+    /// Whether shards that trip the soft deadline get one hedged
+    /// re-dispatch (first clean finish wins; the loser's output is
+    /// discarded wholesale).
+    pub hedge_stragglers: bool,
+}
+
+impl ScatterPolicy {
+    /// `RequireAll`, no soft deadline, no hedging.
+    pub fn require_all() -> Self {
+        ScatterPolicy {
+            completion: CompletionPolicy::RequireAll,
+            shard_soft_deadline_ticks: None,
+            hedge_stragglers: false,
+        }
+    }
+
+    /// Quorum of `m` responding shards, no soft deadline, no hedging.
+    pub fn quorum(m: usize) -> Self {
+        ScatterPolicy {
+            completion: CompletionPolicy::Quorum(m),
+            ..ScatterPolicy::require_all()
+        }
+    }
+
+    /// Best-effort completion, no soft deadline, no hedging.
+    pub fn best_effort() -> Self {
+        ScatterPolicy {
+            completion: CompletionPolicy::BestEffort,
+            ..ScatterPolicy::require_all()
+        }
+    }
+
+    /// Sets the per-shard soft tick deadline (builder style).
+    pub fn with_soft_deadline_ticks(mut self, ticks: u64) -> Self {
+        self.shard_soft_deadline_ticks = Some(ticks);
+        self
+    }
+
+    /// Enables hedged re-dispatch of soft-deadline stragglers (builder
+    /// style).
+    pub fn with_hedged_stragglers(mut self) -> Self {
+        self.hedge_stragglers = true;
+        self
+    }
+}
+
+impl Default for ScatterPolicy {
+    fn default() -> Self {
+        ScatterPolicy::require_all()
+    }
+}
+
+/// Typed quorum failure: fewer shards responded than the completion
+/// policy requires. Carries the full tally so callers can log, retry, or
+/// relax the policy — mirroring the structured context of
+/// [`Overloaded`](crate::lifecycle::Overloaded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsufficientShards {
+    /// Shards that produced a usable response.
+    pub responded: usize,
+    /// Responding shards the completion policy requires.
+    pub required: usize,
+    /// Total shards queried.
+    pub total: usize,
+    /// Indices of the failed shards, ascending.
+    pub failed: Vec<usize>,
+}
+
+impl fmt::Display for InsufficientShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "only {} of {} shards responded ({} required); failed shards: {:?}",
+            self.responded, self.total, self.required, self.failed
+        )
+    }
+}
+
+impl Error for InsufficientShards {}
+
+/// Error from a scatter-gather query: either a typed quorum failure or a
+/// propagated engine error (input validation, engine bugs).
+#[derive(Debug)]
+pub enum ShardError {
+    /// Fewer shards responded than the completion policy requires.
+    Insufficient(InsufficientShards),
+    /// An engine error that is not a shard fault (e.g. invalid inputs).
+    Core(CoreError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Insufficient(e) => e.fmt(f),
+            ShardError::Core(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for ShardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShardError::Insufficient(e) => Some(e),
+            ShardError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<InsufficientShards> for ShardError {
+    fn from(e: InsufficientShards) -> Self {
+        ShardError::Insufficient(e)
+    }
+}
+
+impl From<CoreError> for ShardError {
+    fn from(e: CoreError) -> Self {
+        ShardError::Core(e)
+    }
+}
+
+/// How one shard fared in a scatter-gather run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Fully resolved its band: no losses, no early stop.
+    Complete,
+    /// Responded, but with lost pages or an early budget stop.
+    Degraded,
+    /// Stopped on the per-shard soft deadline (straggler), and no hedge
+    /// attempt cleared it.
+    TimedOut,
+    /// Errored, or every attempted page read failed: contributed no
+    /// evaluated data. Counts against the completion quorum.
+    Failed,
+}
+
+impl fmt::Display for ShardOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardOutcome::Complete => "complete",
+            ShardOutcome::Degraded => "degraded",
+            ShardOutcome::TimedOut => "timed-out",
+            ShardOutcome::Failed => "failed",
+        })
+    }
+}
+
+/// Per-shard accounting of one scatter-gather run (the winning attempt's
+/// numbers when the shard was hedged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard index (band order).
+    pub shard: usize,
+    /// Outcome classification.
+    pub outcome: ShardOutcome,
+    /// Fraction of the shard's base cells provably accounted for.
+    pub completeness: f64,
+    /// Exact candidates this shard contributed to the merge pool.
+    pub exact_hits: usize,
+    /// Shard-local pages whose failed reads left cells unresolved.
+    pub skipped_pages: Vec<usize>,
+    /// The shard's own early-stop reason, if any.
+    pub budget_stop: Option<BudgetStop>,
+    /// Pages read by the winning attempt.
+    pub pages_read: u64,
+    /// Virtual ticks the winning attempt spent on the shard's clock.
+    pub ticks: u64,
+    /// Whether a hedged re-dispatch was issued for this shard.
+    pub hedged: bool,
+    /// Whether the hedge attempt won (its output replaced the primary's).
+    pub hedge_won: bool,
+    /// Base cells in the shard's band.
+    pub cells: u64,
+}
+
+/// Merged scatter-gather result: a sound top-K with per-shard
+/// degradation accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedTopK {
+    /// Up to K entries in global grid coordinates, ranked like the
+    /// unsharded resilient engine (upper bound, then score, then cell).
+    pub results: Vec<ResilientHit>,
+    /// Work accounting summed over winning shard attempts and the gather
+    /// step (`naive_multiply_adds` covers the whole global grid).
+    pub effort: EffortReport,
+    /// Fraction of all base cells provably accounted for (1.0 = exact).
+    pub completeness: f64,
+    /// `(shard, shard-local page)` pairs whose failed reads left cells
+    /// unresolved, ascending.
+    pub skipped_pages: Vec<(usize, usize)>,
+    /// The most severe early-stop reason across winning shard attempts
+    /// (Cancelled > WallClock > Deadline > PageReads > MultiplyAdds).
+    pub budget_stop: Option<BudgetStop>,
+    /// Per-shard reports, in band order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ShardedTopK {
+    /// Whether anything separates this answer from the exact one.
+    pub fn is_degraded(&self) -> bool {
+        self.completeness < 1.0
+            || self.budget_stop.is_some()
+            || self.results.iter().any(|h| !h.exact)
+    }
+
+    /// Shards that responded (outcome other than
+    /// [`ShardOutcome::Failed`]).
+    pub fn responded(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|r| r.outcome != ShardOutcome::Failed)
+            .count()
+    }
+}
+
+/// Output of one shard descent attempt.
+struct ShardOut {
+    /// Exact items with *global* cell indices (`row * cols + col`).
+    items: Vec<ScoredItem>,
+    /// Shard-local level-0 regions whose page read failed, with the page.
+    lost: Vec<(Region, usize)>,
+    /// Shard-local regions an early stop left unrefined.
+    leftover: Vec<Region>,
+    effort: EffortReport,
+    budget_stop: Option<BudgetStop>,
+    /// Successful base reads — zero with losses means a dead shard.
+    resolved_reads: u64,
+}
+
+/// One attempt (primary or hedge) at a shard, with its I/O window.
+struct ShardAttempt {
+    out: Result<ShardOut, CoreError>,
+    pages: u64,
+    ticks: u64,
+}
+
+/// Read-only context shared by every shard attempt of one wave.
+struct ScatterCtx<'a> {
+    model: &'a LinearModel,
+    k: usize,
+    /// Global column count (bands all share it).
+    cols: usize,
+    /// Effective budget for this wave (soft deadline merged in for the
+    /// primary wave, the caller's own budget for the hedge wave).
+    budget: ExecutionBudget,
+    deadline: &'a WallDeadline,
+    cancel: Option<&'a CancelToken>,
+    bound: &'a SharedBound,
+}
+
+/// One shard's best-first descent: the resilient engine's loop over the
+/// shard's own band pyramids and source, pruning against
+/// `max(local floor, shared bound)` and publishing floors back.
+fn shard_descent<S: CellSource>(
+    ctx: &ScatterCtx<'_>,
+    shard: &ArchiveShard<'_, S>,
+) -> Result<ShardOut, CoreError> {
+    let model = ctx.model;
+    let n = model.arity() as u64;
+    let levels = shard.pyramids[0].levels();
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * shard.cells(),
+    };
+    let pages_at_entry = shard.source.pages_read();
+    let ticks_at_entry = shard.source.ticks_elapsed();
+
+    let mut scratch = QueryScratch::new();
+    let QueryScratch {
+        children,
+        x,
+        ranges,
+        frontier,
+        ..
+    } = &mut scratch;
+    frontier.clear();
+    let mut heap = TopKHeap::new(ctx.k);
+    let top = levels - 1;
+    let root = region_bound_into(model, shard.pyramids, top, 0, 0, ranges, &mut effort)?;
+    frontier.push(Region {
+        ub: root,
+        level: top,
+        row: 0,
+        col: 0,
+    });
+
+    let mut lost: Vec<(Region, usize)> = Vec::new();
+    let mut leftover: Vec<Region> = Vec::new();
+    let mut budget_stop: Option<BudgetStop> = None;
+    let mut resolved_reads = 0u64;
+
+    while let Some(region) = frontier.pop() {
+        let mut floor = ctx.bound.get();
+        if let Some(f) = heap.floor() {
+            floor = floor.max(f);
+        }
+        if floor >= region.ub {
+            break; // Sound exclusion of this band's remainder.
+        }
+        let stop = checkpoint_stop(
+            ctx.cancel,
+            ctx.deadline,
+            &ctx.budget,
+            effort.multiply_adds,
+            shard.source.pages_read().saturating_sub(pages_at_entry),
+            shard.source.ticks_elapsed().saturating_sub(ticks_at_entry),
+        );
+        if let Some(stop) = stop {
+            budget_stop = Some(stop);
+            leftover.push(region);
+            leftover.extend(frontier.drain());
+            break;
+        }
+        if region.level == 0 {
+            match read_base_vector_into(shard.source, model.arity(), region.row, region.col, x) {
+                Ok(()) => {
+                    resolved_reads += 1;
+                    effort.multiply_adds += n;
+                    heap.offer(ScoredItem {
+                        index: (region.row + shard.row_offset) * ctx.cols + region.col,
+                        score: model.evaluate(x),
+                    });
+                    if let Some(f) = heap.floor() {
+                        ctx.bound.offer(f);
+                    }
+                }
+                Err(CoreError::Archive(
+                    ArchiveError::PageIo { page }
+                    | ArchiveError::PageQuarantined { page }
+                    | ArchiveError::PageCorrupt { page },
+                )) => {
+                    let page = shard.source.page_of(region.row, region.col).unwrap_or(page);
+                    lost.push((region, page));
+                }
+                Err(e) => return Err(e),
+            }
+            continue;
+        }
+        shard.pyramids[0].children_into(region.level, region.row, region.col, children);
+        for child in children.iter() {
+            let ub = region_bound_into(
+                model,
+                shard.pyramids,
+                region.level - 1,
+                child.row,
+                child.col,
+                ranges,
+                &mut effort,
+            )?;
+            frontier.push(Region {
+                ub,
+                level: region.level - 1,
+                row: child.row,
+                col: child.col,
+            });
+        }
+    }
+
+    Ok(ShardOut {
+        items: heap.into_sorted(),
+        lost,
+        leftover,
+        effort,
+        budget_stop,
+        resolved_reads,
+    })
+}
+
+/// Runs one attempt at a shard and measures its I/O window on the
+/// shard's own clock.
+fn run_attempt<S: CellSource>(ctx: &ScatterCtx<'_>, shard: &ArchiveShard<'_, S>) -> ShardAttempt {
+    let pages_at_entry = shard.source.pages_read();
+    let ticks_at_entry = shard.source.ticks_elapsed();
+    let out = shard_descent(ctx, shard);
+    ShardAttempt {
+        out,
+        pages: shard.source.pages_read().saturating_sub(pages_at_entry),
+        ticks: shard.source.ticks_elapsed().saturating_sub(ticks_at_entry),
+    }
+}
+
+/// Fans `which` shard indices out over the pool (round-robin, at most one
+/// worker per shard) and returns `(shard index, attempt)` pairs.
+fn scatter_wave<S: CellSource + Sync>(
+    ctx: &ScatterCtx<'_>,
+    shards: &[ArchiveShard<'_, S>],
+    which: &[usize],
+    pool: &WorkerPool,
+) -> Vec<(usize, ShardAttempt)> {
+    let workers = pool.threads().min(which.len()).max(1);
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (slot, &shard_index) in which.iter().enumerate() {
+        assignments[slot % workers].push(shard_index);
+    }
+    pool.run(
+        assignments
+            .into_iter()
+            .map(|own| {
+                move |_w: usize| {
+                    own.into_iter()
+                        .map(|i| (i, run_attempt(ctx, &shards[i])))
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect(),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Severity order used to merge per-shard stop reasons into one:
+/// Cancelled > WallClock > Deadline > PageReads > MultiplyAdds.
+fn stop_severity(stop: BudgetStop) -> u8 {
+    match stop {
+        BudgetStop::MultiplyAdds => 1,
+        BudgetStop::PageReads => 2,
+        BudgetStop::Deadline => 3,
+        BudgetStop::WallClock => 4,
+        BudgetStop::Cancelled => 5,
+    }
+}
+
+/// Scatter-gather top-K over a sharded archive. See the module docs for
+/// the soundness and quorum contract; on a healthy archive with an
+/// unlimited budget the merged results are bit-identical to
+/// [`resilient_top_k`](crate::resilient::resilient_top_k) over the
+/// unsharded grid, at every shard count and thread count.
+///
+/// The `budget` is enforced *per shard attempt*, each dimension measured
+/// against the attempt's own source clocks (wall-clock expiry is shared:
+/// one latch stops every shard at its next checkpoint).
+///
+/// # Errors
+///
+/// [`ShardError::Core`] for invalid inputs (any shard failing the same
+/// validation as the unsharded engines); [`ShardError::Insufficient`]
+/// when fewer shards respond than `policy.completion` requires.
+pub fn scatter_gather_top_k<S: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    scatter_gather_inner(model, archive, k, budget, policy, None, pool)
+}
+
+/// [`scatter_gather_top_k`] polling a [`CancelToken`] at every shard's
+/// page-granular checkpoints. Cancellation stops every shard at its next
+/// checkpoint and the merged answer degrades with sound bounds, exactly
+/// like the unsharded cancellable engines. A token that is never
+/// cancelled changes nothing.
+///
+/// # Errors
+///
+/// Same as [`scatter_gather_top_k`].
+pub fn scatter_gather_top_k_cancellable<S: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: &CancelToken,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    scatter_gather_inner(model, archive, k, budget, policy, Some(cancel), pool)
+}
+
+fn scatter_gather_inner<S: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: Option<&CancelToken>,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    let shards = archive.shards();
+    for shard in shards {
+        validate_grid_inputs(model, shard.pyramids, k).map_err(ShardError::Core)?;
+    }
+    let n = model.arity() as u64;
+    let total_cells = archive.total_cells();
+    let cols = archive.shape().1;
+    let deadline = WallDeadline::starting_now(budget);
+    let bound = SharedBound::new();
+
+    // The soft deadline only engages when it is tighter than the caller's
+    // own tick deadline — otherwise a Deadline stop is the caller's
+    // ceiling, not a straggler signal.
+    let soft_engaged = policy
+        .shard_soft_deadline_ticks
+        .is_some_and(|soft| budget.deadline_ticks.is_none_or(|d| soft < d));
+    let primary_budget = if soft_engaged {
+        ExecutionBudget {
+            deadline_ticks: policy.shard_soft_deadline_ticks,
+            ..*budget
+        }
+    } else {
+        *budget
+    };
+
+    let primary_ctx = ScatterCtx {
+        model,
+        k,
+        cols,
+        budget: primary_budget,
+        deadline: &deadline,
+        cancel,
+        bound: &bound,
+    };
+    let all: Vec<usize> = (0..shards.len()).collect();
+    let mut attempts: Vec<Option<ShardAttempt>> = (0..shards.len()).map(|_| None).collect();
+    for (i, attempt) in scatter_wave(&primary_ctx, shards, &all, pool) {
+        attempts[i] = Some(attempt);
+    }
+
+    // Hedged re-dispatch of stragglers: one retry without the soft
+    // deadline. First clean finish wins; the losing attempt's output is
+    // discarded wholesale so it leaves no state in the merge.
+    let mut hedged = vec![false; shards.len()];
+    let mut hedge_won = vec![false; shards.len()];
+    if policy.hedge_stragglers && soft_engaged && !cancel.is_some_and(CancelToken::is_cancelled) {
+        let stragglers: Vec<usize> = attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.as_ref().is_some_and(|a| match &a.out {
+                    Ok(o) => o.budget_stop == Some(BudgetStop::Deadline),
+                    Err(_) => false,
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !stragglers.is_empty() {
+            let hedge_ctx = ScatterCtx {
+                budget: *budget,
+                ..primary_ctx
+            };
+            for (i, hedge) in scatter_wave(&hedge_ctx, shards, &stragglers, pool) {
+                hedged[i] = true;
+                let primary = attempts[i].as_ref().expect("primary attempt present");
+                let wins = match (&primary.out, &hedge.out) {
+                    (_, Err(_)) => false,
+                    (Err(_), Ok(_)) => true,
+                    (Ok(p), Ok(h)) => {
+                        h.budget_stop.is_none()
+                            || h.lost.len() + h.leftover.len() < p.lost.len() + p.leftover.len()
+                    }
+                };
+                if wins {
+                    hedge_won[i] = true;
+                    attempts[i] = Some(hedge);
+                }
+            }
+        }
+    }
+
+    // Quorum check before any merging: a failed shard is one that errored
+    // or whose every attempted page read failed (no evaluated data).
+    let failed: Vec<usize> = attempts
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            let attempt = a.as_ref().expect("attempt present");
+            match &attempt.out {
+                Err(_) => true,
+                Ok(o) => o.resolved_reads == 0 && !o.lost.is_empty(),
+            }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let responded = shards.len() - failed.len();
+    let required = policy.completion.required(shards.len());
+    if responded < required {
+        return Err(InsufficientShards {
+            responded,
+            required,
+            total: shards.len(),
+            failed,
+        }
+        .into());
+    }
+
+    // Degraded candidates cross pyramid boundaries: a band pyramid sums
+    // its aggregates in a different floating-point order than a global
+    // evaluation of the same cells, so a mathematically sound bound can
+    // round a few ulps inside the true supremum. The merge widens every
+    // inexact candidate by a relative guard so "the true score lies
+    // inside the reported bounds" holds in floating point too. Exact hits
+    // are never widened, and exclusion still uses the raw bounds.
+    let widen = |bounds: ScoreBounds| -> ScoreBounds {
+        let pad = bounds.hi.abs().max(bounds.lo.abs()).max(1.0) * f64::EPSILON * 16.0;
+        ScoreBounds {
+            lo: bounds.lo - pad,
+            hi: bounds.hi + pad,
+        }
+    };
+
+    // Gather: merge exact items with the shared rank order, derive the
+    // deterministic global K-th floor, then resolve every shard's lost
+    // and leftover regions against it.
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * total_cells,
+    };
+    let mut items: Vec<ScoredItem> = Vec::new();
+    for attempt in attempts.iter().flatten() {
+        if let Ok(o) = &attempt.out {
+            effort.multiply_adds += o.effort.multiply_adds;
+            items.extend(o.items.iter().copied());
+        }
+    }
+    sort_desc(&mut items);
+    items.truncate(k);
+    // Only a full merged heap yields a sound exclusion floor.
+    let floor = if items.len() == k {
+        items.last().map(|i| i.score)
+    } else {
+        None
+    };
+    let excluded = |hi: f64| floor.is_some_and(|f| f >= hi);
+
+    let mut hits: Vec<ResilientHit> = items
+        .into_iter()
+        .map(|item| ResilientHit {
+            cell: CellCoord::new(item.index / cols, item.index % cols),
+            level: 0,
+            score: item.score,
+            bounds: ScoreBounds::exact(item.score),
+            exact: true,
+        })
+        .collect();
+
+    let mut unresolved = 0u64;
+    let mut skipped: Vec<(usize, usize)> = Vec::new();
+    let mut reports: Vec<ShardReport> = Vec::with_capacity(shards.len());
+    let mut merged_stop: Option<BudgetStop> = None;
+
+    for (i, shard) in shards.iter().enumerate() {
+        let attempt = attempts[i].as_ref().expect("attempt present");
+        let shard_cells = shard.cells();
+        let mut shard_unresolved = 0u64;
+        let mut shard_skipped: BTreeSet<usize> = BTreeSet::new();
+        let mut exact_hits = 0usize;
+        let mut shard_stop = None;
+        match &attempt.out {
+            Ok(o) => {
+                exact_hits = o.items.len();
+                shard_stop = o.budget_stop;
+                for region in &o.leftover {
+                    let (mut candidate, count) = region_candidate(
+                        model,
+                        shard.pyramids,
+                        region.level,
+                        region.row,
+                        region.col,
+                        &mut effort,
+                    )
+                    .map_err(ShardError::Core)?;
+                    candidate.cell =
+                        CellCoord::new(candidate.cell.row + shard.row_offset, candidate.cell.col);
+                    if excluded(candidate.bounds.hi) {
+                        continue; // Provably outside the top-K: resolved.
+                    }
+                    shard_unresolved += count;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+                let parent_level = 1.min(shard.pyramids[0].levels() - 1);
+                for (region, page) in &o.lost {
+                    if excluded(region.ub) {
+                        continue; // Resolved by the deterministic bound.
+                    }
+                    shard_skipped.insert(*page);
+                    let (mut candidate, _) = region_candidate(
+                        model,
+                        shard.pyramids,
+                        parent_level,
+                        region.row >> parent_level,
+                        region.col >> parent_level,
+                        &mut effort,
+                    )
+                    .map_err(ShardError::Core)?;
+                    candidate.cell = CellCoord::new(region.row + shard.row_offset, region.col);
+                    candidate.level = 0;
+                    shard_unresolved += 1;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+            }
+            Err(_) => {
+                // The whole band degrades to its resident root aggregate:
+                // the deepest bound that depends on no page data. If even
+                // the root bound falls under the merged floor, the band
+                // is provably irrelevant and nothing was lost.
+                let top = shard.pyramids[0].levels() - 1;
+                let (mut candidate, count) =
+                    region_candidate(model, shard.pyramids, top, 0, 0, &mut effort)
+                        .map_err(ShardError::Core)?;
+                candidate.cell = CellCoord::new(shard.row_offset, 0);
+                if !excluded(candidate.bounds.hi) {
+                    shard_unresolved += count;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+            }
+        }
+        if let Some(stop) = shard_stop {
+            if merged_stop.is_none_or(|m| stop_severity(stop) > stop_severity(m)) {
+                merged_stop = Some(stop);
+            }
+        }
+        let outcome = if failed.contains(&i) {
+            ShardOutcome::Failed
+        } else if soft_engaged && !hedge_won[i] && shard_stop == Some(BudgetStop::Deadline) {
+            ShardOutcome::TimedOut
+        } else if shard_unresolved > 0 || shard_stop.is_some() {
+            ShardOutcome::Degraded
+        } else {
+            ShardOutcome::Complete
+        };
+        unresolved += shard_unresolved;
+        skipped.extend(shard_skipped.iter().map(|&p| (i, p)));
+        reports.push(ShardReport {
+            shard: i,
+            outcome,
+            completeness: 1.0 - shard_unresolved as f64 / shard_cells as f64,
+            exact_hits,
+            skipped_pages: shard_skipped.into_iter().collect(),
+            budget_stop: shard_stop,
+            pages_read: attempt.pages,
+            ticks: attempt.ticks,
+            hedged: hedged[i],
+            hedge_won: hedge_won[i],
+            cells: shard_cells,
+        });
+    }
+
+    // Rank by upper bound first — the shared final comparator of the
+    // resilient engines: exact hits have hi == score, and truncation can
+    // never drop the only candidate that might still be the true winner.
+    hits.sort_by(|a, b| {
+        b.bounds
+            .hi
+            .total_cmp(&a.bounds.hi)
+            .then_with(|| b.score.total_cmp(&a.score))
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
+    hits.truncate(k);
+
+    Ok(ShardedTopK {
+        results: hits,
+        effort,
+        completeness: 1.0 - unresolved as f64 / total_cells as f64,
+        skipped_pages: skipped,
+        budget_stop: merged_stop,
+        shards: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::resilient_top_k;
+    use crate::source::TileSource;
+    use mbir_archive::fault::FaultProfile;
+    use mbir_archive::grid::Grid2;
+    use mbir_archive::stats::AccessStats;
+    use mbir_archive::tile::TileStore;
+
+    fn smooth_grid(i: usize, rows: usize, cols: usize) -> Grid2<f64> {
+        Grid2::from_fn(rows, cols, |r, c| {
+            ((r as f64 / 9.0 + i as f64).sin() + (c as f64 / 11.0).cos()) * 50.0 + 100.0
+        })
+    }
+
+    /// One shard's owned state: band pyramids, band stores, band stats.
+    struct ShardWorld {
+        pyramids: Vec<AggregatePyramid>,
+        stores: Vec<TileStore>,
+        stats: AccessStats,
+        row_offset: usize,
+    }
+
+    /// A global smooth world plus its row-band sharding. `rows` must be
+    /// divisible by `shards` with tile-aligned bands.
+    fn sharded_world(
+        arity: usize,
+        rows: usize,
+        cols: usize,
+        tile: usize,
+        shards: usize,
+    ) -> (LinearModel, Vec<AggregatePyramid>, Vec<ShardWorld>) {
+        assert_eq!(rows % shards, 0);
+        let band_rows = rows / shards;
+        assert_eq!(band_rows % tile, 0, "bands must be tile-aligned");
+        let grids: Vec<Grid2<f64>> = (0..arity).map(|i| smooth_grid(i, rows, cols)).collect();
+        let global_pyramids = grids.iter().map(AggregatePyramid::build).collect();
+        let worlds = (0..shards)
+            .map(|s| {
+                let offset = s * band_rows;
+                let bands: Vec<Grid2<f64>> = grids
+                    .iter()
+                    .map(|g| Grid2::from_fn(band_rows, cols, |r, c| *g.at(offset + r, c)))
+                    .collect();
+                let stats = AccessStats::new();
+                ShardWorld {
+                    pyramids: bands.iter().map(AggregatePyramid::build).collect(),
+                    stores: bands
+                        .iter()
+                        .map(|b| {
+                            TileStore::new(b.clone(), tile)
+                                .unwrap()
+                                .with_stats(stats.clone())
+                        })
+                        .collect(),
+                    stats,
+                    row_offset: offset,
+                }
+            })
+            .collect();
+        let coeffs: Vec<f64> = (0..arity).map(|i| 1.0 - 0.3 * i as f64).collect();
+        (
+            LinearModel::new(coeffs, 0.25).unwrap(),
+            global_pyramids,
+            worlds,
+        )
+    }
+
+    /// Builds sources + archive over the worlds and runs the body. The
+    /// closure indirection keeps the borrow chain (stores → sources →
+    /// shards) inside one scope.
+    fn with_archive<R>(
+        worlds: &[ShardWorld],
+        body: impl FnOnce(&ShardedArchive<'_, TileSource<'_>>) -> R,
+    ) -> R {
+        let sources: Vec<TileSource<'_>> = worlds
+            .iter()
+            .map(|w| TileSource::new(&w.stores).unwrap())
+            .collect();
+        let shards: Vec<ArchiveShard<'_, TileSource<'_>>> = worlds
+            .iter()
+            .zip(&sources)
+            .map(|(w, src)| ArchiveShard::new(&w.pyramids, src, w.row_offset))
+            .collect();
+        let archive = ShardedArchive::new(shards).unwrap();
+        body(&archive)
+    }
+
+    #[test]
+    fn healthy_runs_are_bit_identical_to_unsharded_resilient() {
+        for shard_count in [1usize, 4, 16] {
+            let (model, global, worlds) = sharded_world(3, 64, 64, 4, shard_count);
+            let reference_stores: Vec<TileStore> = (0..3)
+                .map(|i| TileStore::new(smooth_grid(i, 64, 64), 4).unwrap())
+                .collect();
+            let reference_src = TileSource::new(&reference_stores).unwrap();
+            let reference = resilient_top_k(
+                &model,
+                &global,
+                9,
+                &reference_src,
+                &ExecutionBudget::unlimited(),
+            )
+            .unwrap();
+            with_archive(&worlds, |archive| {
+                for threads in [1usize, 2, 4, 8] {
+                    let pool = WorkerPool::new(threads);
+                    let r = scatter_gather_top_k(
+                        &model,
+                        archive,
+                        9,
+                        &ExecutionBudget::unlimited(),
+                        &ScatterPolicy::require_all(),
+                        &pool,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        r.results, reference.results,
+                        "shards={shard_count} threads={threads}"
+                    );
+                    assert!(!r.is_degraded());
+                    assert_eq!(r.completeness, 1.0);
+                    assert_eq!(r.budget_stop, None);
+                    assert!(r.skipped_pages.is_empty());
+                    assert!(r.shards.iter().all(|s| s.outcome == ShardOutcome::Complete));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn cross_shard_bound_propagation_prunes_lagging_shards() {
+        let (model, _, worlds) = sharded_world(2, 64, 64, 4, 4);
+        with_archive(&worlds, |archive| {
+            let pool = WorkerPool::new(1);
+            let r = scatter_gather_top_k(
+                &model,
+                archive,
+                3,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::require_all(),
+                &pool,
+            )
+            .unwrap();
+            // The smooth world concentrates the winners in one band, so
+            // the floor published by the early shards must let the rest
+            // skip most of their cells.
+            assert!(r.effort.multiply_adds < r.effort.naive_multiply_adds / 2);
+            let pages: u64 = worlds.iter().map(|w| w.stats.pages_read()).sum();
+            let total_pages: usize = worlds
+                .iter()
+                .map(|w| w.stores.iter().map(TileStore::page_count).sum::<usize>())
+                .sum();
+            assert!(pages < total_pages as u64 / 2, "{pages} vs {total_pages}");
+        });
+    }
+
+    fn kill_shard(world: &mut ShardWorld) {
+        let store = &world.stores[0];
+        let profile =
+            (0..store.page_count()).fold(FaultProfile::new(0), |p, page| p.permanent(page));
+        world.stores = world
+            .stores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    s.clone().with_faults(profile.clone())
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+    }
+
+    #[test]
+    fn dead_shard_degrades_best_effort_answer_soundly() {
+        let (model, global, mut worlds) = sharded_world(2, 64, 64, 4, 4);
+        // Kill the shard holding the global winner so its absence must
+        // surface as widened bounds, not a silent flip.
+        let reference_stores: Vec<TileStore> = (0..2)
+            .map(|i| TileStore::new(smooth_grid(i, 64, 64), 4).unwrap())
+            .collect();
+        let reference_src = TileSource::new(&reference_stores).unwrap();
+        let reference = resilient_top_k(
+            &model,
+            &global,
+            5,
+            &reference_src,
+            &ExecutionBudget::unlimited(),
+        )
+        .unwrap();
+        let winner_row = reference.results[0].cell.row;
+        let band_rows = 64 / 4;
+        let victim = winner_row / band_rows;
+        kill_shard(&mut worlds[victim]);
+        with_archive(&worlds, |archive| {
+            let pool = WorkerPool::new(4);
+            let r = scatter_gather_top_k(
+                &model,
+                archive,
+                5,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::best_effort(),
+                &pool,
+            )
+            .unwrap();
+            assert!(r.is_degraded());
+            assert!(r.completeness < 1.0);
+            assert_eq!(r.shards[victim].outcome, ShardOutcome::Failed);
+            assert_eq!(r.responded(), 3);
+            // Soundness: the true winner's score must lie inside some
+            // returned hit's bounds — the dead band's aggregate candidate.
+            let truth = reference.results[0].score;
+            assert!(
+                r.results
+                    .iter()
+                    .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+                "true winner {truth} escaped all reported bounds"
+            );
+            // And every exact hit it did return is a genuinely correct
+            // score for its cell (never a fabricated answer).
+            for hit in r.results.iter().filter(|h| h.exact) {
+                let x: Vec<f64> = (0..2)
+                    .map(|i| *smooth_grid(i, 64, 64).at(hit.cell.row, hit.cell.col))
+                    .collect();
+                assert_eq!(hit.score, model.evaluate(&x));
+            }
+        });
+    }
+
+    #[test]
+    fn quorum_policies_gate_dead_shards_with_typed_errors() {
+        let (model, _, mut worlds) = sharded_world(2, 64, 64, 4, 4);
+        kill_shard(&mut worlds[0]);
+        with_archive(&worlds, |archive| {
+            // One worker → shard 0 runs first with an empty shared bound,
+            // so its failure classification is deterministic.
+            let pool = WorkerPool::new(1);
+            let budget = ExecutionBudget::unlimited();
+            let run = |policy: &ScatterPolicy| {
+                scatter_gather_top_k(&model, archive, 5, &budget, policy, &pool)
+            };
+            match run(&ScatterPolicy::require_all()) {
+                Err(ShardError::Insufficient(e)) => {
+                    assert_eq!(e.responded, 3);
+                    assert_eq!(e.required, 4);
+                    assert_eq!(e.total, 4);
+                    assert_eq!(e.failed, vec![0]);
+                    let shown = e.to_string();
+                    assert!(shown.contains("3 of 4"), "{shown}");
+                    assert!(shown.contains("[0]"), "{shown}");
+                }
+                other => panic!("expected InsufficientShards, got {other:?}"),
+            }
+            match run(&ScatterPolicy::quorum(4)) {
+                Err(ShardError::Insufficient(e)) => assert_eq!(e.required, 4),
+                other => panic!("expected InsufficientShards, got {other:?}"),
+            }
+            let ok = run(&ScatterPolicy::quorum(3)).unwrap();
+            assert_eq!(ok.responded(), 3);
+            assert!(ok.is_degraded());
+            let ok = run(&ScatterPolicy::best_effort()).unwrap();
+            assert_eq!(ok.shards[0].outcome, ShardOutcome::Failed);
+        });
+    }
+
+    #[test]
+    fn straggler_shard_is_hedged_and_the_clean_attempt_wins() {
+        let (model, global, mut worlds) = sharded_world(2, 64, 64, 4, 4);
+        // Slow down the band holding the global winner: the shared bound
+        // can never exclude it, so its primary attempt must read a page,
+        // eat the injected latency, and trip the soft deadline. Healthy
+        // pages cost 1 tick, so no healthy shard can reach the deadline
+        // even by reading its whole band.
+        let reference_stores: Vec<TileStore> = (0..2)
+            .map(|i| TileStore::new(smooth_grid(i, 64, 64), 4).unwrap())
+            .collect();
+        let reference_src = TileSource::new(&reference_stores).unwrap();
+        let reference = resilient_top_k(
+            &model,
+            &global,
+            5,
+            &reference_src,
+            &ExecutionBudget::unlimited(),
+        )
+        .unwrap();
+        let slow = reference.results[0].cell.row / (64 / 4);
+        let profile = (0..worlds[slow].stores[0].page_count())
+            .fold(FaultProfile::new(0), |p, page| p.latency(page, 10_000));
+        worlds[slow].stores = worlds[slow]
+            .stores
+            .iter()
+            .map(|s| s.clone().with_faults(profile.clone()))
+            .collect();
+        with_archive(&worlds, |archive| {
+            let pool = WorkerPool::new(4);
+            let policy = ScatterPolicy::require_all()
+                .with_soft_deadline_ticks(5_000)
+                .with_hedged_stragglers();
+            let r = scatter_gather_top_k(
+                &model,
+                archive,
+                5,
+                &ExecutionBudget::unlimited(),
+                &policy,
+                &pool,
+            )
+            .unwrap();
+            let report = &r.shards[slow];
+            assert!(report.hedged, "slow shard was not hedged");
+            assert!(report.hedge_won, "hedge attempt should win cleanly");
+            assert_ne!(report.outcome, ShardOutcome::TimedOut);
+            assert!(r.shards.iter().filter(|s| s.hedged).count() == 1);
+            // The hedged answer recovers the true winner exactly.
+            assert_eq!(r.results[0].cell, reference.results[0].cell);
+            assert_eq!(r.results[0].score, reference.results[0].score);
+            // Without hedging the same run times the shard out.
+            let no_hedge = ScatterPolicy::require_all().with_soft_deadline_ticks(5_000);
+            let r2 = scatter_gather_top_k(
+                &model,
+                archive,
+                5,
+                &ExecutionBudget::unlimited(),
+                &no_hedge,
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(r2.shards[slow].outcome, ShardOutcome::TimedOut);
+            assert_eq!(r2.shards[slow].budget_stop, Some(BudgetStop::Deadline));
+        });
+    }
+
+    #[test]
+    fn pre_cancelled_query_degrades_identically_at_every_thread_count() {
+        let (model, _, worlds) = sharded_world(2, 32, 32, 4, 4);
+        with_archive(&worlds, |archive| {
+            let token = CancelToken::new();
+            token.cancel();
+            let mut outputs = Vec::new();
+            for threads in [1usize, 2, 4, 8] {
+                let pool = WorkerPool::new(threads);
+                let r = scatter_gather_top_k_cancellable(
+                    &model,
+                    archive,
+                    3,
+                    &ExecutionBudget::unlimited(),
+                    &ScatterPolicy::best_effort(),
+                    &token,
+                    &pool,
+                )
+                .unwrap();
+                assert_eq!(r.budget_stop, Some(BudgetStop::Cancelled));
+                assert!(r.completeness < 1.0);
+                outputs.push(r.results);
+            }
+            for other in &outputs[1..] {
+                assert_eq!(&outputs[0], other, "cancelled results diverge by threads");
+            }
+        });
+    }
+
+    #[test]
+    fn topology_validation_rejects_malformed_archives() {
+        let (_, _, worlds) = sharded_world(2, 32, 32, 4, 2);
+        let sources: Vec<TileSource<'_>> = worlds
+            .iter()
+            .map(|w| TileSource::new(&w.stores).unwrap())
+            .collect();
+        assert!(matches!(
+            ShardedArchive::<TileSource<'_>>::new(Vec::new()),
+            Err(CoreError::Query(_))
+        ));
+        // Gap between bands: second shard claims the wrong offset.
+        let gappy = vec![
+            ArchiveShard::new(&worlds[0].pyramids, &sources[0], 0),
+            ArchiveShard::new(&worlds[1].pyramids, &sources[1], 17),
+        ];
+        assert!(ShardedArchive::new(gappy).is_err());
+        // First shard must start at row 0.
+        let late = vec![ArchiveShard::new(&worlds[0].pyramids, &sources[0], 4)];
+        assert!(ShardedArchive::new(late).is_err());
+        // Column mismatch.
+        let narrow = smooth_grid(0, 16, 8);
+        let narrow_pyr = vec![AggregatePyramid::build(&narrow)];
+        let mixed = vec![
+            ArchiveShard::new(&worlds[0].pyramids, &sources[0], 0),
+            ArchiveShard::new(&narrow_pyr, &sources[1], 16),
+        ];
+        assert!(ShardedArchive::new(mixed).is_err());
+        // k = 0 still rejected, through the shard entry point.
+        let (model, _, worlds2) = sharded_world(2, 32, 32, 4, 2);
+        with_archive(&worlds2, |archive| {
+            let pool = WorkerPool::new(1);
+            assert!(matches!(
+                scatter_gather_top_k(
+                    &model,
+                    archive,
+                    0,
+                    &ExecutionBudget::unlimited(),
+                    &ScatterPolicy::require_all(),
+                    &pool,
+                ),
+                Err(ShardError::Core(CoreError::Query(_)))
+            ));
+        });
+    }
+
+    #[test]
+    fn completion_policy_requirements_and_display() {
+        assert_eq!(CompletionPolicy::RequireAll.required(4), 4);
+        assert_eq!(CompletionPolicy::Quorum(2).required(4), 2);
+        assert_eq!(CompletionPolicy::Quorum(9).required(4), 4);
+        assert_eq!(CompletionPolicy::BestEffort.required(4), 0);
+        assert_eq!(CompletionPolicy::RequireAll.to_string(), "require-all");
+        assert_eq!(CompletionPolicy::Quorum(3).to_string(), "quorum(3)");
+        assert_eq!(CompletionPolicy::BestEffort.to_string(), "best-effort");
+        assert_eq!(ShardOutcome::TimedOut.to_string(), "timed-out");
+        let err = InsufficientShards {
+            responded: 1,
+            required: 3,
+            total: 4,
+            failed: vec![1, 2, 3],
+        };
+        let wrapped: ShardError = err.clone().into();
+        assert!(Error::source(&wrapped).is_some());
+        assert_eq!(wrapped.to_string(), err.to_string());
+        let core_err: ShardError = CoreError::Query("bad".into()).into();
+        assert!(Error::source(&core_err).is_some());
+    }
+}
