@@ -1,6 +1,6 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|r6|all]
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|r6|r7|all]
 //! [--threads N] [--legacy] [--seed N] [--load L] [--shards S]
 //! [--kill-shards F]` (default: all). Output is
 //! Markdown, pasted into EXPERIMENTS.md. The R2 experiment additionally
@@ -22,7 +22,13 @@
 //! and threads ∈ {1, 2, 4, 8}; `--shards S --kill-shards F` then kills F
 //! whole fault domains (always including the winner's) and gates on zero
 //! wrong answers, sound bounds, typed `InsufficientShards` quorum errors,
-//! and straggler hedging, writing `BENCH_shard.json`.
+//! and straggler hedging, writing `BENCH_shard.json`. The R7 quantization
+//! harness sweeps the i8 coarse-pass scan over d ∈ {2, 3, 8} x n ∈ {10k,
+//! 100k, 1M}, measures the pruned Onion query against the legacy and flat
+//! kernel paths at the E1 scale (gating on >= 2x over legacy), checks the
+//! core engines' CoarseGrid pass for bit-identity at threads ∈ {1, 2, 4,
+//! 8}, and rewrites `BENCH_kernels.json` at `schema_version` 2 with a
+//! per-variant `configs` array of throughput and prune rates.
 
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
@@ -32,8 +38,10 @@ use mbir_archive::weather::WeatherGenerator;
 use mbir_archive::welllog::WellLog;
 use mbir_bench::{
     classification_world, hps_paged_world, hps_world, onion_workload, parallel_world,
-    replicated_world, sharded_world, sproc_workload, texture_world, wide_model_world,
+    quant_workload, replicated_world, sharded_world, sproc_workload, texture_world,
+    wide_model_world,
 };
+use mbir_core::coarse::CoarseGrid;
 use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
 use mbir_core::lifecycle::{
     AdmissionController, AdmissionPolicy, CancelToken, ClassCounters, LifecycleState, Priority,
@@ -44,13 +52,14 @@ use mbir_core::metrics::{
     sharded_degradation_summary, threshold_sweep,
 };
 use mbir_core::parallel::{
-    grid_query_with_source, par_pyramid_top_k, par_resilient_top_k, par_staged_top_k, QueryBatch,
-    WorkerPool,
+    grid_query_with_source, par_pyramid_top_k, par_resilient_top_k, par_resilient_top_k_coarse,
+    par_staged_top_k, QueryBatch, WorkerPool,
 };
 use mbir_core::query::{Objective, TopKQuery};
 use mbir_core::replica::{ReplicaConfig, ReplicatedSource};
 use mbir_core::resilient::{
-    resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget,
+    resilient_top_k, resilient_top_k_cancellable, resilient_top_k_coarse, BudgetStop,
+    ExecutionBudget,
 };
 use mbir_core::shard::{
     scatter_gather_top_k, ArchiveShard, ScatterPolicy, ShardError, ShardOutcome, ShardedArchive,
@@ -58,8 +67,9 @@ use mbir_core::shard::{
 use mbir_core::source::{CachedTileSource, CellSource, TileSource};
 use mbir_core::workflow::{run_workflow, WorkflowConfig};
 use mbir_index::onion::OnionIndex;
+use mbir_index::quant::QuantizedStore;
 use mbir_index::rstar::RStarTree;
-use mbir_index::scan::{scan_top_k, scan_top_k_flat};
+use mbir_index::scan::{scan_top_k, scan_top_k_flat, scan_top_k_quant};
 use mbir_index::sproc::SprocIndex;
 use mbir_index::store::PointStore;
 use mbir_models::bayes::hps_net::{hps_network, risk_given_observations};
@@ -193,6 +203,9 @@ fn main() {
             std::process::exit(2);
         }
         r6_shard(seed, shards, kill_shards);
+    }
+    if run("r7") {
+        r7_quant(seed);
     }
 }
 
@@ -1352,6 +1365,186 @@ fn r3_kernels(legacy_only: bool) {
     );
     match std::fs::write("BENCH_kernels.json", &json) {
         Ok(()) => println!("\nwrote BENCH_kernels.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_kernels.json: {e}"),
+    }
+}
+
+/// R7 — the i8 quantized coarse pass, end to end. Sweeps the pruned scan
+/// over d x n variants (bit-identity asserted per variant), measures the
+/// coarse-pruned Onion query against the legacy and flat-kernel paths at
+/// the E1 scale (gating on >= 2x over legacy), verifies the core engines'
+/// [`CoarseGrid`] pass is bit-identical sequentially and at every thread
+/// count, and rewrites `BENCH_kernels.json` at `schema_version` 2: the R3
+/// hot paths plus a `configs` array with per-variant throughput and prune
+/// rates.
+fn r7_quant(seed: u64) {
+    println!("\n## R7 — Quantized coarse-pass pruning sweep\n");
+    let k = 10usize;
+    const REPS: u32 = 3;
+    let time_ns = |f: &mut dyn FnMut()| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+
+    // Scan sweep: the pruned scan against the exact flat kernel, one
+    // variant per (d, n). Everything is asserted bit-identical before any
+    // timing is believed.
+    struct ScanRow {
+        d: usize,
+        n: usize,
+        exact_ns: u64,
+        quant_ns: u64,
+        prune_rate: f64,
+    }
+    let mut rows: Vec<ScanRow> = Vec::new();
+    println!("| d | n | exact ms | quant ms | exact Melem/s | quant Melem/s | speedup | prune |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for d in [2usize, 3, 8] {
+        for n in [10_000usize, 100_000, 1_000_000] {
+            let (points, dir) = quant_workload(seed, n, d);
+            let store = PointStore::from_rows(&points).expect("well-formed workload");
+            let quant = QuantizedStore::build(&store);
+            let exact = scan_top_k_flat(&store, &dir, k);
+            let (pruned, report) = scan_top_k_quant(&store, &quant, &dir, k);
+            assert_eq!(
+                pruned.results, exact.results,
+                "quant scan must be bit-identical (d={d}, n={n})"
+            );
+            let exact_ns = time_ns(&mut || {
+                let _ = scan_top_k_flat(&store, &dir, k);
+            });
+            let quant_ns = time_ns(&mut || {
+                let _ = scan_top_k_quant(&store, &quant, &dir, k);
+            });
+            let melem = |ns: u64| n as f64 / (ns as f64 / 1e9) / 1e6;
+            println!(
+                "| {d} | {n} | {:.3} | {:.3} | {:.1} | {:.1} | {:.2}x | {:.3} |",
+                exact_ns as f64 / 1e6,
+                quant_ns as f64 / 1e6,
+                melem(exact_ns),
+                melem(quant_ns),
+                exact_ns as f64 / quant_ns as f64,
+                report.prune_rate()
+            );
+            rows.push(ScanRow {
+                d,
+                n,
+                exact_ns,
+                quant_ns,
+                prune_rate: report.prune_rate(),
+            });
+        }
+    }
+
+    // Onion query at the E1 scale: legacy nested-Vec, flat kernel, and
+    // the quantized coarse-pruned walk, all answering identically.
+    let onion_n = 100_000usize;
+    let onion_d = 3usize;
+    let (points, dir) = onion_workload(seed, onion_n);
+    let legacy_index =
+        OnionIndex::build_legacy_with(points.clone(), 24, 16, 7).expect("valid workload");
+    let kernel_index = OnionIndex::build_with(points.clone(), 24, 16, 7).expect("valid workload");
+    let quant_index =
+        OnionIndex::build_quantized_with(points, 24, 16, 7, 1).expect("valid workload");
+    let legacy_query = legacy_index.top_k_max_legacy(&dir, k).expect("valid query");
+    let kernel_query = kernel_index.top_k_max(&dir, k).expect("valid query");
+    let (quant_query, onion_report) = quant_index
+        .top_k_max_quant_report(&dir, k)
+        .expect("valid query");
+    assert_eq!(kernel_query.results, legacy_query.results);
+    assert_eq!(
+        quant_query.results, legacy_query.results,
+        "quant onion query must be bit-identical to legacy"
+    );
+    let onion_legacy_ns = time_ns(&mut || {
+        let _ = legacy_index.top_k_max_legacy(&dir, k).expect("valid query");
+    });
+    let onion_kernel_ns = time_ns(&mut || {
+        let _ = kernel_index.top_k_max(&dir, k).expect("valid query");
+    });
+    let onion_quant_ns = time_ns(&mut || {
+        let _ = quant_index.top_k_max_quant(&dir, k).expect("valid query");
+    });
+    let onion_speedup = onion_legacy_ns as f64 / onion_quant_ns as f64;
+    println!(
+        "\nOnion query (d={onion_d}, n={onion_n}): legacy {:.3} ms, kernel {:.3} ms, \
+         quant {:.3} ms — {:.2}x over legacy, prune rate {:.3}",
+        onion_legacy_ns as f64 / 1e6,
+        onion_kernel_ns as f64 / 1e6,
+        onion_quant_ns as f64 / 1e6,
+        onion_speedup,
+        onion_report.prune_rate()
+    );
+    assert!(
+        onion_speedup >= 2.0,
+        "quantized onion query must be >= 2x over legacy, got {onion_speedup:.2}x"
+    );
+
+    // Core engines: the CoarseGrid pass must change nothing but effort,
+    // sequentially and at every thread count.
+    let (pyramids, model, stores, _) = parallel_world(seed, 256, 4, 16);
+    let coarse = CoarseGrid::build(&pyramids).expect("pyramids agree");
+    let src = TileSource::new(&stores).expect("aligned stores");
+    let budget = ExecutionBudget::unlimited();
+    let plain = resilient_top_k(&model, &pyramids, k, &src, &budget).expect("healthy run");
+    let seq =
+        resilient_top_k_coarse(&model, &pyramids, k, &src, &budget, &coarse).expect("healthy run");
+    assert_eq!(seq.results, plain.results, "sequential coarse pass");
+    assert_eq!(seq.completeness, plain.completeness);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        let par = par_resilient_top_k_coarse(&model, &pyramids, k, &src, &budget, &coarse, &pool)
+            .expect("healthy run");
+        assert_eq!(
+            par.results, plain.results,
+            "parallel coarse pass at {threads} threads"
+        );
+        assert_eq!(par.completeness, plain.completeness);
+    }
+    println!(
+        "\nCore CoarseGrid pass: bit-identical to the plain resilient engine \
+         sequentially and at threads (1, 2, 4, 8) on the rough 256x256 world."
+    );
+
+    // Machine-readable output, schema_version 2: R3-shaped hot paths plus
+    // the per-variant sweep.
+    let melem = |n: usize, ns: u64| n as f64 / (ns as f64 / 1e9) / 1e6;
+    let configs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"d\":{},\"n\":{},\"scan\":{{\"exact_ns\":{},\"quant_ns\":{},\
+                 \"exact_melem_per_s\":{:.3},\"quant_melem_per_s\":{:.3},\"speedup\":{:.4}}},\
+                 \"prune_rate\":{:.6}}}",
+                r.d,
+                r.n,
+                r.exact_ns,
+                r.quant_ns,
+                melem(r.n, r.exact_ns),
+                melem(r.n, r.quant_ns),
+                r.exact_ns as f64 / r.quant_ns as f64,
+                r.prune_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"r7_quant\",\n  \"schema_version\": 2,\n  \
+         \"world\": {{\"onion_n\": {onion_n}, \"onion_d\": {onion_d}, \"k\": {k}, \
+         \"seed\": {seed}}},\n  \"bit_identical\": true,\n  \"hot_paths\": {{\n    \
+         \"onion_query\": {{\"legacy_ns\":{onion_legacy_ns},\"kernel_ns\":{onion_kernel_ns},\
+         \"quant_ns\":{onion_quant_ns},\"speedup_quant_vs_legacy\":{:.4},\
+         \"prune_rate\":{:.6}}}\n  }},\n  \"configs\": [\n    {}\n  ]\n}}\n",
+        onion_speedup,
+        onion_report.prune_rate(),
+        configs.join(",\n    "),
+    );
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_kernels.json (schema_version 2)"),
         Err(e) => eprintln!("\ncould not write BENCH_kernels.json: {e}"),
     }
 }

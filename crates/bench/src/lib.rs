@@ -17,6 +17,16 @@ pub fn onion_workload(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     (gaussian_tuples(seed, n, 3), vec![0.443, 0.222, 0.153])
 }
 
+/// The R7 workload: Gaussian tuples at an arbitrary dimensionality plus a
+/// mixed-magnitude query direction, for the quantized-kernel sweeps. The
+/// direction reuses the E1 lead coefficient and decays linearly so every
+/// dimension contributes without any one dominating — the regime where a
+/// coarse i8 bound has to be tight to prune at all.
+pub fn quant_workload(seed: u64, n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let direction: Vec<f64> = (0..d).map(|j| 0.443 - 0.061 * j as f64).collect();
+    (gaussian_tuples(seed, n, d), direction)
+}
+
 /// The E2 workload: a two-band scene with planted spatial coherence and a
 /// fitted two-class land-cover classifier.
 pub fn classification_world(
@@ -364,6 +374,12 @@ mod tests {
         let (b, _) = onion_workload(1, 100);
         assert_eq!(a, b);
         assert_eq!(sproc_workload(2, 3, 10), sproc_workload(2, 3, 10));
+        let (qa, da) = quant_workload(7, 50, 8);
+        let (qb, db) = quant_workload(7, 50, 8);
+        assert_eq!(qa, qb);
+        assert_eq!(da, db);
+        assert_eq!(qa[0].len(), 8);
+        assert_eq!(da.len(), 8);
     }
 
     #[test]

@@ -122,6 +122,8 @@ pub struct QueryScratch {
     pub(crate) alive: Vec<usize>,
     pub(crate) partial: Vec<f64>,
     pub(crate) lows: Vec<f64>,
+    pub(crate) qcoeff: Vec<f64>,
+    pub(crate) qmeta: Vec<f64>,
     regrowths: u64,
 }
 
@@ -140,11 +142,11 @@ impl QueryScratch {
 }
 
 /// Capacity snapshot used to detect buffer regrowth across one engine run.
-pub(crate) struct ScratchCaps(usize, usize, usize, usize, usize, usize, usize);
+pub(crate) struct ScratchCaps([usize; 9]);
 
 impl QueryScratch {
     pub(crate) fn caps(&self) -> ScratchCaps {
-        ScratchCaps(
+        ScratchCaps([
             self.children.capacity(),
             self.x.capacity(),
             self.ranges.capacity(),
@@ -152,18 +154,19 @@ impl QueryScratch {
             self.alive.capacity(),
             self.partial.capacity(),
             self.lows.capacity(),
-        )
+            self.qcoeff.capacity(),
+            self.qmeta.capacity(),
+        ])
     }
 
     pub(crate) fn note_regrowth(&mut self, before: &ScratchCaps) {
         let after = self.caps();
-        self.regrowths += u64::from(after.0 > before.0)
-            + u64::from(after.1 > before.1)
-            + u64::from(after.2 > before.2)
-            + u64::from(after.3 > before.3)
-            + u64::from(after.4 > before.4)
-            + u64::from(after.5 > before.5)
-            + u64::from(after.6 > before.6);
+        self.regrowths += after
+            .0
+            .iter()
+            .zip(before.0.iter())
+            .map(|(a, b)| u64::from(a > b))
+            .sum::<u64>();
     }
 }
 
@@ -352,7 +355,7 @@ pub(crate) struct Region {
 
 impl PartialEq for Region {
     fn eq(&self, other: &Self) -> bool {
-        self.ub == other.ub
+        self.cmp(other).is_eq()
     }
 }
 impl Eq for Region {}
@@ -362,8 +365,19 @@ impl PartialOrd for Region {
     }
 }
 impl Ord for Region {
+    /// A *total* order: upper bound first, then coordinates as a
+    /// tie-break (smaller coordinates pop first from the max-heap). With
+    /// ub-only ordering, equal-bound regions would pop in
+    /// insertion-history order, so a coarse pass that prunes some pushes
+    /// (see [`crate::coarse`]) could reorder the survivors' evaluation;
+    /// the deterministic tie-break is what keeps pruned and unpruned runs
+    /// bit-identical.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.ub.total_cmp(&other.ub)
+        self.ub
+            .total_cmp(&other.ub)
+            .then_with(|| other.level.cmp(&self.level))
+            .then_with(|| other.row.cmp(&self.row))
+            .then_with(|| other.col.cmp(&self.col))
     }
 }
 

@@ -20,6 +20,11 @@
 //!   paged archive, and the budgeted, fault-tolerant engine that degrades
 //!   gracefully (partial results with sound bounds and an explicit
 //!   completeness fraction) instead of aborting on lost pages.
+//! * [`coarse`] — i8 quantized coarse-pass cell bounds over the pyramid
+//!   levels, mirroring [`mbir_index::quant`] one layer up: the resilient
+//!   engines reject child regions strictly below the top-K floor before
+//!   the exact interval bound runs. Prune-only, so answers stay
+//!   bit-identical.
 //! * [`parallel`] — the hardware-parallel layer: a scoped worker pool,
 //!   partitioned counterparts of the strict and resilient engines sharing
 //!   their pruning bound through a lock-free [`SharedBound`], and batched
@@ -52,6 +57,7 @@
 //! assert!(report.effort.speedup() > 1.0);
 //! ```
 
+pub mod coarse;
 pub mod engine;
 pub mod error;
 pub mod lifecycle;
@@ -66,6 +72,7 @@ pub mod source;
 pub mod temporal;
 pub mod workflow;
 
+pub use coarse::CoarseGrid;
 pub use engine::{
     combined_top_k, combined_top_k_with_source, grid_query, pyramid_top_k,
     pyramid_top_k_with_source, staged_grid_top_k, staged_top_k, EffortReport,
@@ -82,7 +89,8 @@ pub use metrics::{
 };
 pub use parallel::{
     grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
-    par_resilient_top_k_cancellable, par_staged_top_k, QueryBatch, SharedBound, WorkerPool,
+    par_resilient_top_k_cancellable, par_resilient_top_k_coarse, par_staged_top_k, QueryBatch,
+    SharedBound, WorkerPool,
 };
 pub use plan::{
     execute_planned, execute_planned_parallel, plan_grid_query, EngineChoice, PlannerConfig,
@@ -91,8 +99,9 @@ pub use plan::{
 pub use query::{Objective, TopKQuery};
 pub use replica::{BreakerState, ReplicaConfig, ReplicaHealth, ReplicatedSource};
 pub use resilient::{
-    resilient_top_k, resilient_top_k_cancellable, BudgetStop, ExecutionBudget, ResilientHit,
-    ResilientTopK, ScoreBounds, WallDeadline,
+    resilient_top_k, resilient_top_k_cancellable, resilient_top_k_coarse,
+    resilient_top_k_coarse_with_scratch, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK,
+    ScoreBounds, WallDeadline,
 };
 pub use shard::{
     scatter_gather_top_k, scatter_gather_top_k_cancellable, ArchiveShard, CompletionPolicy,

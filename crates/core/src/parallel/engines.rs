@@ -22,6 +22,7 @@
 //! K-th boundary) the merged result is bit-identical to the sequential
 //! engines at every thread count. DESIGN.md §9 spells the argument out.
 
+use crate::coarse::CoarseGrid;
 use crate::engine::{
     read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, GridTopK,
     QueryScratch, Region, ScoredCell, TupleTopK,
@@ -454,6 +455,10 @@ struct ResilientCtx<'a, S: CellSource> {
     /// (stop precedence: Cancelled > WallClock > Budget).
     cancel: Option<&'a CancelToken>,
     bound: &'a SharedBound,
+    /// Optional quantized coarse pass: children strictly below the
+    /// worker's pruning bound are rejected before the exact child bound
+    /// (prune-only, see [`crate::coarse`]).
+    coarse: Option<&'a CoarseGrid>,
     /// Budget dimension: multiply-adds spent across *all* workers.
     multiply_adds: &'a AtomicU64,
     /// First exhausted budget dimension (0 = still within budget).
@@ -488,6 +493,8 @@ fn resilient_worker<S: CellSource>(
         children,
         x,
         ranges,
+        qcoeff,
+        qmeta,
         ..
     } = &mut scratch;
     let mut out = ResilientWorkerOut {
@@ -497,6 +504,12 @@ fn resilient_worker<S: CellSource>(
         effort: EffortReport::default(),
         error: None,
     };
+    if let Some(cg) = ctx.coarse {
+        if let Err(e) = cg.prepare_into(ctx.model, qcoeff, qmeta) {
+            out.error = Some(e);
+            return out;
+        }
+    }
     while let Some(region) = frontier.pop() {
         let mut bound = ctx.bound.get();
         if let Some(floor) = heap.floor() {
@@ -567,6 +580,20 @@ fn resilient_worker<S: CellSource>(
         let mut failed = None;
         ctx.pyramids[0].children_into(region.level, region.row, region.col, children);
         for child in children.iter() {
+            // Coarse pass against the pop-time pruning bound (max of the
+            // shared bound and the local floor — both only ever rise, and
+            // both are K-th floors of evaluated subsets, so a strict
+            // `cub < bound` can never reject a true top-K cell, tie or
+            // not). Prune-only: survivors get the exact bound unchanged.
+            // No multiply-adds charged — pure i8 side-structure work.
+            if let Some(cg) = ctx.coarse {
+                if bound > f64::NEG_INFINITY
+                    && cg.cell_upper_bound(qcoeff, qmeta, region.level - 1, child.row, child.col)
+                        < bound
+                {
+                    continue;
+                }
+            }
             match region_bound_into(
                 ctx.model,
                 ctx.pyramids,
@@ -624,7 +651,34 @@ pub fn par_resilient_top_k<S: CellSource + Sync>(
     budget: &ExecutionBudget,
     pool: &WorkerPool,
 ) -> Result<ResilientTopK, CoreError> {
-    par_resilient_top_k_inner(model, pyramids, k, source, budget, None, pool)
+    par_resilient_top_k_inner(model, pyramids, k, source, budget, None, None, pool)
+}
+
+/// [`par_resilient_top_k`] with the quantized coarse pass of
+/// [`resilient_top_k_coarse`](crate::resilient::resilient_top_k_coarse):
+/// every worker consults the shared [`CoarseGrid`] before computing an
+/// exact child bound, pruning against `max(shared bound, local floor)`.
+/// Prune-only, so the healthy/deterministic-fault unlimited-budget output
+/// stays bit-identical to both [`par_resilient_top_k`] and the sequential
+/// engines at every thread count; a `max_multiply_adds` budget stop lands
+/// at a different (later) point of the same descent, as in the sequential
+/// coarse engine.
+///
+/// # Errors
+///
+/// Same as [`par_resilient_top_k`], plus
+/// [`CoreError::Query`](crate::error::CoreError) when the coarse grid's
+/// arity does not match the model.
+pub fn par_resilient_top_k_coarse<S: CellSource + Sync>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    coarse: &CoarseGrid,
+    pool: &WorkerPool,
+) -> Result<ResilientTopK, CoreError> {
+    par_resilient_top_k_inner(model, pyramids, k, source, budget, None, Some(coarse), pool)
 }
 
 /// [`par_resilient_top_k`] polling a
@@ -650,9 +704,10 @@ pub fn par_resilient_top_k_cancellable<S: CellSource + Sync>(
     cancel: &CancelToken,
     pool: &WorkerPool,
 ) -> Result<ResilientTopK, CoreError> {
-    par_resilient_top_k_inner(model, pyramids, k, source, budget, Some(cancel), pool)
+    par_resilient_top_k_inner(model, pyramids, k, source, budget, Some(cancel), None, pool)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn par_resilient_top_k_inner<S: CellSource + Sync>(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
@@ -660,6 +715,7 @@ fn par_resilient_top_k_inner<S: CellSource + Sync>(
     source: &S,
     budget: &ExecutionBudget,
     cancel: Option<&CancelToken>,
+    coarse: Option<&CoarseGrid>,
     pool: &WorkerPool,
 ) -> Result<ResilientTopK, CoreError> {
     let ((rows, cols), levels) = validate_grid_inputs(model, pyramids, k)?;
@@ -709,6 +765,7 @@ fn par_resilient_top_k_inner<S: CellSource + Sync>(
             deadline: &deadline,
             cancel,
             bound: &shared,
+            coarse,
             multiply_adds: &shared_ma,
             stop: &stop_flag,
             pages_at_entry,
@@ -1253,5 +1310,49 @@ mod tests {
         assert_eq!(r.completeness, 0.0, "nothing was resolved");
         assert!(!r.results.is_empty(), "the frontier itself is reported");
         assert!(r.results.iter().all(|h| !h.exact));
+    }
+
+    #[test]
+    fn par_resilient_coarse_is_bit_identical_at_every_thread_count() {
+        let (model, pyramids, stores) = smooth_world(3, 64, 64, 8);
+        let coarse = CoarseGrid::build(&pyramids).unwrap();
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        let sequential = resilient_top_k(&model, &pyramids, 7, &src, &budget).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let pruned =
+                par_resilient_top_k_coarse(&model, &pyramids, 7, &src, &budget, &coarse, &pool)
+                    .unwrap();
+            assert_eq!(pruned.results, sequential.results, "threads={threads}");
+            assert_eq!(pruned.completeness, 1.0);
+            assert_eq!(pruned.budget_stop, None);
+            assert!(pruned.skipped_pages.is_empty());
+        }
+    }
+
+    #[test]
+    fn par_resilient_coarse_matches_plain_under_faults() {
+        let (model, pyramids, stores) = smooth_world(2, 32, 32, 8);
+        let coarse = CoarseGrid::build(&pyramids).unwrap();
+        let winner = pyramid_top_k(&model, &pyramids, 1).unwrap().results[0].cell;
+        let page = stores[0].page_of(winner.row, winner.col);
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).permanent(page)))
+            .collect();
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        let plain = resilient_top_k(&model, &pyramids, 3, &src, &budget).unwrap();
+        assert!(plain.is_degraded(), "fault must actually degrade the run");
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let pruned =
+                par_resilient_top_k_coarse(&model, &pyramids, 3, &src, &budget, &coarse, &pool)
+                    .unwrap();
+            assert_eq!(pruned.results, plain.results, "threads={threads}");
+            assert_eq!(pruned.skipped_pages, plain.skipped_pages);
+            assert_eq!(pruned.completeness, plain.completeness);
+        }
     }
 }

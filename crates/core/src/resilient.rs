@@ -37,6 +37,7 @@
 //! was lost. With a healthy source and an unlimited budget the output is
 //! bit-identical to [`pyramid_top_k`](crate::engine::pyramid_top_k).
 
+use crate::coarse::CoarseGrid;
 use crate::engine::{
     read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, QueryScratch,
     Region, ScoredCell,
@@ -341,7 +342,78 @@ pub fn resilient_top_k_cancellable<S: CellSource>(
         source,
         budget,
         Some(cancel),
+        None,
         &mut QueryScratch::new(),
+    )
+}
+
+/// [`resilient_top_k`] consulting a quantized [`CoarseGrid`] before each
+/// exact child bound: children whose i8 cell bound falls strictly below
+/// the current K-th floor are pruned without touching the per-attribute
+/// pyramids. The coarse pass is prune-only (see [`crate::coarse`]), so
+/// results, completeness, and skipped pages are bit-identical to
+/// [`resilient_top_k`] under any fault pattern.
+///
+/// A subtlety worth knowing: in *this* sequential engine the check is
+/// provably inert. The frontier pops in descending `ub` order, and an
+/// evaluated cell's `ub` is its exact score, so every evaluation that
+/// precedes a pop scored at least the popped `ub`; once `k` evaluations
+/// exist the floor therefore already dominates the popped bound and the
+/// engine breaks before expanding. This function exists as the oracle the
+/// parallel engines are tested against and for API parity — the pass
+/// earns its keep where a floor arrives from *outside* the local pop
+/// order: [`par_resilient_top_k_coarse`](crate::parallel) workers
+/// pruning against the shared bound, and sharded scatter-gather leaves
+/// pruning against an earlier shard's published floor.
+///
+/// # Errors
+///
+/// Same as [`resilient_top_k`], plus [`CoreError::Query`] when the coarse
+/// grid's arity does not match the model.
+pub fn resilient_top_k_coarse<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    coarse: &CoarseGrid,
+) -> Result<ResilientTopK, CoreError> {
+    resilient_top_k_inner(
+        model,
+        pyramids,
+        k,
+        source,
+        budget,
+        None,
+        Some(coarse),
+        &mut QueryScratch::new(),
+    )
+}
+
+/// [`resilient_top_k_coarse`] with descent buffers (including the
+/// prepared per-level coarse coefficients) reused from `scratch`.
+///
+/// # Errors
+///
+/// Same as [`resilient_top_k_coarse`].
+pub fn resilient_top_k_coarse_with_scratch<S: CellSource>(
+    model: &LinearModel,
+    pyramids: &[AggregatePyramid],
+    k: usize,
+    source: &S,
+    budget: &ExecutionBudget,
+    coarse: &CoarseGrid,
+    scratch: &mut QueryScratch,
+) -> Result<ResilientTopK, CoreError> {
+    resilient_top_k_inner(
+        model,
+        pyramids,
+        k,
+        source,
+        budget,
+        None,
+        Some(coarse),
+        scratch,
     )
 }
 
@@ -360,9 +432,10 @@ pub fn resilient_top_k_with_scratch<S: CellSource>(
     budget: &ExecutionBudget,
     scratch: &mut QueryScratch,
 ) -> Result<ResilientTopK, CoreError> {
-    resilient_top_k_inner(model, pyramids, k, source, budget, None, scratch)
+    resilient_top_k_inner(model, pyramids, k, source, budget, None, None, scratch)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn resilient_top_k_inner<S: CellSource>(
     model: &LinearModel,
     pyramids: &[AggregatePyramid],
@@ -370,6 +443,7 @@ fn resilient_top_k_inner<S: CellSource>(
     source: &S,
     budget: &ExecutionBudget,
     cancel: Option<&CancelToken>,
+    coarse: Option<&CoarseGrid>,
     scratch: &mut QueryScratch,
 ) -> Result<ResilientTopK, CoreError> {
     let (shape, levels) = validate_grid_inputs(model, pyramids, k)?;
@@ -390,9 +464,14 @@ fn resilient_top_k_inner<S: CellSource>(
         x,
         ranges,
         frontier,
+        qcoeff,
+        qmeta,
         ..
     } = scratch;
     frontier.clear();
+    if let Some(cg) = coarse {
+        cg.prepare_into(model, qcoeff, qmeta)?;
+    }
     let mut heap = TopKHeap::new(k);
     let top = levels - 1;
     let root_bound = region_bound_into(model, pyramids, top, 0, 0, ranges, &mut effort)?;
@@ -458,6 +537,23 @@ fn resilient_top_k_inner<S: CellSource>(
         }
         pyramids[0].children_into(region.level, region.row, region.col, children);
         for child in children.iter() {
+            // Coarse pass: one O(n) i8 bound per child. Strictly below the
+            // floor ⇒ no cell under the child can reach the top-K even on
+            // a tie, so skipping the push is sound, and because the
+            // frontier order is total the survivors pop in the same
+            // sequence as the unpruned run — results stay bit-identical.
+            // The check performs no f64 model arithmetic, so it charges no
+            // multiply-adds: the report's drop measures exactly the exact
+            // bound evaluations the i8 pass replaced.
+            if let Some(cg) = coarse {
+                if let Some(f) = heap.floor() {
+                    if cg.cell_upper_bound(qcoeff, qmeta, region.level - 1, child.row, child.col)
+                        < f
+                    {
+                        continue;
+                    }
+                }
+            }
             let ub = region_bound_into(
                 model,
                 pyramids,
@@ -1057,5 +1153,106 @@ mod tests {
         // the next rung of the precedence order.
         let r2 = resilient_top_k(&model, &pyramids, 5, &src, &budget).unwrap();
         assert_eq!(r2.budget_stop, Some(BudgetStop::WallClock));
+    }
+
+    #[test]
+    fn coarse_pass_is_bit_identical_and_free_in_the_sequential_engine() {
+        // In the sequential engine the coarse check is provably inert:
+        // every cell evaluated before region R popped had `ub = score >=
+        // R.ub` (max-heap order), so once k evaluations exist the floor
+        // already dominates R.ub and the engine breaks instead of
+        // expanding. The pass can therefore never fire here — with any
+        // data, any k, any fault pattern — and the run must be *exactly*
+        // as cheap as the plain one, not merely no dearer. Real pruning
+        // needs a floor that arrives from outside the local pop order;
+        // see the parallel and shard tests.
+        let (model, pyramids, stores, _) = world(3, 64, 64, 8);
+        let coarse = CoarseGrid::build(&pyramids).unwrap();
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        for k in [1usize, 5, 10] {
+            let plain = resilient_top_k(&model, &pyramids, k, &src, &budget).unwrap();
+            let pruned =
+                resilient_top_k_coarse(&model, &pyramids, k, &src, &budget, &coarse).unwrap();
+            assert_eq!(pruned.results, plain.results, "k={k}");
+            assert_eq!(pruned.completeness, plain.completeness);
+            assert_eq!(pruned.skipped_pages, plain.skipped_pages);
+            assert_eq!(pruned.budget_stop, plain.budget_stop);
+            assert_eq!(
+                pruned.effort.multiply_adds, plain.effort.multiply_adds,
+                "k={k}: the sequential coarse pass must be a provable no-op"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_pass_is_bit_identical_under_faults() {
+        let (model, pyramids, stores, _) = world(2, 32, 32, 8);
+        let coarse = CoarseGrid::build(&pyramids).unwrap();
+        // Kill the strict winner's page so the degraded path is exercised.
+        let strict = pyramid_top_k(&model, &pyramids, 3).unwrap();
+        let winner = strict.results[0].cell;
+        let page = stores[0].page_of(winner.row, winner.col);
+        let stores: Vec<TileStore> = stores
+            .into_iter()
+            .map(|s| s.with_faults(FaultProfile::new(0).permanent(page)))
+            .collect();
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        let plain = resilient_top_k(&model, &pyramids, 3, &src, &budget).unwrap();
+        let pruned = resilient_top_k_coarse(&model, &pyramids, 3, &src, &budget, &coarse).unwrap();
+        assert!(plain.is_degraded(), "fault must actually degrade the run");
+        assert_eq!(pruned.results, plain.results);
+        assert_eq!(pruned.completeness, plain.completeness);
+        assert_eq!(pruned.skipped_pages, plain.skipped_pages);
+    }
+
+    #[test]
+    fn coarse_scratch_reuse_stops_allocating() {
+        let (model, pyramids, stores, _) = world(2, 32, 32, 8);
+        let coarse = CoarseGrid::build(&pyramids).unwrap();
+        let src = TileSource::new(&stores).unwrap();
+        let budget = ExecutionBudget::unlimited();
+        let mut scratch = QueryScratch::new();
+        resilient_top_k_coarse_with_scratch(
+            &model,
+            &pyramids,
+            4,
+            &src,
+            &budget,
+            &coarse,
+            &mut scratch,
+        )
+        .unwrap();
+        let warmed = scratch.regrowths();
+        resilient_top_k_coarse_with_scratch(
+            &model,
+            &pyramids,
+            4,
+            &src,
+            &budget,
+            &coarse,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(scratch.regrowths(), warmed, "second query allocated");
+    }
+
+    #[test]
+    fn coarse_arity_mismatch_is_a_query_error() {
+        let (model, pyramids, stores, _) = world(2, 16, 16, 8);
+        let narrow = CoarseGrid::build(&pyramids[..1]).unwrap();
+        let src = TileSource::new(&stores).unwrap();
+        assert!(matches!(
+            resilient_top_k_coarse(
+                &model,
+                &pyramids,
+                3,
+                &src,
+                &ExecutionBudget::unlimited(),
+                &narrow
+            ),
+            Err(CoreError::Query(_))
+        ));
     }
 }

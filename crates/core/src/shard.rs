@@ -44,6 +44,7 @@
 //!   [`completeness`](ShardedTopK::completeness) — a degraded shard can
 //!   never silently flip the fused top-K.
 
+use crate::coarse::CoarseGrid;
 use crate::engine::{
     read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, QueryScratch,
     Region,
@@ -74,6 +75,7 @@ pub struct ArchiveShard<'a, S> {
     pyramids: &'a [AggregatePyramid],
     source: &'a S,
     row_offset: usize,
+    coarse: Option<&'a CoarseGrid>,
 }
 
 impl<'a, S: CellSource> ArchiveShard<'a, S> {
@@ -84,7 +86,18 @@ impl<'a, S: CellSource> ArchiveShard<'a, S> {
             pyramids,
             source,
             row_offset,
+            coarse: None,
         }
+    }
+
+    /// Attaches a quantized [`CoarseGrid`] built over this shard's own
+    /// band pyramids (builder style). The shard's descent then rejects
+    /// child regions strictly below its pruning bound from the i8 side
+    /// structure before computing any exact bound — prune-only (see
+    /// [`crate::coarse`]), so merged answers are unchanged bit-for-bit.
+    pub fn with_coarse(mut self, coarse: &'a CoarseGrid) -> Self {
+        self.coarse = Some(coarse);
+        self
     }
 
     /// The shard's resident attribute pyramids (one per model attribute).
@@ -511,9 +524,14 @@ fn shard_descent<S: CellSource>(
         x,
         ranges,
         frontier,
+        qcoeff,
+        qmeta,
         ..
     } = &mut scratch;
     frontier.clear();
+    if let Some(cg) = shard.coarse {
+        cg.prepare_into(model, qcoeff, qmeta)?;
+    }
     let mut heap = TopKHeap::new(ctx.k);
     let top = levels - 1;
     let root = region_bound_into(model, shard.pyramids, top, 0, 0, ranges, &mut effort)?;
@@ -578,6 +596,20 @@ fn shard_descent<S: CellSource>(
         }
         shard.pyramids[0].children_into(region.level, region.row, region.col, children);
         for child in children.iter() {
+            // Coarse pass against the pop-time pruning bound (shared
+            // cross-shard bound merged with the local floor — both sound
+            // K-th floors of evaluated subsets, both only rising), so a
+            // strict `cub < floor` rejection can never touch a true top-K
+            // cell. Prune-only: survivors get the exact bound unchanged.
+            // No multiply-adds charged — pure i8 side-structure work.
+            if let Some(cg) = shard.coarse {
+                if floor > f64::NEG_INFINITY
+                    && cg.cell_upper_bound(qcoeff, qmeta, region.level - 1, child.row, child.col)
+                        < floor
+                {
+                    continue;
+                }
+            }
             let ub = region_bound_into(
                 model,
                 shard.pyramids,
@@ -1130,6 +1162,141 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn coarse_shards_are_bit_identical_to_plain_shards() {
+        let (model, _, worlds) = sharded_world(3, 64, 64, 4, 4);
+        // One coarse grid per band, built over that band's own pyramids.
+        let grids: Vec<CoarseGrid> = worlds
+            .iter()
+            .map(|w| CoarseGrid::build(&w.pyramids).unwrap())
+            .collect();
+        let plain = with_archive(&worlds, |archive| {
+            scatter_gather_top_k(
+                &model,
+                archive,
+                9,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::require_all(),
+                &WorkerPool::new(1),
+            )
+            .unwrap()
+        });
+        let sources: Vec<TileSource<'_>> = worlds
+            .iter()
+            .map(|w| TileSource::new(&w.stores).unwrap())
+            .collect();
+        let shards: Vec<ArchiveShard<'_, TileSource<'_>>> = worlds
+            .iter()
+            .zip(&sources)
+            .zip(&grids)
+            .map(|((w, src), cg)| ArchiveShard::new(&w.pyramids, src, w.row_offset).with_coarse(cg))
+            .collect();
+        let archive = ShardedArchive::new(shards).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let pruned = scatter_gather_top_k(
+                &model,
+                &archive,
+                9,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::require_all(),
+                &WorkerPool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(pruned.results, plain.results, "threads={threads}");
+            assert_eq!(pruned.completeness, plain.completeness);
+            assert_eq!(pruned.skipped_pages, plain.skipped_pages);
+            assert!(!pruned.is_degraded());
+        }
+    }
+
+    fn pseudo_grid(seed: u64, rows: usize, cols: usize) -> Grid2<f64> {
+        Grid2::from_fn(rows, cols, |r, c| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((r * 8191 + c * 127) as u64)
+                .wrapping_mul(2862933555777941757);
+            (h >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        })
+    }
+
+    #[test]
+    fn coarse_shards_save_bound_work_deterministically() {
+        // Rough (pseudo-random) bands keep upper-level interval bounds
+        // loose: each attribute's band max sits near 100 but no single
+        // cell attains all three, so a lagging shard's region bounds stay
+        // above the floor published by an earlier shard for several
+        // levels while almost every leaf-adjacent child falls below it.
+        // Those children are exactly what the i8 coarse pass rejects
+        // before the exact bound runs. At one pool thread the shards run
+        // in submission order, so the saving is deterministic.
+        let band_rows = 16usize;
+        let worlds: Vec<ShardWorld> = (0..4usize)
+            .map(|s| {
+                let bands: Vec<Grid2<f64>> = (0..3)
+                    .map(|j| pseudo_grid((s * 3 + j + 1) as u64, band_rows, 64))
+                    .collect();
+                let stats = AccessStats::new();
+                ShardWorld {
+                    pyramids: bands.iter().map(AggregatePyramid::build).collect(),
+                    stores: bands
+                        .iter()
+                        .map(|b| {
+                            TileStore::new(b.clone(), 8)
+                                .unwrap()
+                                .with_stats(stats.clone())
+                        })
+                        .collect(),
+                    stats,
+                    row_offset: s * band_rows,
+                }
+            })
+            .collect();
+        let model = LinearModel::new(vec![1.0, 0.7, 0.4], 0.0).unwrap();
+        let grids: Vec<CoarseGrid> = worlds
+            .iter()
+            .map(|w| CoarseGrid::build(&w.pyramids).unwrap())
+            .collect();
+        let plain = with_archive(&worlds, |archive| {
+            scatter_gather_top_k(
+                &model,
+                archive,
+                9,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::require_all(),
+                &WorkerPool::new(1),
+            )
+            .unwrap()
+        });
+        let sources: Vec<TileSource<'_>> = worlds
+            .iter()
+            .map(|w| TileSource::new(&w.stores).unwrap())
+            .collect();
+        let shards: Vec<ArchiveShard<'_, TileSource<'_>>> = worlds
+            .iter()
+            .zip(&sources)
+            .zip(&grids)
+            .map(|((w, src), cg)| ArchiveShard::new(&w.pyramids, src, w.row_offset).with_coarse(cg))
+            .collect();
+        let archive = ShardedArchive::new(shards).unwrap();
+        let pruned = scatter_gather_top_k(
+            &model,
+            &archive,
+            9,
+            &ExecutionBudget::unlimited(),
+            &ScatterPolicy::require_all(),
+            &WorkerPool::new(1),
+        )
+        .unwrap();
+        assert_eq!(pruned.results, plain.results);
+        assert_eq!(pruned.completeness, plain.completeness);
+        assert!(
+            pruned.effort.multiply_adds * 10 <= plain.effort.multiply_adds * 9,
+            "coarse shards saved too little: {} vs {}",
+            pruned.effort.multiply_adds,
+            plain.effort.multiply_adds
+        );
     }
 
     #[test]

@@ -146,6 +146,28 @@ pub fn sweep_argmax_block(
     dirs: &[Vec<f64>],
     best: &mut [Option<(usize, f64)>],
 ) {
+    sweep_argmax_block_at(block, dims, alive, 0, dirs, best);
+}
+
+/// [`sweep_argmax_block`] over a sub-slice of a larger store: row `i` of
+/// `block` is reported as global row `base + i`. Processing a store as
+/// consecutive `(block, base)` chunks in order yields bit-identical
+/// winners to one whole-store pass — the running `best` carries across
+/// chunks and the first-strict-maximum rule is position-independent.
+/// This is what lets a quantized coarse pass skip whole chunks whose
+/// bound cannot beat the already-set winners.
+///
+/// # Panics
+///
+/// Panics on mask/shape mismatches.
+pub fn sweep_argmax_block_at(
+    block: &[f64],
+    dims: usize,
+    alive: &[bool],
+    base: usize,
+    dirs: &[Vec<f64>],
+    best: &mut [Option<(usize, f64)>],
+) {
     assert_eq!(block.len(), alive.len() * dims, "alive mask mismatch");
     assert_eq!(dirs.len(), best.len(), "one running best per direction");
     let m = dirs.len();
@@ -205,7 +227,7 @@ pub fn sweep_argmax_block(
         if any_unset || any_better {
             for k in 0..m {
                 if best_row[k] == usize::MAX || scores[k] > best_score[k] {
-                    best_row[k] = i;
+                    best_row[k] = base + i;
                     best_score[k] = scores[k];
                 }
             }

@@ -19,6 +19,9 @@
 //!   one contiguous allocation instead of a `Vec` per tuple.
 //! * [`kernels`] — batched scoring kernels over flat rows, bit-identical
 //!   to the per-point paths by the summation-order contract.
+//! * [`quant`] — i8 quantized coarse-pass pruning over point blocks:
+//!   sound upper bounds reject rows below the top-K floor before any f64
+//!   is touched; prune-only, so answers stay bit-identical.
 //!
 //! ```
 //! use mbir_index::onion::OnionIndex;
@@ -31,6 +34,7 @@
 
 pub mod kernels;
 pub mod onion;
+pub mod quant;
 pub mod rstar;
 pub mod scan;
 pub mod sproc;
@@ -38,8 +42,9 @@ pub mod stats;
 pub mod store;
 
 pub use onion::OnionIndex;
+pub use quant::{QuantPruneReport, QuantQuery, QuantizedStore};
 pub use rstar::RStarTree;
-pub use scan::{scan_top_k, scan_top_k_flat};
+pub use scan::{scan_top_k, scan_top_k_flat, scan_top_k_quant};
 pub use sproc::SprocIndex;
 pub use stats::{QueryStats, ScoredItem, TopKResult};
 pub use store::PointStore;

@@ -43,6 +43,7 @@
 //! bit-identity property tests.
 
 use crate::kernels;
+use crate::quant::{QuantPruneReport, QuantizedStore, QUANT_SUB_ROWS};
 use crate::scan::TopKHeap;
 use crate::stats::{QueryStats, ScoredItem, TopKResult};
 use crate::store::PointStore;
@@ -220,6 +221,13 @@ pub struct OnionIndex {
     /// subsets). Within this prefix the classical Onion theorem applies:
     /// the j-th best tuple of any linear query lies in the first j layers.
     exact_hull_layers: usize,
+    /// Optional i8 coarse-pass side structure over `points`: lets the
+    /// query walk and the build sweep reject whole blocks below the
+    /// current floor before touching f64 data. Prune-only — answers are
+    /// bit-identical with or without it. Dropped by [`OnionIndex::insert`]
+    /// (the store changes under it) and restored by
+    /// [`OnionIndex::rebuild`].
+    quant: Option<QuantizedStore>,
 }
 
 impl OnionIndex {
@@ -303,7 +311,61 @@ impl OnionIndex {
         seed: u64,
         threads: usize,
     ) -> Result<Self, ModelError> {
-        OnionIndex::build_impl(points, hints, max_layers, extra_dirs, seed, threads, false)
+        OnionIndex::build_impl(
+            points, hints, max_layers, extra_dirs, seed, threads, false, false,
+        )
+    }
+
+    /// Builds with default limits **plus the i8 quantized side structure**
+    /// (see [`crate::quant`]): the d >= 3 peel sweep skips blocks whose
+    /// coarse bound cannot beat any direction's running argmax, and
+    /// queries go through [`OnionIndex::top_k_max_quant`]'s coarse-pruned
+    /// walk. Layers and query answers are bit-identical to
+    /// [`OnionIndex::build`] — the coarse pass only ever prunes work that
+    /// provably cannot matter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build`].
+    pub fn build_quantized(points: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        OnionIndex::build_quantized_with(points, 64, 32, 7, 1)
+    }
+
+    /// [`OnionIndex::build_quantized`] with explicit peel limits, sweep
+    /// seed, and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::build_with`].
+    pub fn build_quantized_with(
+        points: Vec<Vec<f64>>,
+        max_layers: usize,
+        extra_dirs: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, ModelError> {
+        OnionIndex::build_impl(
+            points,
+            &[],
+            max_layers,
+            extra_dirs,
+            seed,
+            threads,
+            false,
+            true,
+        )
+    }
+
+    /// Attaches (or rebuilds) the quantized side structure on an existing
+    /// index, enabling the coarse-pruned query path.
+    pub fn with_quantized(mut self) -> Self {
+        self.quant = Some(QuantizedStore::build(&self.points));
+        self
+    }
+
+    /// Whether the quantized side structure is present.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Builds via the pre-`PointStore` reference path: nested
@@ -331,9 +393,10 @@ impl OnionIndex {
         extra_dirs: usize,
         seed: u64,
     ) -> Result<Self, ModelError> {
-        OnionIndex::build_impl(points, &[], max_layers, extra_dirs, seed, 1, true)
+        OnionIndex::build_impl(points, &[], max_layers, extra_dirs, seed, 1, true, false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_impl(
         points: Vec<Vec<f64>>,
         hints: &[Vec<f64>],
@@ -342,6 +405,7 @@ impl OnionIndex {
         seed: u64,
         threads: usize,
         legacy: bool,
+        quantize: bool,
     ) -> Result<Self, ModelError> {
         let first = points.first().ok_or(ModelError::Empty)?;
         let dims = first.len();
@@ -376,6 +440,11 @@ impl OnionIndex {
 
         let n = points.len();
         let store = PointStore::from_rows(&points)?;
+        let quant_store = if quantize && !legacy {
+            Some(QuantizedStore::build(&store))
+        } else {
+            None
+        };
         let mut alive = vec![true; n];
         let mut remaining = n;
         let mut layers: Vec<Vec<usize>> = Vec::new();
@@ -428,7 +497,13 @@ impl OnionIndex {
                     if legacy {
                         sweep_layer_threads(&points, &alive, &bundle, threads)
                     } else {
-                        sweep_layer_flat_threads(&store, &alive, &bundle, threads)
+                        sweep_layer_flat_threads(
+                            &store,
+                            &alive,
+                            &bundle,
+                            threads,
+                            quant_store.as_ref(),
+                        )
                     }
                 }
             };
@@ -460,6 +535,7 @@ impl OnionIndex {
             hints: unit_hints,
             hint_support,
             exact_hull_layers,
+            quant: quant_store,
         })
     }
 
@@ -494,6 +570,10 @@ impl OnionIndex {
         }
         let idx = self.points.push_row(&point)?;
         self.layers[0].push(idx);
+        // The store just changed under the quantized side structure; drop
+        // it rather than serve stale bounds (queries fall back to the
+        // exact walk until the next rebuild).
+        self.quant = None;
         Ok(idx)
     }
 
@@ -507,7 +587,9 @@ impl OnionIndex {
     pub fn rebuild(&mut self) -> Result<(), ModelError> {
         let rebuilt =
             OnionIndex::build_with_hints(self.points.to_rows(), &self.hints.clone(), 64, 32, 7)?;
-        *self = rebuilt;
+        // An index that was quantized before (or whose quantization was
+        // dropped by inserts) comes back quantized.
+        *self = rebuilt.with_quantized();
         Ok(())
     }
 
@@ -616,6 +698,209 @@ impl OnionIndex {
             results: heap.into_sorted(),
             stats,
         })
+    }
+
+    /// [`OnionIndex::top_k_max`] through the quantized coarse pass: the
+    /// layer walk groups each layer's members by quantized block and
+    /// rejects groups whose i8 upper bound is strictly below the current
+    /// K-th floor before reading any f64 row. Results are **bit-identical**
+    /// to [`OnionIndex::top_k_max`] — a pruned row's offer would have been
+    /// rejected by the heap anyway (strict `ub < floor`, and the bound
+    /// dominates the exact kernel score). Early-stop decisions are
+    /// unchanged. `tuples_examined` counts only exact-scored rows. Falls
+    /// back to the exact walk when no quantized structure is attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::top_k_max`].
+    pub fn top_k_max_quant(&self, direction: &[f64], k: usize) -> Result<TopKResult, ModelError> {
+        self.top_k_max_quant_report(direction, k).map(|(r, _)| r)
+    }
+
+    /// [`OnionIndex::top_k_max_quant`] with the coarse-pass work report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnionIndex::top_k_max`].
+    pub fn top_k_max_quant_report(
+        &self,
+        direction: &[f64],
+        k: usize,
+    ) -> Result<(TopKResult, QuantPruneReport), ModelError> {
+        let Some(quant) = &self.quant else {
+            let result = self.top_k_impl(direction, k, kernels::dot)?;
+            let report = QuantPruneReport {
+                rows_exact: result.stats.tuples_examined,
+                ..QuantPruneReport::default()
+            };
+            return Ok((result, report));
+        };
+        if direction.len() != self.dims {
+            return Err(ModelError::ArityMismatch {
+                expected: self.dims,
+                actual: direction.len(),
+            });
+        }
+        if k == 0 {
+            return Err(ModelError::InvalidValue("k must be >= 1".into()));
+        }
+        let norm: f64 = direction.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let hint = if norm > 0.0 {
+            self.hints.iter().position(|h| {
+                let dot: f64 = h.iter().zip(direction).map(|(a, b)| a * b).sum();
+                dot / norm > 1.0 - 1e-9
+            })
+        } else {
+            None
+        };
+
+        let qq = quant.prepare(direction);
+        let mut heap = TopKHeap::new(k);
+        let mut stats = QueryStats::new();
+        let mut report = QuantPruneReport::default();
+        let mut ubs: Vec<f64> = Vec::new();
+        // Cached heap floor, updated whenever an offer is kept (same
+        // discipline as the flat scan).
+        let mut floor: Option<f64> = None;
+        for (l, layer) in self.layers.iter().enumerate() {
+            stats.nodes_visited += 1;
+            let mut pos = 0usize;
+            while pos < layer.len() {
+                // Peeled layers are sorted ascending, so each quantized
+                // block's members form one contiguous run; taking maximal
+                // same-block runs also stays correct for the (1-D) layers
+                // that are not sorted — runs just get shorter.
+                let b = quant.block_of(layer[pos]);
+                let (start, _) = quant.block_range(b);
+                let mut end = pos + 1;
+                while end < layer.len() && quant.block_of(layer[end]) == b {
+                    end += 1;
+                }
+                let group = &layer[pos..end];
+                pos = end;
+                report.blocks_total += 1;
+                // Snapshot of the floor for this group's prune decisions;
+                // the floor only rises, so staleness is only looseness.
+                let f0 = floor;
+                let mut sub_filter = false;
+                if let Some(f) = f0 {
+                    if qq.block_upper_bound(b) < f {
+                        report.blocks_pruned += 1;
+                        report.rows_pruned += group.len() as u64;
+                        continue;
+                    }
+                    // The sub-corner pass costs one O(d) corner per 32
+                    // rows of the block; it pays once the group holds at
+                    // least that many members. Scattered members are
+                    // cheaper to just score exactly.
+                    if group.len() >= quant.subs(b) {
+                        qq.sub_upper_bounds(quant, b, &mut ubs);
+                        sub_filter = true;
+                    }
+                }
+                if sub_filter {
+                    // Dense-group fast path. The group is a strictly
+                    // increasing index list that is mostly a handful of
+                    // long consecutive runs separated by peeled holes
+                    // (the core bucket keeps ~97% of rows). Galloping to
+                    // each run's end and then stepping the run one
+                    // sub-block at a time lets a pruned sub reject
+                    // `QUANT_SUB_ROWS` rows with a single compare instead
+                    // of one lookup per member — this loop, not the exact
+                    // kernel, is what dominates the quantized walk.
+                    let mut gi = 0usize;
+                    while gi < group.len() {
+                        let base = group[gi];
+                        // `group` strictly increases, so "prefix is
+                        // consecutive" is a monotone predicate: gallop
+                        // then binary-search its boundary.
+                        let mut last_ok = gi;
+                        let mut step = 1usize;
+                        while last_ok + step < group.len()
+                            && group[last_ok + step] - base == last_ok + step - gi
+                        {
+                            last_ok += step;
+                            step *= 2;
+                        }
+                        let mut lo = last_ok;
+                        let mut hi = (last_ok + step).min(group.len() - 1);
+                        while lo < hi {
+                            let mid = (lo + hi).div_ceil(2);
+                            if group[mid] - base == mid - gi {
+                                lo = mid;
+                            } else {
+                                hi = mid - 1;
+                            }
+                        }
+                        let run_end = lo + 1;
+                        let run_stop = base + (run_end - gi);
+                        gi = run_end;
+                        let mut row = base;
+                        while row < run_stop {
+                            let s = (row - start) / QUANT_SUB_ROWS;
+                            let sub_stop = (start + (s + 1) * QUANT_SUB_ROWS).min(run_stop);
+                            // Prune against the *live* floor: it only
+                            // rises above the snapshot, and prune-only
+                            // soundness holds for any floor the heap has
+                            // actually reached.
+                            if let Some(f) = floor {
+                                if ubs[s] < f {
+                                    report.rows_pruned += (sub_stop - row) as u64;
+                                    report.subblocks_pruned += 1;
+                                    row = sub_stop;
+                                    continue;
+                                }
+                            }
+                            for idx in row..sub_stop {
+                                report.rows_exact += 1;
+                                stats.tuples_examined += 1;
+                                if heap.offer(ScoredItem {
+                                    index: idx,
+                                    score: kernels::dot(direction, self.points.row(idx)),
+                                }) {
+                                    floor = heap.floor();
+                                }
+                            }
+                            row = sub_stop;
+                        }
+                    }
+                } else {
+                    for &idx in group {
+                        report.rows_exact += 1;
+                        stats.tuples_examined += 1;
+                        if heap.offer(ScoredItem {
+                            index: idx,
+                            score: kernels::dot(direction, self.points.row(idx)),
+                        }) {
+                            floor = heap.floor();
+                        }
+                    }
+                }
+            }
+            // Identical early-stop decisions to the exact walk: pruning
+            // never changes the heap contents, so the floor and both
+            // stopping bounds are the same bits.
+            if heap.floor().is_some() && l + 1 >= k && l < self.exact_hull_layers {
+                break;
+            }
+            if let (Some(f), Some(next_box)) = (heap.floor(), self.remaining_box.get(l + 1)) {
+                let mut bound = next_box.upper_bound(direction);
+                if let Some(h) = hint {
+                    bound = bound.min(norm * self.hint_support[l + 1][h]);
+                }
+                if f >= bound {
+                    break;
+                }
+            }
+        }
+        stats.comparisons = heap.comparisons();
+        Ok((
+            TopKResult {
+                results: heap.into_sorted(),
+                stats,
+            },
+            report,
+        ))
     }
 
     /// Top-K tuples minimizing `direction . x` (scores reported are the
@@ -776,17 +1061,49 @@ fn sweep_layer_threads(
 /// pass for its direction chunk. Per-direction winners match the legacy
 /// per-direction sweep exactly (same row order, same strict-max rule), so
 /// the sorted + deduplicated union is bit-identical at any thread count.
+///
+/// With a quantized side structure the pass runs block by block, and a
+/// block is skipped when **every** direction in the chunk already has a
+/// winner whose score the block's coarse bound cannot strictly exceed
+/// (`ub <= best`; a strict improvement is required to replace a winner,
+/// and the bound dominates every row's exact score, so the skipped block
+/// cannot change any argmax — a NaN running best makes the comparison
+/// false and disables the skip). Winners stay bit-identical.
 fn sweep_layer_flat_threads(
     store: &PointStore,
     alive: &[bool],
     bundle: &DirectionBundle,
     threads: usize,
+    quant: Option<&QuantizedStore>,
 ) -> Vec<usize> {
     let dirs = bundle.directions();
     let workers = threads.max(1).min(dirs.len()).max(1);
+    let dims = store.dims();
     let sweep_chunk = |part: &[Vec<f64>]| -> Vec<usize> {
         let mut best = vec![None; part.len()];
-        kernels::sweep_argmax_block(store.flat(), store.dims(), alive, part, &mut best);
+        match quant {
+            None => kernels::sweep_argmax_block(store.flat(), dims, alive, part, &mut best),
+            Some(q) => {
+                let preps: Vec<_> = part.iter().map(|dir| q.prepare(dir)).collect();
+                for b in 0..q.blocks() {
+                    let (start, m) = q.block_range(b);
+                    let skippable = preps.iter().zip(best.iter()).all(|(prep, slot)| {
+                        matches!(slot, Some((_, bs)) if prep.block_upper_bound(b) <= *bs)
+                    });
+                    if skippable {
+                        continue;
+                    }
+                    kernels::sweep_argmax_block_at(
+                        &store.flat()[start * dims..(start + m) * dims],
+                        dims,
+                        &alive[start..start + m],
+                        start,
+                        part,
+                        &mut best,
+                    );
+                }
+            }
+        }
         best.into_iter().flatten().map(|(i, _)| i).collect()
     };
     let mut layer: Vec<usize> = if workers <= 1 {
@@ -1136,6 +1453,71 @@ mod tests {
                 assert_eq!(a, b, "d={d} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn quantized_build_is_bit_identical_and_queries_match() {
+        for d in [1usize, 2, 3, 5] {
+            let points = gaussian_points(211 + d as u64, 1500, d);
+            let plain = OnionIndex::build_with(points.clone(), 24, 16, 7).unwrap();
+            let quant = OnionIndex::build_quantized_with(points, 24, 16, 7, 1).unwrap();
+            assert_eq!(quant.layers, plain.layers, "d={d}");
+            assert_eq!(quant.remaining_box, plain.remaining_box, "d={d}");
+            assert!(quant.is_quantized() && !plain.is_quantized());
+            for k in [1usize, 10, 40] {
+                let dir: Vec<f64> = (0..d).map(|j| 0.9 - 0.27 * j as f64).collect();
+                let exact = plain.top_k_max(&dir, k).unwrap();
+                let coarse = quant.top_k_max_quant(&dir, k).unwrap();
+                assert_eq!(coarse.results, exact.results, "d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_threaded_build_matches_sequential() {
+        let points = gaussian_points(77, 900, 3);
+        let seq = OnionIndex::build_quantized_with(points.clone(), 16, 16, 3, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = OnionIndex::build_quantized_with(points.clone(), 16, 16, 3, threads).unwrap();
+            assert_eq!(par.layers, seq.layers, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quantized_query_actually_prunes_core_bucket() {
+        // Few layers + big core bucket: the walk degenerates to scanning
+        // the core, which is exactly where the coarse pass must bite.
+        let points = gaussian_points(303, 20_000, 3);
+        let onion = OnionIndex::build_quantized_with(points, 8, 16, 7, 1).unwrap();
+        let dir = vec![0.443, 0.222, 0.153];
+        let (result, report) = onion.top_k_max_quant_report(&dir, 10).unwrap();
+        let exact = onion.top_k_max(&dir, 10).unwrap();
+        assert_eq!(result.results, exact.results);
+        assert!(
+            report.prune_rate() > 0.5,
+            "core bucket should mostly prune, got {}",
+            report.prune_rate()
+        );
+        assert!(result.stats.tuples_examined < exact.stats.tuples_examined);
+    }
+
+    #[test]
+    fn insert_drops_quant_and_rebuild_restores_it() {
+        let points = gaussian_points(41, 800, 3);
+        let mut onion = OnionIndex::build_quantized(points.clone()).unwrap();
+        assert!(onion.is_quantized());
+        onion.insert(vec![9.0, 9.0, 9.0]).unwrap();
+        assert!(!onion.is_quantized(), "stale quant must be dropped");
+        // Fallback path still answers exactly.
+        let dir = vec![1.0, 0.5, 0.25];
+        let exact = onion.top_k_max(&dir, 5).unwrap();
+        let coarse = onion.top_k_max_quant(&dir, 5).unwrap();
+        assert_eq!(coarse.results, exact.results);
+        onion.rebuild().unwrap();
+        assert!(onion.is_quantized());
+        let exact = onion.top_k_max(&dir, 5).unwrap();
+        let coarse = onion.top_k_max_quant(&dir, 5).unwrap();
+        assert_eq!(coarse.results, exact.results);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! top-K heap. Every index speedup in the paper is quoted against this.
 
 use crate::kernels;
+use crate::quant::{QuantPruneReport, QuantizedStore};
 use crate::stats::{rank_cmp, sort_desc, QueryStats, ScoredItem, TopKResult};
 use crate::store::PointStore;
 use std::cmp::Ordering;
@@ -195,6 +196,110 @@ pub fn scan_top_k_flat(store: &PointStore, direction: &[f64], k: usize) -> TopKR
     }
 }
 
+/// Quantized coarse-pass scan: like [`scan_top_k_flat`], but consults an
+/// i8 [`QuantizedStore`] first. Once the heap holds K items, a whole
+/// 512-row block is rejected by one O(d) bound check when its quantized
+/// upper bound is **strictly** below the floor — no f64 row data is
+/// touched. Surviving blocks cascade to per-sub-block corner bounds
+/// (one O(d) check per [`crate::quant::QUANT_SUB_ROWS`] rows); only
+/// sub-blocks whose corner clears the floor are scored by the exact
+/// f64 kernel.
+///
+/// Pruning requires strict `ub < floor`, and the bound soundly dominates
+/// the exact kernel score (see [`crate::quant`]), so every pruned row
+/// would have been rejected by the heap anyway — `results` are
+/// bit-identical to [`scan_top_k_flat`]. Work accounting differs by
+/// design: `tuples_examined` counts only exact-scored rows, and the
+/// returned [`QuantPruneReport`] breaks down what the coarse pass
+/// rejected.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, the direction length does not match, or `quant`
+/// was not built over a store of the same shape.
+pub fn scan_top_k_quant(
+    store: &PointStore,
+    quant: &QuantizedStore,
+    direction: &[f64],
+    k: usize,
+) -> (TopKResult, QuantPruneReport) {
+    assert_eq!(
+        direction.len(),
+        store.dims(),
+        "direction length must match store dims"
+    );
+    assert_eq!(quant.dims(), store.dims(), "quantized store dims mismatch");
+    assert_eq!(quant.rows(), store.len(), "quantized store rows mismatch");
+    let dims = store.dims();
+    let qq = quant.prepare(direction);
+    let mut heap = TopKHeap::new(k);
+    let mut report = QuantPruneReport {
+        blocks_total: quant.blocks() as u64,
+        ..QuantPruneReport::default()
+    };
+    let mut sub_ubs: Vec<f64> = Vec::new();
+    let mut scores: Vec<f64> = Vec::new();
+    let mut floor: Option<f64> = None;
+    let flat = store.flat();
+    for b in 0..quant.blocks() {
+        let (_, m) = quant.block_range(b);
+        // Snapshot of the floor for this block's prune decisions; the
+        // floor only rises, so a stale snapshot is merely less tight.
+        let f0 = floor;
+        if let Some(f) = f0 {
+            if qq.block_upper_bound(b) < f {
+                report.blocks_pruned += 1;
+                report.rows_pruned += m as u64;
+                continue;
+            }
+            qq.sub_upper_bounds(quant, b, &mut sub_ubs);
+        }
+        // `sub_ubs` is only populated when a floor exists, so the index
+        // loop cannot become an iterator over it.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..quant.subs(b) {
+            let (sub_start, sub_m) = quant.sub_range(b, s);
+            if let Some(f) = f0 {
+                if sub_ubs[s] < f {
+                    report.subblocks_pruned += 1;
+                    report.rows_pruned += sub_m as u64;
+                    continue;
+                }
+            }
+            // Exact scoring of the surviving sub-block, with the same
+            // cached-floor precheck the flat scan uses.
+            let sub = &flat[sub_start * dims..(sub_start + sub_m) * dims];
+            kernels::score_block_into(sub, dims, direction, &mut scores);
+            report.rows_exact += sub_m as u64;
+            for (i, &score) in scores.iter().enumerate() {
+                if let Some(cur) = floor {
+                    if score < cur {
+                        continue;
+                    }
+                }
+                if heap.offer(ScoredItem {
+                    index: sub_start + i,
+                    score,
+                }) {
+                    floor = heap.floor();
+                }
+            }
+        }
+    }
+    let comparisons = heap.comparisons();
+    (
+        TopKResult {
+            results: heap.into_sorted(),
+            stats: QueryStats {
+                tuples_examined: report.rows_exact,
+                nodes_visited: 0,
+                comparisons,
+            },
+        },
+        report,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,7 +423,63 @@ mod tests {
         }
     }
 
+    #[test]
+    fn quant_scan_matches_flat_scan_and_prunes() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let rows: Vec<Vec<f64>> = (0..6000)
+            .map(|_| (0..3).map(|_| next() * 20.0).collect())
+            .collect();
+        let dir = vec![0.443, 0.222, 0.153];
+        let store = PointStore::from_rows(&rows).unwrap();
+        let quant = QuantizedStore::build(&store);
+        for k in [1usize, 10, 100] {
+            let flat = scan_top_k_flat(&store, &dir, k);
+            let (q, report) = scan_top_k_quant(&store, &quant, &dir, k);
+            assert_eq!(q.results, flat.results, "k={k}");
+            assert_eq!(
+                report.rows_pruned + report.rows_exact,
+                store.len() as u64,
+                "every row is accounted for"
+            );
+        }
+        // Small K over uniform data: almost everything sits far below the
+        // floor, so the coarse pass must actually reject work.
+        let (_, report) = scan_top_k_quant(&store, &quant, &dir, 1);
+        assert!(
+            report.prune_rate() > 0.5,
+            "expected real pruning, got rate {}",
+            report.prune_rate()
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_quant_scan_bit_identical_to_flat(
+            n in 1usize..1200,
+            d in 1usize..6,
+            k in 1usize..12,
+            seed in 0u64..3_000,
+        ) {
+            let mut state = seed ^ 0x9e37;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| next() * 20.0).collect())
+                .collect();
+            let dir: Vec<f64> = (0..d).map(|_| next() * 4.0).collect();
+            let store = PointStore::from_rows(&rows).unwrap();
+            let quant = QuantizedStore::build(&store);
+            let flat = scan_top_k_flat(&store, &dir, k);
+            let (q, _) = scan_top_k_quant(&store, &quant, &dir, k);
+            prop_assert_eq!(q.results, flat.results);
+        }
+
         #[test]
         fn prop_scan_matches_full_sort(
             data in proptest::collection::vec(-1e6f64..1e6, 1..200),

@@ -10,8 +10,12 @@ Two modes:
   ``BENCH_*.json`` the repro harnesses write (chaos, kernels, overload,
   parallel, shard, ...) by glob instead of a hard-coded file list, and
   prints one Markdown table per artifact with its scalar headline
-  metrics. Nested objects are flattened with dotted keys; lists are
-  summarized by length so new experiments need no parser changes.
+  metrics. Nested objects are flattened with dotted keys; lists of
+  scalars are inlined and other lists summarized by length, so new
+  experiments need no parser changes. Top-level lists of objects (the
+  ``schema_version`` >= 2 ``configs`` array the R7 quantization sweep
+  writes into ``BENCH_kernels.json``) additionally get their own
+  per-entry table, one row per variant with flattened dotted columns.
 """
 import json
 import re
@@ -57,6 +61,24 @@ def flatten(value, prefix=""):
         yield prefix.rstrip("."), value
 
 
+def entry_table(name, entries):
+    """Renders a list of objects as one table: a row per entry, a column
+    per flattened dotted key (union across entries, first-seen order)."""
+    columns = []
+    rows = []
+    for entry in entries:
+        flat = dict(flatten(entry))
+        for key in flat:
+            if key not in columns:
+                columns.append(key)
+        rows.append(flat)
+    print(f"\n#### {name}\n")
+    print("| " + " | ".join(f"`{c}`" for c in columns) + " |")
+    print("|" + "---|" * len(columns))
+    for flat in rows:
+        print("| " + " | ".join(str(flat.get(c, "")) for c in columns) + " |")
+
+
 def summaries_tables(root):
     artifacts = sorted(Path(root).glob("BENCH_*.json"))
     if not artifacts:
@@ -73,6 +95,14 @@ def summaries_tables(root):
         print("|---|---|")
         for key, value in flatten(data):
             print(f"| `{key}` | {value} |")
+        if isinstance(data, dict):
+            for key, value in data.items():
+                if (
+                    isinstance(value, list)
+                    and value
+                    and all(isinstance(v, dict) for v in value)
+                ):
+                    entry_table(key, value)
     return 0
 
 
