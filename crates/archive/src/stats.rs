@@ -42,6 +42,7 @@ struct Counters {
     ticks: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_dedup_waits: AtomicU64,
     hedges: AtomicU64,
 }
 
@@ -105,6 +106,15 @@ impl AccessStats {
         self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` in-flight dedup waits: cache lookups that found the
+    /// page already being materialized by another reader and blocked for
+    /// the shared result instead of issuing a duplicate store read. (The
+    /// lookup is still counted as a hit once the page arrives — dedup
+    /// waits are an overlay, not a third outcome.)
+    pub fn record_cache_dedup_waits(&self, n: u64) {
+        self.inner.cache_dedup_waits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records `n` hedged page reads: duplicate requests issued to a
     /// backup replica because the primary exceeded its hedge delay.
     pub fn record_hedges(&self, n: u64) {
@@ -163,6 +173,12 @@ impl AccessStats {
         self.inner.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// In-flight dedup waits so far (see
+    /// [`record_cache_dedup_waits`](Self::record_cache_dedup_waits)).
+    pub fn cache_dedup_waits(&self) -> u64 {
+        self.inner.cache_dedup_waits.load(Ordering::Relaxed)
+    }
+
     /// Hedged page reads so far.
     pub fn hedges(&self) -> u64 {
         self.inner.hedges.load(Ordering::Relaxed)
@@ -191,6 +207,7 @@ impl AccessStats {
         self.inner.ticks.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cache_dedup_waits.store(0, Ordering::Relaxed);
         self.inner.hedges.store(0, Ordering::Relaxed);
     }
 
@@ -308,11 +325,14 @@ mod tests {
         assert_eq!(s.cache_hit_rate(), None);
         s.record_cache_misses(1);
         s.record_cache_hits(3);
+        s.record_cache_dedup_waits(2);
         assert_eq!(s.cache_hits(), 3);
         assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_dedup_waits(), 2);
         assert_eq!(s.cache_hit_rate(), Some(0.75));
         s.reset();
         assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.cache_dedup_waits(), 0);
         assert_eq!(s.cache_hit_rate(), None);
     }
 

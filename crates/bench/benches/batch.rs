@@ -1,0 +1,126 @@
+//! Criterion benches for batched multi-query execution: the shared-frontier
+//! descent against Q independent solo runs, on two workload shapes.
+//!
+//! * `overlap` — gently perturbed query directions whose descents visit
+//!   almost the same cells: the regime the batch is built for, where one
+//!   physical pass amortizes page reads and bound-box fetches across Q.
+//! * `disjoint` — the adversarial zero-overlap batch: eight query
+//!   directions fanned around the attribute circle, so no two descents
+//!   agree on which regions are promising and memoization never pays. The
+//!   memo governor retires the bound memo within its sampling window and
+//!   the engine degrades to query-major serial drains with the solo loop
+//!   shape, so the batch must stay within 5% of the solo total here
+//!   (measured ~1.00x; never extra cell visits in either mode).
+//!
+//! The repro binary (`repro r8`) produces the EXPERIMENTS.md /
+//! BENCH_batch.json numbers at archive scale with an emulated remote page
+//! cost; these benches exist for statistically careful local comparisons of
+//! the pure in-memory engine overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbir_archive::grid::Grid2;
+use mbir_archive::tile::TileStore;
+use mbir_core::batched::batched_top_k;
+use mbir_core::parallel::{par_batched_top_k, WorkerPool};
+use mbir_core::resilient::{resilient_top_k, ExecutionBudget};
+use mbir_core::source::TileSource;
+use mbir_models::linear::LinearModel;
+use mbir_progressive::pyramid::AggregatePyramid;
+
+const SIDE: usize = 256;
+const TILE: usize = 16;
+const K: usize = 10;
+const Q: usize = 8;
+
+fn world() -> (Vec<AggregatePyramid>, Vec<TileStore>) {
+    let grids: Vec<Grid2<f64>> = (0..2)
+        .map(|attr| {
+            Grid2::from_fn(SIDE, SIDE, |r, c| {
+                let phase = attr as f64 * 1.7;
+                ((r as f64 / 23.0 + phase).sin() + (c as f64 / 31.0 - phase).cos()) * 40.0
+                    + (((r * 31 + c * 17 + attr * 7) % 97) as f64 / 97.0 - 0.5) * 6.0
+            })
+        })
+        .collect();
+    let pyramids = grids.iter().map(AggregatePyramid::build).collect();
+    let stores = grids
+        .into_iter()
+        .map(|g| TileStore::new(g, TILE).expect("valid tile size"))
+        .collect();
+    (pyramids, stores)
+}
+
+/// Q gently perturbed directions: heavy descent overlap.
+fn overlap_batch() -> Vec<LinearModel> {
+    (0..Q)
+        .map(|qi| {
+            let t = qi as f64;
+            LinearModel::new(vec![1.0 + 0.02 * t, -0.6 + 0.015 * t], 0.05 * t).expect("valid")
+        })
+        .collect()
+}
+
+/// Q directions fanned around the 2-attribute circle: optima in different
+/// grid regions, (near-)zero page overlap.
+fn disjoint_batch() -> Vec<LinearModel> {
+    // Eight distinct query directions, none parallel: the worst case for
+    // shared traversal, since no two queries agree on which regions are
+    // promising. The offset keeps every coefficient away from the axes.
+    (0..Q)
+        .map(|qi| {
+            let theta = std::f64::consts::PI * (2.0 * qi as f64 + 0.5) / Q as f64;
+            let scale = 1.0 + 0.1 * qi as f64;
+            LinearModel::new(
+                vec![theta.cos() * scale, theta.sin() * scale],
+                0.1 * qi as f64,
+            )
+            .expect("valid")
+        })
+        .collect()
+}
+
+fn bench_batched_vs_solo(c: &mut Criterion) {
+    let (pyramids, stores) = world();
+    let budget = ExecutionBudget::unlimited();
+    let mut group = c.benchmark_group("batched_top_k");
+    for (name, models) in [("overlap", overlap_batch()), ("disjoint", disjoint_batch())] {
+        group.bench_function(BenchmarkId::new("solo", name), |b| {
+            b.iter(|| {
+                models
+                    .iter()
+                    .map(|m| {
+                        let src = TileSource::new(&stores).expect("aligned");
+                        resilient_top_k(m, &pyramids, K, &src, &budget).expect("healthy")
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function(BenchmarkId::new("batched", name), |b| {
+            b.iter(|| {
+                let src = TileSource::new(&stores).expect("aligned");
+                batched_top_k(&models, &pyramids, K, &src, &budget).expect("healthy")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_batched(c: &mut Criterion) {
+    let (pyramids, stores) = world();
+    let budget = ExecutionBudget::unlimited();
+    let models = overlap_batch();
+    let mut group = c.benchmark_group("par_batched_top_k");
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| {
+                let src = TileSource::new(&stores).expect("aligned");
+                par_batched_top_k(&models, &pyramids, K, &src, &budget, pool).expect("healthy")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_solo, bench_par_batched);
+criterion_main!(benches);

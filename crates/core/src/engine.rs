@@ -345,7 +345,7 @@ pub fn staged_grid_top_k<S: CellSource>(
     staged_top_k(model, &tuples, k)
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Region {
     pub(crate) ub: f64,
     pub(crate) level: usize,

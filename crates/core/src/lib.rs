@@ -42,6 +42,14 @@
 //!   [`InsufficientShards`] error. Healthy runs are bit-identical to the
 //!   unsharded resilient engine; degraded shards widen bounds instead of
 //!   silently flipping the fused top-K.
+//! * [`batched`] — batched multi-query execution: one shared pyramid
+//!   descent serves Q queries, fetching each base cell and range box at
+//!   most once per batch behind governed memo tables, scheduling by
+//!   global upper bound while cross-query reuse lasts and degrading to
+//!   solo-shaped query-major drains when a governor proves it doesn't.
+//!   Every per-query answer is bit-identical to its solo
+//!   [`resilient`](crate::resilient) run; threaded through the parallel
+//!   workers and the sharded scatter-gather.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -57,6 +65,7 @@
 //! assert!(report.effort.speedup() > 1.0);
 //! ```
 
+pub mod batched;
 pub mod coarse;
 pub mod engine;
 pub mod error;
@@ -72,6 +81,10 @@ pub mod source;
 pub mod temporal;
 pub mod workflow;
 
+pub use batched::{
+    batched_top_k, batched_top_k_cancellable, batched_top_k_coarse, batched_top_k_with_scratch,
+    BatchScratch, BatchedTopK,
+};
 pub use coarse::CoarseGrid;
 pub use engine::{
     combined_top_k, combined_top_k_with_source, grid_query, pyramid_top_k,
@@ -88,9 +101,10 @@ pub use metrics::{
     RocPoint, ScalingRow,
 };
 pub use parallel::{
-    grid_query_with_source, par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
-    par_resilient_top_k_cancellable, par_resilient_top_k_coarse, par_staged_top_k, QueryBatch,
-    SharedBound, WorkerPool,
+    grid_query_with_scratch, grid_query_with_source, par_batched_top_k,
+    par_batched_top_k_cancellable, par_batched_top_k_coarse, par_pyramid_top_k,
+    par_pyramid_top_k_with_source, par_resilient_top_k, par_resilient_top_k_cancellable,
+    par_resilient_top_k_coarse, par_staged_top_k, QueryBatch, ScratchPool, SharedBound, WorkerPool,
 };
 pub use plan::{
     execute_planned, execute_planned_parallel, plan_grid_query, EngineChoice, PlannerConfig,
@@ -104,7 +118,8 @@ pub use resilient::{
     ScoreBounds, WallDeadline,
 };
 pub use shard::{
-    scatter_gather_top_k, scatter_gather_top_k_cancellable, ArchiveShard, CompletionPolicy,
+    batched_scatter_gather_top_k, batched_scatter_gather_top_k_cancellable, scatter_gather_top_k,
+    scatter_gather_top_k_cancellable, ArchiveShard, BatchedShardedTopK, CompletionPolicy,
     InsufficientShards, ScatterPolicy, ShardError, ShardOutcome, ShardReport, ShardedArchive,
     ShardedTopK,
 };

@@ -354,6 +354,21 @@ pub struct DegradationSummary {
     /// Pages sitting in quarantine at the end of the run. Always 0 from
     /// [`degradation_summary`]; folded in via [`with_io`](Self::with_io).
     pub quarantined_pages: u64,
+    /// Page lookups served from a shared cache
+    /// ([`CachedTileSource`](crate::source::CachedTileSource)) without
+    /// touching the backing stores. Always 0 from [`degradation_summary`];
+    /// folded in via [`with_cache`](Self::with_cache).
+    pub cache_hits: u64,
+    /// Page lookups that missed the cache and materialized the page from
+    /// the stores. Always 0 from [`degradation_summary`]; folded in via
+    /// [`with_cache`](Self::with_cache).
+    pub cache_misses: u64,
+    /// Lookups that found the page already being materialized by another
+    /// reader and waited for the shared result instead of issuing a
+    /// duplicate store read (an overlay of `cache_hits`, not a third
+    /// outcome). Always 0 from [`degradation_summary`]; folded in via
+    /// [`with_cache`](Self::with_cache).
+    pub cache_dedup_waits: u64,
 }
 
 impl DegradationSummary {
@@ -375,6 +390,20 @@ impl DegradationSummary {
     pub fn with_io(mut self, pages_read: u64, quarantined_pages: u64) -> Self {
         self.pages_read = pages_read;
         self.quarantined_pages = quarantined_pages;
+        self
+    }
+
+    /// Folds page-cache counters into the scorecard (builder style):
+    /// hits, misses, and in-flight dedup waits from the
+    /// [`AccessStats`](mbir_archive::stats::AccessStats) behind a
+    /// [`CachedTileSource`](crate::source::CachedTileSource). With
+    /// [`pages_read`](Self::pages_read) these make batching wins
+    /// observable — amortized reads show up as hits and dedup waits, not
+    /// as a mysteriously low page count.
+    pub fn with_cache(mut self, hits: u64, misses: u64, dedup_waits: u64) -> Self {
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+        self.cache_dedup_waits = dedup_waits;
         self
     }
 }
@@ -399,6 +428,9 @@ pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> Degradat
         hedged_reads: 0,
         pages_read: 0,
         quarantined_pages: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_dedup_waits: 0,
     }
 }
 
@@ -423,6 +455,9 @@ pub fn sharded_degradation_summary(report: &crate::shard::ShardedTopK) -> Degrad
         hedged_reads: 0,
         pages_read: report.shards.iter().map(|s| s.pages_read).sum(),
         quarantined_pages: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_dedup_waits: 0,
     }
 }
 
@@ -446,6 +481,9 @@ pub fn merge_shard_summaries(parts: &[(DegradationSummary, u64)]) -> Degradation
         hedged_reads: 0,
         pages_read: 0,
         quarantined_pages: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_dedup_waits: 0,
     };
     if total_cells == 0 {
         return merged;
@@ -462,6 +500,9 @@ pub fn merge_shard_summaries(parts: &[(DegradationSummary, u64)]) -> Degradation
         merged.hedged_reads += part.hedged_reads;
         merged.pages_read += part.pages_read;
         merged.quarantined_pages += part.quarantined_pages;
+        merged.cache_hits += part.cache_hits;
+        merged.cache_misses += part.cache_misses;
+        merged.cache_dedup_waits += part.cache_dedup_waits;
     }
     merged.completeness = weighted / total_cells as f64;
     merged
@@ -691,6 +732,22 @@ mod tests {
         assert_eq!(folded.shed_queries, 3);
         assert_eq!(folded.completeness, s.completeness);
 
+        // And the page-cache counters.
+        assert_eq!(
+            (
+                folded.cache_hits,
+                folded.cache_misses,
+                folded.cache_dedup_waits
+            ),
+            (0, 0, 0)
+        );
+        let folded = folded.with_cache(60, 4, 9);
+        assert_eq!(folded.cache_hits, 60);
+        assert_eq!(folded.cache_misses, 4);
+        assert_eq!(folded.cache_dedup_waits, 9);
+        assert_eq!(folded.pages_read, 41);
+        assert_eq!(folded.completeness, s.completeness);
+
         let exact = ResilientTopK {
             results: vec![hit(5.0, 5.0, 5.0, true)],
             effort: EffortReport::default(),
@@ -718,6 +775,9 @@ mod tests {
                 hedged_reads: 3,
                 pages_read: read,
                 quarantined_pages: quarantined,
+                cache_hits: read * 2,
+                cache_misses: read,
+                cache_dedup_waits: quarantined,
             };
         let parts = [
             (part(1.0, 0, 10, 0), 100u64),
@@ -737,6 +797,14 @@ mod tests {
                 merged.hedged_reads
             ),
             (3, 6, 9)
+        );
+        assert_eq!(
+            (
+                merged.cache_hits,
+                merged.cache_misses,
+                merged.cache_dedup_waits
+            ),
+            (32, 16, 10)
         );
         // Completeness is the cell-weighted mean: (100 + 50 + 0) / 400.
         assert!((merged.completeness - 0.375).abs() < 1e-12);

@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering as AtomicOrdering};
 
 /// Warm-up expands the frontier until it holds `threads * FRONTIER_FANOUT`
 /// subtrees, so the deal gives every worker several independent regions.
-const FRONTIER_FANOUT: usize = 4;
+pub(crate) const FRONTIER_FANOUT: usize = 4;
 
 /// Deterministic total order used to deal frontier regions to workers:
 /// upper bound descending, then (level, row, col) ascending as an
@@ -417,9 +417,9 @@ pub fn par_staged_top_k(
     })
 }
 
-const STOP_NONE: u8 = 0;
+pub(crate) const STOP_NONE: u8 = 0;
 
-fn stop_code(stop: BudgetStop) -> u8 {
+pub(crate) fn stop_code(stop: BudgetStop) -> u8 {
     match stop {
         BudgetStop::MultiplyAdds => 1,
         BudgetStop::PageReads => 2,
@@ -429,7 +429,7 @@ fn stop_code(stop: BudgetStop) -> u8 {
     }
 }
 
-fn code_stop(code: u8) -> Option<BudgetStop> {
+pub(crate) fn code_stop(code: u8) -> Option<BudgetStop> {
     match code {
         1 => Some(BudgetStop::MultiplyAdds),
         2 => Some(BudgetStop::PageReads),

@@ -12,15 +12,22 @@
 //!   the strict and resilient engines, bit-identical to them at every
 //!   thread count (budget stops excepted; see the engine docs).
 //! * [`QueryBatch`] ([`batch`]) — N concurrent queries against one shared
-//!   archive, dealt across the pool.
+//!   archive, dealt across the pool with cache-aware scheduling and a
+//!   per-worker scratch pool.
+//! * [`par_batched_top_k`] ([`batched`]) — the shared-frontier batched
+//!   engine of [`crate::batched`] partitioned over the pool, with one
+//!   [`SharedBound`] per query.
 //!
-//! The design and its determinism argument live in DESIGN.md §9.
+//! The design and its determinism argument live in DESIGN.md §9; the
+//! batched shared-frontier invariant is §15.
 
 pub mod batch;
+pub mod batched;
 pub mod engines;
 pub mod pool;
 
-pub use batch::{grid_query_with_source, QueryBatch};
+pub use batch::{grid_query_with_scratch, grid_query_with_source, QueryBatch, ScratchPool};
+pub use batched::{par_batched_top_k, par_batched_top_k_cancellable, par_batched_top_k_coarse};
 pub use engines::{
     par_pyramid_top_k, par_pyramid_top_k_with_source, par_resilient_top_k,
     par_resilient_top_k_cancellable, par_resilient_top_k_coarse, par_staged_top_k,

@@ -44,6 +44,8 @@
 //!   [`completeness`](ShardedTopK::completeness) — a degraded shard can
 //!   never silently flip the fused top-K.
 
+use crate::batched::CELL_MEMO_WINDOW;
+use crate::batched::{cell_key, BoundMemo, CellSlot, MemoGovernor, MemoMap, Selector};
 use crate::coarse::CoarseGrid;
 use crate::engine::{
     read_base_vector_into, region_bound_into, validate_grid_inputs, EffortReport, QueryScratch,
@@ -63,7 +65,7 @@ use mbir_index::scan::TopKHeap;
 use mbir_index::stats::{sort_desc, ScoredItem};
 use mbir_models::linear::LinearModel;
 use mbir_progressive::pyramid::AggregatePyramid;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
@@ -1033,6 +1035,753 @@ fn scatter_gather_inner<S: CellSource + Sync>(
     })
 }
 
+/// Result of one batched scatter-gather run: per-query sharded answers
+/// plus the batch-wide physical-work accounting that shows what the
+/// shared per-shard descents amortized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedShardedTopK {
+    /// Per-query merged answers, in batch order — on a healthy archive
+    /// each is result-identical to that query's solo
+    /// [`scatter_gather_top_k`] run under the same policy.
+    pub queries: Vec<ShardedTopK>,
+    /// Physical pages read by the winning attempts across all shards.
+    pub pages_read: u64,
+    /// Distinct level-0 cells materialized through the shard sources
+    /// (winning attempts).
+    pub cells_fetched: u64,
+    /// Logical per-query cell reads served (≥ `cells_fetched`; the ratio
+    /// is the batch's read amortization factor).
+    pub cell_requests: u64,
+    /// Distinct region bound-vector computations across winning attempts
+    /// (one pyramid range fetch each).
+    pub bound_evals: u64,
+    /// Logical per-query bound requests served (≥ `bound_evals`).
+    pub bound_requests: u64,
+}
+
+/// Output of one *batched* shard descent attempt: the per-query fields of
+/// [`ShardOut`] plus the shard's physical sharing counters.
+struct BatchShardOut {
+    /// Per-query exact items with *global* cell indices.
+    items: Vec<Vec<ScoredItem>>,
+    /// Per-query shard-local lost regions, with the failed page.
+    lost: Vec<Vec<(Region, usize)>>,
+    /// Per-query shard-local regions an early stop left unrefined.
+    leftover: Vec<Vec<Region>>,
+    efforts: Vec<EffortReport>,
+    /// Per-query stop reasons: the batch-wide stop lands on every query
+    /// still open in this shard; queries already closed keep `None`.
+    stops: Vec<Option<BudgetStop>>,
+    /// Distinct successful base reads — zero with losses means a dead
+    /// shard (for the whole batch: reads are physical).
+    resolved_reads: u64,
+    cells_fetched: u64,
+    cell_requests: u64,
+    bound_evals: u64,
+    bound_requests: u64,
+}
+
+/// One attempt (primary or hedge) at a shard, with its I/O window.
+struct BatchShardAttempt {
+    out: Result<BatchShardOut, CoreError>,
+    pages: u64,
+    ticks: u64,
+}
+
+/// Read-only context shared by every batched shard attempt of one wave:
+/// [`ScatterCtx`] with the model and shared bound vectorized over the
+/// batch.
+struct BatchScatterCtx<'a> {
+    models: &'a [LinearModel],
+    k: usize,
+    cols: usize,
+    budget: ExecutionBudget,
+    deadline: &'a WallDeadline,
+    cancel: Option<&'a CancelToken>,
+    /// One cross-shard bound per query, in batch order.
+    bounds: &'a [SharedBound],
+}
+
+/// One shard's *batched* best-first descent: the shared-frontier loop of
+/// [`crate::batched`] run over the shard's own band pyramids and source.
+/// Each query prunes against `max(its shared cross-shard bound, its local
+/// K-th floor)` and publishes its floors back — restricted to any one
+/// query this is exactly [`shard_descent`] for that query alone, while
+/// page reads and pyramid range fetches are memoized across the batch.
+fn batched_shard_descent<S: CellSource>(
+    ctx: &BatchScatterCtx<'_>,
+    shard: &ArchiveShard<'_, S>,
+) -> Result<BatchShardOut, CoreError> {
+    let models = ctx.models;
+    let m = models.len();
+    let arity = models[0].arity();
+    let n = arity as u64;
+    let levels = shard.pyramids[0].levels();
+    let pages_at_entry = shard.source.pages_read();
+    let ticks_at_entry = shard.source.ticks_elapsed();
+
+    let mut efforts: Vec<EffortReport> = (0..m)
+        .map(|_| EffortReport {
+            multiply_adds: 0,
+            naive_multiply_adds: n * shard.cells(),
+        })
+        .collect();
+    let mut total_ma = 0u64;
+    let mut selector = Selector::for_width(m);
+    let mut frontiers: Vec<BinaryHeap<Region>> = (0..m).map(|_| BinaryHeap::new()).collect();
+    let mut children: Vec<CellCoord> = Vec::new();
+    let mut ranges: Vec<(f64, f64)> = Vec::new();
+    let mut x: Vec<f64> = Vec::new();
+    let mut cell_memo: MemoMap<CellSlot> = MemoMap::default();
+    let mut cell_gov = MemoGovernor::new(CELL_MEMO_WINDOW);
+    let mut bound_memo = BoundMemo::new();
+    let mut cell_arena: Vec<f64> = Vec::new();
+    let mut coarse_bufs: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    if let Some(cg) = shard.coarse {
+        coarse_bufs.resize_with(m, Default::default);
+        for (q, model) in models.iter().enumerate() {
+            let (qc, qm) = &mut coarse_bufs[q];
+            cg.prepare_into(model, qc, qm)?;
+        }
+    }
+    let mut heaps: Vec<TopKHeap> = (0..m).map(|_| TopKHeap::new(ctx.k)).collect();
+    let mut done = vec![false; m];
+    let mut done_count = 0usize;
+    let mut lost: Vec<Vec<(Region, usize)>> = (0..m).map(|_| Vec::new()).collect();
+    let mut leftover: Vec<Vec<Region>> = (0..m).map(|_| Vec::new()).collect();
+    let mut stops: Vec<Option<BudgetStop>> = vec![None; m];
+    let mut resolved_reads = 0u64;
+    let mut cells_fetched = 0u64;
+    let mut cell_requests = 0u64;
+    let mut bound_evals = 0u64;
+    let mut bound_requests = 0u64;
+
+    let top = levels - 1;
+    for q in 0..m {
+        let ub = bound_memo.bound(models, shard.pyramids, top, 0, 0, q, &mut bound_evals)?;
+        efforts[q].multiply_adds += n;
+        total_ma += n;
+        bound_requests += 1;
+        frontiers[q].push(Region {
+            ub,
+            level: top,
+            row: 0,
+            col: 0,
+        });
+        selector.arm(q, &frontiers);
+    }
+
+    // Selector-over-frontiers interleave, as in [`crate::batched`]: one
+    // solo-sized frontier per query, one live top each in the selector.
+    while let Some((q, e)) = selector.next(&mut frontiers) {
+        if bound_memo.is_off() {
+            selector.go_serial();
+        }
+        let mut floor = ctx.bounds[q].get();
+        if let Some(f) = heaps[q].floor() {
+            floor = floor.max(f);
+        }
+        if floor >= e.ub {
+            // Sound exclusion of this query's band remainder — the solo
+            // descent's break; its frontier is abandoned wholesale.
+            done[q] = true;
+            done_count += 1;
+            if done_count == m {
+                break;
+            }
+            continue;
+        }
+        let checked = checkpoint_stop(
+            ctx.cancel,
+            ctx.deadline,
+            &ctx.budget,
+            total_ma,
+            shard.source.pages_read().saturating_sub(pages_at_entry),
+            shard.source.ticks_elapsed().saturating_sub(ticks_at_entry),
+        );
+        if let Some(stop) = checked {
+            leftover[q].push(e);
+            stops[q] = Some(stop);
+            for (rq, f) in frontiers.iter_mut().enumerate() {
+                if done[rq] || (rq != q && f.is_empty()) {
+                    continue;
+                }
+                stops[rq] = Some(stop);
+                leftover[rq].extend(f.drain());
+            }
+            break;
+        }
+        if e.level == 0 {
+            cell_requests += 1;
+            if cell_gov.live() {
+                let ck = cell_key(e.row as u32, e.col as u32);
+                let slot = match cell_memo.get(&ck) {
+                    Some(s) => {
+                        cell_gov.record(true);
+                        *s
+                    }
+                    None => {
+                        cell_gov.record(false);
+                        let s = match read_base_vector_into(
+                            shard.source,
+                            arity,
+                            e.row,
+                            e.col,
+                            &mut x,
+                        ) {
+                            Ok(()) => {
+                                resolved_reads += 1;
+                                cells_fetched += 1;
+                                let off = cell_arena.len();
+                                cell_arena.extend_from_slice(&x);
+                                CellSlot::Loaded(off)
+                            }
+                            Err(CoreError::Archive(
+                                ArchiveError::PageIo { page }
+                                | ArchiveError::PageQuarantined { page }
+                                | ArchiveError::PageCorrupt { page },
+                            )) => {
+                                let page = shard.source.page_of(e.row, e.col).unwrap_or(page);
+                                CellSlot::Lost(page)
+                            }
+                            Err(err) => return Err(err),
+                        };
+                        cell_memo.insert(ck, s);
+                        s
+                    }
+                };
+                match slot {
+                    CellSlot::Loaded(off) => {
+                        efforts[q].multiply_adds += n;
+                        total_ma += n;
+                        heaps[q].offer(ScoredItem {
+                            index: (e.row + shard.row_offset) * ctx.cols + e.col,
+                            score: models[q].evaluate(&cell_arena[off..off + arity]),
+                        });
+                        if let Some(f) = heaps[q].floor() {
+                            ctx.bounds[q].offer(f);
+                        }
+                    }
+                    CellSlot::Lost(page) => lost[q].push((e, page)),
+                }
+            } else {
+                // Governed off: the solo shard descent's read-and-score
+                // path, with no arena copy and no table insert.
+                match read_base_vector_into(shard.source, arity, e.row, e.col, &mut x) {
+                    Ok(()) => {
+                        resolved_reads += 1;
+                        cells_fetched += 1;
+                        efforts[q].multiply_adds += n;
+                        total_ma += n;
+                        heaps[q].offer(ScoredItem {
+                            index: (e.row + shard.row_offset) * ctx.cols + e.col,
+                            score: models[q].evaluate(&x),
+                        });
+                        if let Some(f) = heaps[q].floor() {
+                            ctx.bounds[q].offer(f);
+                        }
+                    }
+                    Err(CoreError::Archive(
+                        ArchiveError::PageIo { page }
+                        | ArchiveError::PageQuarantined { page }
+                        | ArchiveError::PageCorrupt { page },
+                    )) => {
+                        let page = shard.source.page_of(e.row, e.col).unwrap_or(page);
+                        lost[q].push((e, page));
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+            selector.arm(q, &frontiers);
+            continue;
+        }
+        let level = e.level;
+        shard.pyramids[0].children_into(level, e.row, e.col, &mut children);
+        for &child in children.iter() {
+            // Per-query coarse pass against this query's pop-time pruning
+            // bound — the same prune-only gate as [`shard_descent`].
+            if let Some(cg) = shard.coarse {
+                if floor > f64::NEG_INFINITY {
+                    let (qc, qm) = &coarse_bufs[q];
+                    if cg.cell_upper_bound(qc, qm, level - 1, child.row, child.col) < floor {
+                        continue;
+                    }
+                }
+            }
+            bound_requests += 1;
+            let ub = if bound_memo.is_off() {
+                // Retired memo: the solo engine's bound path, inlined.
+                bound_evals += 1;
+                region_bound_into(
+                    &models[q],
+                    shard.pyramids,
+                    level - 1,
+                    child.row,
+                    child.col,
+                    &mut ranges,
+                    &mut efforts[q],
+                )?
+            } else {
+                let ub = bound_memo.bound(
+                    models,
+                    shard.pyramids,
+                    level - 1,
+                    child.row,
+                    child.col,
+                    q,
+                    &mut bound_evals,
+                )?;
+                efforts[q].multiply_adds += n;
+                ub
+            };
+            total_ma += n;
+            frontiers[q].push(Region {
+                ub,
+                level: level - 1,
+                row: child.row,
+                col: child.col,
+            });
+        }
+        selector.arm(q, &frontiers);
+    }
+
+    Ok(BatchShardOut {
+        items: heaps.into_iter().map(TopKHeap::into_sorted).collect(),
+        lost,
+        leftover,
+        efforts,
+        stops,
+        resolved_reads,
+        cells_fetched,
+        cell_requests,
+        bound_evals,
+        bound_requests,
+    })
+}
+
+/// Runs one batched attempt at a shard and measures its I/O window on
+/// the shard's own clock.
+fn run_batched_attempt<S: CellSource>(
+    ctx: &BatchScatterCtx<'_>,
+    shard: &ArchiveShard<'_, S>,
+) -> BatchShardAttempt {
+    let pages_at_entry = shard.source.pages_read();
+    let ticks_at_entry = shard.source.ticks_elapsed();
+    let out = batched_shard_descent(ctx, shard);
+    BatchShardAttempt {
+        out,
+        pages: shard.source.pages_read().saturating_sub(pages_at_entry),
+        ticks: shard.source.ticks_elapsed().saturating_sub(ticks_at_entry),
+    }
+}
+
+/// Fans `which` shard indices out over the pool for one batched wave
+/// (round-robin, at most one worker per shard).
+fn batched_scatter_wave<S: CellSource + Sync>(
+    ctx: &BatchScatterCtx<'_>,
+    shards: &[ArchiveShard<'_, S>],
+    which: &[usize],
+    pool: &WorkerPool,
+) -> Vec<(usize, BatchShardAttempt)> {
+    let workers = pool.threads().min(which.len()).max(1);
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (slot, &shard_index) in which.iter().enumerate() {
+        assignments[slot % workers].push(shard_index);
+    }
+    pool.run(
+        assignments
+            .into_iter()
+            .map(|own| {
+                move |_w: usize| {
+                    own.into_iter()
+                        .map(|i| (i, run_batched_attempt(ctx, &shards[i])))
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect(),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Batched scatter-gather top-K: one scatter wave serves every model in
+/// `models` — each shard is descended *once* for the whole batch, with
+/// page reads and pyramid range fetches shared across queries, instead of
+/// once per query. Per query, the pruning, quorum, hedging, and gather
+/// semantics are exactly those of [`scatter_gather_top_k`]; on a healthy
+/// archive each query's merged answer is result-identical to its solo
+/// scatter-gather run. The `budget` is enforced per shard attempt and is
+/// *batch-wide* within the attempt (summed multiply-adds, shared source
+/// clocks), like [`crate::batched::batched_top_k`].
+///
+/// # Errors
+///
+/// [`ShardError::Core`] for invalid inputs (including models that
+/// disagree on arity); [`ShardError::Insufficient`] when fewer shards
+/// respond than `policy.completion` requires — shard failure is physical,
+/// so the quorum verdict is shared by every query in the batch.
+pub fn batched_scatter_gather_top_k<S: CellSource + Sync>(
+    models: &[LinearModel],
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    pool: &WorkerPool,
+) -> Result<BatchedShardedTopK, ShardError> {
+    batched_scatter_gather_inner(models, archive, k, budget, policy, None, pool)
+}
+
+/// [`batched_scatter_gather_top_k`] polling a [`CancelToken`] at every
+/// shard's page-granular checkpoints. Cancellation stops every shard at
+/// its next checkpoint and every still-open query degrades with sound
+/// bounds.
+///
+/// # Errors
+///
+/// Same as [`batched_scatter_gather_top_k`].
+pub fn batched_scatter_gather_top_k_cancellable<S: CellSource + Sync>(
+    models: &[LinearModel],
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: &CancelToken,
+    pool: &WorkerPool,
+) -> Result<BatchedShardedTopK, ShardError> {
+    batched_scatter_gather_inner(models, archive, k, budget, policy, Some(cancel), pool)
+}
+
+fn batched_scatter_gather_inner<S: CellSource + Sync>(
+    models: &[LinearModel],
+    archive: &ShardedArchive<'_, S>,
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: Option<&CancelToken>,
+    pool: &WorkerPool,
+) -> Result<BatchedShardedTopK, ShardError> {
+    let m = models.len();
+    if m == 0 {
+        return Ok(BatchedShardedTopK {
+            queries: Vec::new(),
+            pages_read: 0,
+            cells_fetched: 0,
+            cell_requests: 0,
+            bound_evals: 0,
+            bound_requests: 0,
+        });
+    }
+    let shards = archive.shards();
+    for shard in shards {
+        validate_grid_inputs(&models[0], shard.pyramids, k).map_err(ShardError::Core)?;
+    }
+    for model in &models[1..] {
+        if model.arity() != models[0].arity() {
+            return Err(ShardError::Core(CoreError::Query(
+                "batched queries must share the model arity".into(),
+            )));
+        }
+    }
+    let n = models[0].arity() as u64;
+    let total_cells = archive.total_cells();
+    let cols = archive.shape().1;
+    let deadline = WallDeadline::starting_now(budget);
+    let bounds: Vec<SharedBound> = (0..m).map(|_| SharedBound::new()).collect();
+
+    let soft_engaged = policy
+        .shard_soft_deadline_ticks
+        .is_some_and(|soft| budget.deadline_ticks.is_none_or(|d| soft < d));
+    let primary_budget = if soft_engaged {
+        ExecutionBudget {
+            deadline_ticks: policy.shard_soft_deadline_ticks,
+            ..*budget
+        }
+    } else {
+        *budget
+    };
+
+    let primary_ctx = BatchScatterCtx {
+        models,
+        k,
+        cols,
+        budget: primary_budget,
+        deadline: &deadline,
+        cancel,
+        bounds: &bounds,
+    };
+    let all: Vec<usize> = (0..shards.len()).collect();
+    let mut attempts: Vec<Option<BatchShardAttempt>> = (0..shards.len()).map(|_| None).collect();
+    for (i, attempt) in batched_scatter_wave(&primary_ctx, shards, &all, pool) {
+        attempts[i] = Some(attempt);
+    }
+
+    // Hedged re-dispatch of stragglers, exactly as in the solo path: the
+    // batch-wide budget means a soft-deadline stop lands on every query
+    // still open in the shard, so "any query stopped on Deadline" is the
+    // straggler signal.
+    let mut hedged = vec![false; shards.len()];
+    let mut hedge_won = vec![false; shards.len()];
+    if policy.hedge_stragglers && soft_engaged && !cancel.is_some_and(CancelToken::is_cancelled) {
+        let stragglers: Vec<usize> = attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.as_ref().is_some_and(|a| match &a.out {
+                    Ok(o) => o.stops.contains(&Some(BudgetStop::Deadline)),
+                    Err(_) => false,
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !stragglers.is_empty() {
+            let hedge_ctx = BatchScatterCtx {
+                budget: *budget,
+                ..primary_ctx
+            };
+            for (i, hedge) in batched_scatter_wave(&hedge_ctx, shards, &stragglers, pool) {
+                hedged[i] = true;
+                let primary = attempts[i].as_ref().expect("primary attempt present");
+                let unresolved = |o: &BatchShardOut| -> usize {
+                    o.lost.iter().map(Vec::len).sum::<usize>()
+                        + o.leftover.iter().map(Vec::len).sum::<usize>()
+                };
+                let wins = match (&primary.out, &hedge.out) {
+                    (_, Err(_)) => false,
+                    (Err(_), Ok(_)) => true,
+                    (Ok(p), Ok(h)) => {
+                        h.stops.iter().all(Option::is_none) || unresolved(h) < unresolved(p)
+                    }
+                };
+                if wins {
+                    hedge_won[i] = true;
+                    attempts[i] = Some(hedge);
+                }
+            }
+        }
+    }
+
+    // Quorum: shard failure is physical — it errored or evaluated no base
+    // data for anyone — so the verdict is shared by every query.
+    let failed: Vec<usize> = attempts
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            let attempt = a.as_ref().expect("attempt present");
+            match &attempt.out {
+                Err(_) => true,
+                Ok(o) => o.resolved_reads == 0 && o.lost.iter().any(|l| !l.is_empty()),
+            }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let responded = shards.len() - failed.len();
+    let required = policy.completion.required(shards.len());
+    if responded < required {
+        return Err(InsufficientShards {
+            responded,
+            required,
+            total: shards.len(),
+            failed,
+        }
+        .into());
+    }
+
+    // Same floating-point guard as the solo gather (see the comment
+    // there): widen inexact candidates, never exact hits, and exclude on
+    // the raw bounds.
+    let widen = |bounds: ScoreBounds| -> ScoreBounds {
+        let pad = bounds.hi.abs().max(bounds.lo.abs()).max(1.0) * f64::EPSILON * 16.0;
+        ScoreBounds {
+            lo: bounds.lo - pad,
+            hi: bounds.hi + pad,
+        }
+    };
+
+    let mut pages_read = 0u64;
+    let mut cells_fetched = 0u64;
+    let mut cell_requests = 0u64;
+    let mut bound_evals = 0u64;
+    let mut bound_requests = 0u64;
+    for attempt in attempts.iter().flatten() {
+        pages_read += attempt.pages;
+        if let Ok(o) = &attempt.out {
+            cells_fetched += o.cells_fetched;
+            cell_requests += o.cell_requests;
+            bound_evals += o.bound_evals;
+            bound_requests += o.bound_requests;
+        }
+    }
+
+    // Gather, per query: the exact merge of `scatter_gather_inner` run
+    // against that query's model, items, losses, and leftovers.
+    let mut queries = Vec::with_capacity(m);
+    for (q, model) in models.iter().enumerate() {
+        let mut effort = EffortReport {
+            multiply_adds: 0,
+            naive_multiply_adds: n * total_cells,
+        };
+        let mut items: Vec<ScoredItem> = Vec::new();
+        for attempt in attempts.iter().flatten() {
+            if let Ok(o) = &attempt.out {
+                effort.multiply_adds += o.efforts[q].multiply_adds;
+                items.extend(o.items[q].iter().copied());
+            }
+        }
+        sort_desc(&mut items);
+        items.truncate(k);
+        let floor = if items.len() == k {
+            items.last().map(|i| i.score)
+        } else {
+            None
+        };
+        let excluded = |hi: f64| floor.is_some_and(|f| f >= hi);
+
+        let mut hits: Vec<ResilientHit> = items
+            .into_iter()
+            .map(|item| ResilientHit {
+                cell: CellCoord::new(item.index / cols, item.index % cols),
+                level: 0,
+                score: item.score,
+                bounds: ScoreBounds::exact(item.score),
+                exact: true,
+            })
+            .collect();
+
+        let mut unresolved = 0u64;
+        let mut skipped: Vec<(usize, usize)> = Vec::new();
+        let mut reports: Vec<ShardReport> = Vec::with_capacity(shards.len());
+        let mut merged_stop: Option<BudgetStop> = None;
+
+        for (i, shard) in shards.iter().enumerate() {
+            let attempt = attempts[i].as_ref().expect("attempt present");
+            let shard_cells = shard.cells();
+            let mut shard_unresolved = 0u64;
+            let mut shard_skipped: BTreeSet<usize> = BTreeSet::new();
+            let mut exact_hits = 0usize;
+            let mut shard_stop = None;
+            match &attempt.out {
+                Ok(o) => {
+                    exact_hits = o.items[q].len();
+                    shard_stop = o.stops[q];
+                    for region in &o.leftover[q] {
+                        let (mut candidate, count) = region_candidate(
+                            model,
+                            shard.pyramids,
+                            region.level,
+                            region.row,
+                            region.col,
+                            &mut effort,
+                        )
+                        .map_err(ShardError::Core)?;
+                        candidate.cell = CellCoord::new(
+                            candidate.cell.row + shard.row_offset,
+                            candidate.cell.col,
+                        );
+                        if excluded(candidate.bounds.hi) {
+                            continue; // Provably outside the top-K: resolved.
+                        }
+                        shard_unresolved += count;
+                        candidate.bounds = widen(candidate.bounds);
+                        hits.push(candidate);
+                    }
+                    let parent_level = 1.min(shard.pyramids[0].levels() - 1);
+                    for (region, page) in &o.lost[q] {
+                        if excluded(region.ub) {
+                            continue; // Resolved by the deterministic bound.
+                        }
+                        shard_skipped.insert(*page);
+                        let (mut candidate, _) = region_candidate(
+                            model,
+                            shard.pyramids,
+                            parent_level,
+                            region.row >> parent_level,
+                            region.col >> parent_level,
+                            &mut effort,
+                        )
+                        .map_err(ShardError::Core)?;
+                        candidate.cell = CellCoord::new(region.row + shard.row_offset, region.col);
+                        candidate.level = 0;
+                        shard_unresolved += 1;
+                        candidate.bounds = widen(candidate.bounds);
+                        hits.push(candidate);
+                    }
+                }
+                Err(_) => {
+                    // The whole band degrades to its resident root
+                    // aggregate, per query, exactly as in the solo gather.
+                    let top = shard.pyramids[0].levels() - 1;
+                    let (mut candidate, count) =
+                        region_candidate(model, shard.pyramids, top, 0, 0, &mut effort)
+                            .map_err(ShardError::Core)?;
+                    candidate.cell = CellCoord::new(shard.row_offset, 0);
+                    if !excluded(candidate.bounds.hi) {
+                        shard_unresolved += count;
+                        candidate.bounds = widen(candidate.bounds);
+                        hits.push(candidate);
+                    }
+                }
+            }
+            if let Some(stop) = shard_stop {
+                if merged_stop.is_none_or(|ms| stop_severity(stop) > stop_severity(ms)) {
+                    merged_stop = Some(stop);
+                }
+            }
+            let outcome = if failed.contains(&i) {
+                ShardOutcome::Failed
+            } else if soft_engaged && !hedge_won[i] && shard_stop == Some(BudgetStop::Deadline) {
+                ShardOutcome::TimedOut
+            } else if shard_unresolved > 0 || shard_stop.is_some() {
+                ShardOutcome::Degraded
+            } else {
+                ShardOutcome::Complete
+            };
+            unresolved += shard_unresolved;
+            skipped.extend(shard_skipped.iter().map(|&p| (i, p)));
+            reports.push(ShardReport {
+                shard: i,
+                outcome,
+                completeness: 1.0 - shard_unresolved as f64 / shard_cells as f64,
+                exact_hits,
+                skipped_pages: shard_skipped.into_iter().collect(),
+                budget_stop: shard_stop,
+                pages_read: attempt.pages,
+                ticks: attempt.ticks,
+                hedged: hedged[i],
+                hedge_won: hedge_won[i],
+                cells: shard_cells,
+            });
+        }
+
+        hits.sort_by(|a, b| {
+            b.bounds
+                .hi
+                .total_cmp(&a.bounds.hi)
+                .then_with(|| b.score.total_cmp(&a.score))
+                .then_with(|| a.cell.cmp(&b.cell))
+        });
+        hits.truncate(k);
+
+        queries.push(ShardedTopK {
+            results: hits,
+            effort,
+            completeness: 1.0 - unresolved as f64 / total_cells as f64,
+            skipped_pages: skipped,
+            budget_stop: merged_stop,
+            shards: reports,
+        });
+    }
+
+    Ok(BatchedShardedTopK {
+        queries,
+        pages_read,
+        cells_fetched,
+        cell_requests,
+        bound_evals,
+        bound_requests,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1598,5 +2347,319 @@ mod tests {
         assert_eq!(wrapped.to_string(), err.to_string());
         let core_err: ShardError = CoreError::Query("bad".into()).into();
         assert!(Error::source(&core_err).is_some());
+    }
+
+    /// A spread of query directions over `arity` shared attributes, like
+    /// the batched engine's own test worlds: sign flips, magnitude skews,
+    /// and offsets so floors mature at different paces across the batch.
+    fn batch_models(arity: usize, m: usize) -> Vec<LinearModel> {
+        (0..m)
+            .map(|qi| {
+                let coeffs: Vec<f64> = (0..arity)
+                    .map(|a| 1.0 - 0.3 * a as f64 + 0.17 * qi as f64 - 0.09 * (a * qi) as f64)
+                    .collect();
+                LinearModel::new(coeffs, 0.25 * qi as f64).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_batched_scatter_matches_solo_scatter_per_query() {
+        let (_, _, worlds) = sharded_world(3, 64, 64, 4, 4);
+        let models = batch_models(3, 5);
+        let budget = ExecutionBudget::unlimited();
+        let policy = ScatterPolicy::require_all();
+        // At one pool thread the shards run in submission order for both
+        // paths, so even the per-query effort reports coincide exactly.
+        let solos: Vec<ShardedTopK> = models
+            .iter()
+            .map(|model| {
+                with_archive(&worlds, |archive| {
+                    scatter_gather_top_k(model, archive, 7, &budget, &policy, &WorkerPool::new(1))
+                        .unwrap()
+                })
+            })
+            .collect();
+        with_archive(&worlds, |archive| {
+            let batch = batched_scatter_gather_top_k(
+                &models,
+                archive,
+                7,
+                &budget,
+                &policy,
+                &WorkerPool::new(1),
+            )
+            .unwrap();
+            assert_eq!(batch.queries.len(), models.len());
+            for (q, solo) in solos.iter().enumerate() {
+                let b = &batch.queries[q];
+                assert_eq!(b.results, solo.results, "q={q}");
+                assert_eq!(b.effort, solo.effort, "q={q}");
+                assert_eq!(b.completeness, 1.0);
+                assert_eq!(b.budget_stop, None);
+                assert!(b.skipped_pages.is_empty());
+                assert!(b.shards.iter().all(|s| s.outcome == ShardOutcome::Complete));
+            }
+        });
+        // At higher thread counts the shared-bound timing shifts effort,
+        // but healthy merged answers stay identical per query.
+        for threads in [2usize, 4, 8] {
+            with_archive(&worlds, |archive| {
+                let batch = batched_scatter_gather_top_k(
+                    &models,
+                    archive,
+                    7,
+                    &budget,
+                    &policy,
+                    &WorkerPool::new(threads),
+                )
+                .unwrap();
+                for (q, solo) in solos.iter().enumerate() {
+                    assert_eq!(
+                        batch.queries[q].results, solo.results,
+                        "threads={threads} q={q}"
+                    );
+                    assert!(!batch.queries[q].is_degraded());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batched_scatter_amortizes_pages_across_queries() {
+        let (_, _, worlds) = sharded_world(3, 64, 64, 4, 8);
+        let models = batch_models(3, 6);
+        let budget = ExecutionBudget::unlimited();
+        let policy = ScatterPolicy::require_all();
+        let solo_pages: u64 = models
+            .iter()
+            .map(|model| {
+                with_archive(&worlds, |archive| {
+                    let r = scatter_gather_top_k(
+                        model,
+                        archive,
+                        7,
+                        &budget,
+                        &policy,
+                        &WorkerPool::new(1),
+                    )
+                    .unwrap();
+                    r.shards.iter().map(|s| s.pages_read).sum::<u64>()
+                })
+            })
+            .sum();
+        with_archive(&worlds, |archive| {
+            let batch = batched_scatter_gather_top_k(
+                &models,
+                archive,
+                7,
+                &budget,
+                &policy,
+                &WorkerPool::new(1),
+            )
+            .unwrap();
+            // One scatter serves the whole batch: overlapping queries
+            // share page reads, so the batch reads strictly fewer pages
+            // than six independent scatters.
+            assert!(
+                batch.pages_read < solo_pages,
+                "batch read {} pages vs {solo_pages} across solos",
+                batch.pages_read
+            );
+            assert!(batch.cell_requests >= batch.cells_fetched);
+            assert!(
+                batch.bound_requests > batch.bound_evals,
+                "no bound-vector sharing: {} requests, {} evals",
+                batch.bound_requests,
+                batch.bound_evals
+            );
+        });
+    }
+
+    #[test]
+    fn dead_shard_degrades_batched_answers_like_solo_scatter() {
+        let (_, _, mut worlds) = sharded_world(2, 64, 64, 4, 4);
+        let models = batch_models(2, 4);
+        kill_shard(&mut worlds[0]);
+        let budget = ExecutionBudget::unlimited();
+        // Permanent faults are stateless across read attempts, so the
+        // batched verdicts coincide with solo scatter verdicts per query.
+        let solos: Vec<ShardedTopK> = models
+            .iter()
+            .map(|model| {
+                with_archive(&worlds, |archive| {
+                    scatter_gather_top_k(
+                        model,
+                        archive,
+                        5,
+                        &budget,
+                        &ScatterPolicy::best_effort(),
+                        &WorkerPool::new(1),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        with_archive(&worlds, |archive| {
+            let batch = batched_scatter_gather_top_k(
+                &models,
+                archive,
+                5,
+                &budget,
+                &ScatterPolicy::best_effort(),
+                &WorkerPool::new(1),
+            )
+            .unwrap();
+            for (q, solo) in solos.iter().enumerate() {
+                let b = &batch.queries[q];
+                assert_eq!(b.results, solo.results, "q={q}");
+                assert_eq!(b.completeness, solo.completeness, "q={q}");
+                assert_eq!(b.skipped_pages, solo.skipped_pages, "q={q}");
+                assert_eq!(b.shards[0].outcome, ShardOutcome::Failed);
+                assert_eq!(b.responded(), 3);
+            }
+            // The quorum verdict is physical, shared by the whole batch.
+            match batched_scatter_gather_top_k(
+                &models,
+                archive,
+                5,
+                &budget,
+                &ScatterPolicy::require_all(),
+                &WorkerPool::new(1),
+            ) {
+                Err(ShardError::Insufficient(e)) => {
+                    assert_eq!(e.responded, 3);
+                    assert_eq!(e.failed, vec![0]);
+                }
+                other => panic!("expected InsufficientShards, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn batched_straggler_shard_is_hedged_and_recovers() {
+        let (_, global, mut worlds) = sharded_world(2, 64, 64, 4, 4);
+        let models = batch_models(2, 3);
+        // Slow down the band holding query 0's global winner: no shared
+        // bound can exclude it, so its primary attempt must read a page,
+        // eat the injected latency, and trip the soft deadline — the
+        // batch-wide stop marks the shard a straggler.
+        let reference_stores: Vec<TileStore> = (0..2)
+            .map(|i| TileStore::new(smooth_grid(i, 64, 64), 4).unwrap())
+            .collect();
+        let reference_src = TileSource::new(&reference_stores).unwrap();
+        let reference = resilient_top_k(
+            &models[0],
+            &global,
+            5,
+            &reference_src,
+            &ExecutionBudget::unlimited(),
+        )
+        .unwrap();
+        let slow = reference.results[0].cell.row / (64 / 4);
+        let profile = (0..worlds[slow].stores[0].page_count())
+            .fold(FaultProfile::new(0), |p, page| p.latency(page, 10_000));
+        worlds[slow].stores = worlds[slow]
+            .stores
+            .iter()
+            .map(|s| s.clone().with_faults(profile.clone()))
+            .collect();
+        let healthy_solos: Vec<ShardedTopK> = models
+            .iter()
+            .map(|model| {
+                with_archive(&worlds, |archive| {
+                    scatter_gather_top_k(
+                        model,
+                        archive,
+                        5,
+                        &ExecutionBudget::unlimited(),
+                        &ScatterPolicy::require_all(),
+                        &WorkerPool::new(1),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        with_archive(&worlds, |archive| {
+            let policy = ScatterPolicy::require_all()
+                .with_soft_deadline_ticks(5_000)
+                .with_hedged_stragglers();
+            let batch = batched_scatter_gather_top_k(
+                &models,
+                archive,
+                5,
+                &ExecutionBudget::unlimited(),
+                &policy,
+                &WorkerPool::new(4),
+            )
+            .unwrap();
+            for (q, solo) in healthy_solos.iter().enumerate() {
+                let report = &batch.queries[q].shards[slow];
+                assert!(report.hedged, "q={q}: slow shard was not hedged");
+                assert!(report.hedge_won, "q={q}: hedge attempt should win");
+                assert_ne!(report.outcome, ShardOutcome::TimedOut);
+                assert_eq!(batch.queries[q].results, solo.results, "q={q}");
+            }
+        });
+    }
+
+    #[test]
+    fn pre_cancelled_batched_scatter_degrades_every_query() {
+        let (_, _, worlds) = sharded_world(2, 32, 32, 4, 4);
+        let models = batch_models(2, 3);
+        with_archive(&worlds, |archive| {
+            let token = CancelToken::new();
+            token.cancel();
+            let batch = batched_scatter_gather_top_k_cancellable(
+                &models,
+                archive,
+                3,
+                &ExecutionBudget::unlimited(),
+                &ScatterPolicy::best_effort(),
+                &token,
+                &WorkerPool::new(2),
+            )
+            .unwrap();
+            for q in &batch.queries {
+                assert_eq!(q.budget_stop, Some(BudgetStop::Cancelled));
+                assert!(q.completeness < 1.0);
+                assert!(q.is_degraded());
+            }
+        });
+    }
+
+    #[test]
+    fn batched_scatter_rejects_empty_and_mismatched_batches() {
+        let (_, _, worlds) = sharded_world(2, 32, 32, 4, 2);
+        with_archive(&worlds, |archive| {
+            let pool = WorkerPool::new(1);
+            let budget = ExecutionBudget::unlimited();
+            let empty = batched_scatter_gather_top_k::<TileSource<'_>>(
+                &[],
+                archive,
+                3,
+                &budget,
+                &ScatterPolicy::require_all(),
+                &pool,
+            )
+            .unwrap();
+            assert!(empty.queries.is_empty());
+            assert_eq!(empty.pages_read, 0);
+            let mismatched = vec![
+                LinearModel::new(vec![1.0, 0.5], 0.0).unwrap(),
+                LinearModel::new(vec![1.0], 0.0).unwrap(),
+            ];
+            assert!(matches!(
+                batched_scatter_gather_top_k(
+                    &mismatched,
+                    archive,
+                    3,
+                    &budget,
+                    &ScatterPolicy::require_all(),
+                    &pool,
+                ),
+                Err(ShardError::Core(CoreError::Query(_)))
+            ));
+        });
     }
 }

@@ -230,6 +230,10 @@ impl<'a> CachedTileSource<'a> {
     fn fetch_page(&self, page: usize) -> Result<Arc<PageBlock>, ArchiveError> {
         let stats = self.stores[0].stats();
         let mut state = self.state.lock().expect("cache lock");
+        // Whether this lookup observed another reader materializing the
+        // page and parked on the condvar — counted once per lookup, not
+        // once per spurious wakeup.
+        let mut deduped = false;
         loop {
             match state.slots.get(&page) {
                 Some(Slot::Ready { .. }) => {
@@ -241,9 +245,13 @@ impl<'a> CachedTileSource<'a> {
                     *recency = clock;
                     let block = Arc::clone(block);
                     stats.record_cache_hits(1);
+                    if deduped {
+                        stats.record_cache_dedup_waits(1);
+                    }
                     return Ok(block);
                 }
                 Some(Slot::Loading) => {
+                    deduped = true;
                     state = self.loaded.wait(state).expect("cache lock");
                 }
                 None => {
@@ -576,5 +584,14 @@ mod tests {
         assert_eq!(stats.cache_misses(), 1, "one materialization total");
         assert_eq!(stats.cache_hits(), 7);
         assert_eq!(stats.pages_read(), 2, "one read per attribute store");
+        // Threads that arrived while the page was in flight are counted
+        // as dedup waits; the rest hit the already-ready slot. Either way
+        // every wait resolved into a hit, never a duplicate store read.
+        assert!(
+            stats.cache_dedup_waits() <= stats.cache_hits(),
+            "dedup waits {} exceed hits {}",
+            stats.cache_dedup_waits(),
+            stats.cache_hits()
+        );
     }
 }

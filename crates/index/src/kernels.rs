@@ -101,6 +101,79 @@ fn fill_scores<const D: usize>(block: &[f64], dir: &[f64], out: &mut Vec<f64>) {
     }));
 }
 
+/// Scores every row of a flat row-major block against `m` directions at
+/// once, appending `m` scores per row to `out` (cleared first) in
+/// row-major order: `out[i * m + k]` is direction `k`'s score of row
+/// `i`. This is the batched-query kernel — one streaming pass over the
+/// block serves the whole batch, a small row-major GEMM.
+///
+/// Each direction's score keeps the canonical left-to-right summation
+/// order, so column `k` of the output is bit-identical to a solo
+/// [`score_block_into`] run with `dirs[k]` — batching queries can never
+/// change any single query's answer.
+///
+/// # Panics
+///
+/// Panics on a ragged block or wrong-length direction.
+pub fn score_block_multi_into(block: &[f64], dims: usize, dirs: &[Vec<f64>], out: &mut Vec<f64>) {
+    let m = dirs.len();
+    let mut transposed = vec![0.0f64; m * dims];
+    for (k, dir) in dirs.iter().enumerate() {
+        assert_eq!(dir.len(), dims, "direction length mismatch");
+        for (j, &v) in dir.iter().enumerate() {
+            transposed[j * m + k] = v;
+        }
+    }
+    score_block_multi_transposed_into(block, dims, &transposed, m, out);
+}
+
+/// [`score_block_multi_into`] with the direction bundle already
+/// transposed (`transposed[j * m + k]` = component `j` of direction
+/// `k`), so a caller scoring many blocks against one batch pays the
+/// transpose once and keeps the hot loop allocation-free.
+///
+/// The per-row loop is the [`sweep_argmax_block_at`] scoring pattern:
+/// stride-1 passes over the transpose compute all `m` scores at once,
+/// each as an independent left-to-right chain (the `j == 0` pass writes
+/// `0.0 + t * x` directly, preserving the legacy accumulator start for
+/// -0.0), and independent chains side by side are what the
+/// autovectorizer packs into SIMD lanes.
+///
+/// # Panics
+///
+/// Panics on a ragged block or a bundle whose length is not `m * dims`.
+pub fn score_block_multi_transposed_into(
+    block: &[f64],
+    dims: usize,
+    transposed: &[f64],
+    m: usize,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(transposed.len(), m * dims, "transposed bundle mismatch");
+    assert_eq!(block.len() % dims, 0, "ragged block");
+    let rows = block.len() / dims;
+    out.clear();
+    out.resize(rows * m, 0.0);
+    if m == 0 {
+        return;
+    }
+    for (i, row) in block.chunks_exact(dims).enumerate() {
+        let scores = &mut out[i * m..(i + 1) * m];
+        for (j, &xj) in row.iter().enumerate() {
+            let t = &transposed[j * m..(j + 1) * m];
+            if j == 0 {
+                for (s, &tk) in scores.iter_mut().zip(t) {
+                    *s = 0.0 + tk * xj;
+                }
+            } else {
+                for (s, &tk) in scores.iter_mut().zip(t) {
+                    *s += tk * xj;
+                }
+            }
+        }
+    }
+}
+
 /// Exact support `max dir . x` over the rows whose `alive` flag is set
 /// (`NEG_INFINITY` when none are). Uses `f64::max`, matching the legacy
 /// `best.max(score)` fold bit for bit.
@@ -318,6 +391,65 @@ mod tests {
     }
 
     #[test]
+    fn multi_score_columns_match_solo_runs() {
+        for d in [1usize, 2, 3, 5, 8, 17] {
+            for m in [1usize, 2, 3, 8] {
+                let n = 11;
+                let block: Vec<f64> = (0..n * d).map(|j| (j as f64 * 0.7).sin() * 30.0).collect();
+                let dirs: Vec<Vec<f64>> = (0..m)
+                    .map(|k| {
+                        (0..d)
+                            .map(|j| ((k * 31 + j * 7) as f64).cos() * 3.0 - 0.5)
+                            .collect()
+                    })
+                    .collect();
+                let mut multi = Vec::new();
+                score_block_multi_into(&block, d, &dirs, &mut multi);
+                assert_eq!(multi.len(), n * m);
+                let mut solo = Vec::new();
+                for (k, dir) in dirs.iter().enumerate() {
+                    score_block_into(&block, d, dir, &mut solo);
+                    for i in 0..n {
+                        assert_eq!(
+                            multi[i * m + k].to_bits(),
+                            solo[i].to_bits(),
+                            "d={d} m={m} row={i} query={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_score_handles_empty_batch_and_empty_block() {
+        let mut out = vec![1.0, 2.0];
+        score_block_multi_into(&[1.0, 2.0, 3.0, 4.0], 2, &[], &mut out);
+        assert!(out.is_empty());
+        score_block_multi_into(&[], 2, &[vec![1.0, -1.0]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_score_preserves_signed_zero_columns() {
+        // A query of -0.0 coefficients: the 0.0 + t*x accumulator start
+        // must give the same signed-zero bits as the solo kernel's
+        // `acc = 0.0; acc += ...` chain (the workspace contract all
+        // engines compare against).
+        let block = [-0.0f64, 0.0, 1.0, 2.0];
+        let dirs = vec![vec![-0.0, -0.0], vec![1.0, 1.0]];
+        let mut multi = Vec::new();
+        score_block_multi_into(&block, 2, &dirs, &mut multi);
+        let mut solo = Vec::new();
+        for (k, dir) in dirs.iter().enumerate() {
+            score_block_into(&block, 2, dir, &mut solo);
+            for (i, s) in solo.iter().enumerate() {
+                assert_eq!(multi[i * 2 + k].to_bits(), s.to_bits(), "row {i} query {k}");
+            }
+        }
+    }
+
+    #[test]
     fn sweep_matches_per_direction_argmax() {
         let d = 3;
         let n = 40;
@@ -387,6 +519,34 @@ mod tests {
             let a: Vec<f64> = (0..d).map(|_| next()).collect();
             let b: Vec<f64> = (0..d).map(|_| next()).collect();
             prop_assert_eq!(dot(&a, &b).to_bits(), legacy_dot(&a, &b).to_bits());
+        }
+
+        #[test]
+        fn prop_multi_score_bit_identical_to_solo(
+            d in 1usize..7,
+            n in 0usize..30,
+            m in 0usize..9,
+            seed in 0u64..10_000,
+        ) {
+            let mut state = seed ^ 0x5eed;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let block: Vec<f64> = (0..n * d).map(|_| next() * 50.0).collect();
+            let dirs: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..d).map(|_| next() * 6.0).collect())
+                .collect();
+            let mut multi = Vec::new();
+            score_block_multi_into(&block, d, &dirs, &mut multi);
+            prop_assert_eq!(multi.len(), n * m);
+            let mut solo = Vec::new();
+            for (k, dir) in dirs.iter().enumerate() {
+                score_block_into(&block, d, dir, &mut solo);
+                for i in 0..n {
+                    prop_assert_eq!(multi[i * m + k].to_bits(), solo[i].to_bits());
+                }
+            }
         }
 
         #[test]

@@ -700,6 +700,121 @@ impl OnionIndex {
         })
     }
 
+    /// Batched layer walk: **one** outward-in traversal serves every
+    /// direction in the batch. Each layer's rows are read from the store
+    /// once; every still-active query scores them and offers to its own
+    /// heap. A query leaves the walk at exactly the layer its solo run
+    /// would have stopped at (its heap sees the same offers in the same
+    /// order, so its floor — and therefore both stopping decisions — are
+    /// the same bits), and the walk ends when no query remains active.
+    ///
+    /// `results[q]` (answers *and* stats) is bit-identical to the solo
+    /// [`OnionIndex::top_k_max`] run with `directions[q]`: the shared
+    /// traversal only amortizes row reads across the batch, it never
+    /// shows a query a row its solo walk would not have examined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] for any wrong-length
+    /// direction and [`ModelError::InvalidValue`] for `k == 0`.
+    pub fn top_k_max_multi(
+        &self,
+        directions: &[Vec<f64>],
+        k: usize,
+    ) -> Result<Vec<TopKResult>, ModelError> {
+        for direction in directions {
+            if direction.len() != self.dims {
+                return Err(ModelError::ArityMismatch {
+                    expected: self.dims,
+                    actual: direction.len(),
+                });
+            }
+        }
+        if k == 0 {
+            return Err(ModelError::InvalidValue("k must be >= 1".into()));
+        }
+        let m = directions.len();
+        // Per-query hint detection, identical to the solo walk's.
+        let norms: Vec<f64> = directions
+            .iter()
+            .map(|d| d.iter().map(|a| a * a).sum::<f64>().sqrt())
+            .collect();
+        let hints: Vec<Option<usize>> = directions
+            .iter()
+            .zip(&norms)
+            .map(|(direction, &norm)| {
+                if norm > 0.0 {
+                    self.hints.iter().position(|h| {
+                        let dot: f64 = h.iter().zip(direction).map(|(a, b)| a * b).sum();
+                        dot / norm > 1.0 - 1e-9
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut heaps: Vec<TopKHeap> = (0..m).map(|_| TopKHeap::new(k)).collect();
+        let mut stats: Vec<QueryStats> = (0..m).map(|_| QueryStats::new()).collect();
+        let mut active = vec![true; m];
+        let mut n_active = m;
+        for (l, layer) in self.layers.iter().enumerate() {
+            if n_active == 0 {
+                break;
+            }
+            for q in 0..m {
+                if active[q] {
+                    stats[q].nodes_visited += 1;
+                }
+            }
+            for &idx in layer {
+                let row = self.points.row(idx);
+                for q in 0..m {
+                    if !active[q] {
+                        continue;
+                    }
+                    stats[q].tuples_examined += 1;
+                    heaps[q].offer(ScoredItem {
+                        index: idx,
+                        score: kernels::dot(&directions[q], row),
+                    });
+                }
+            }
+            for q in 0..m {
+                if !active[q] {
+                    continue;
+                }
+                let floor = heaps[q].floor();
+                let classical_stop = floor.is_some() && l + 1 >= k && l < self.exact_hull_layers;
+                let bound_stop = match (floor, self.remaining_box.get(l + 1)) {
+                    (Some(f), Some(next_box)) => {
+                        let mut bound = next_box.upper_bound(&directions[q]);
+                        if let Some(h) = hints[q] {
+                            bound = bound.min(norms[q] * self.hint_support[l + 1][h]);
+                        }
+                        f >= bound
+                    }
+                    _ => false,
+                };
+                if classical_stop || bound_stop {
+                    active[q] = false;
+                    n_active -= 1;
+                }
+            }
+        }
+        Ok(heaps
+            .into_iter()
+            .zip(stats)
+            .map(|(heap, mut st)| {
+                st.comparisons = heap.comparisons();
+                TopKResult {
+                    results: heap.into_sorted(),
+                    stats: st,
+                }
+            })
+            .collect())
+    }
+
     /// [`OnionIndex::top_k_max`] through the quantized coarse pass: the
     /// layer walk groups each layer's members by quantized block and
     /// rejects groups whose i8 upper bound is strictly below the current
@@ -1213,6 +1328,49 @@ mod tests {
     }
 
     #[test]
+    fn batched_walk_matches_solo_runs_bit_for_bit() {
+        for d in [2usize, 3] {
+            let points = gaussian_points(21 + d as u64, 1500, d);
+            let hints = vec![{
+                let mut h = vec![0.0; d];
+                h[0] = 1.0;
+                h
+            }];
+            let onion = OnionIndex::build_with_hints(points, &hints, 64, 32, 7).unwrap();
+            // A mix of hint-parallel, perturbed, and opposed directions so
+            // queries stop at different layers.
+            let dirs: Vec<Vec<f64>> = (0..6)
+                .map(|q| {
+                    (0..d)
+                        .map(|j| {
+                            if j == 0 {
+                                1.0 - q as f64 * 0.4
+                            } else {
+                                (q * 7 + j) as f64 * 0.1 - 0.3
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for k in [1usize, 5] {
+                let batched = onion.top_k_max_multi(&dirs, k).unwrap();
+                for (q, dir) in dirs.iter().enumerate() {
+                    let solo = onion.top_k_max(dir, k).unwrap();
+                    assert_eq!(batched[q], solo, "d={d} k={k} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_walk_validates_and_handles_empty_batch() {
+        let onion = OnionIndex::build(vec![vec![1.0, 2.0], vec![3.0, 0.5]]).unwrap();
+        assert!(onion.top_k_max_multi(&[vec![1.0]], 1).is_err());
+        assert!(onion.top_k_max_multi(&[vec![1.0, 1.0]], 0).is_err());
+        assert!(onion.top_k_max_multi(&[], 1).unwrap().is_empty());
+    }
+
+    #[test]
     fn min_query_is_negated_max() {
         let points = gaussian_points(13, 300, 2);
         let onion = OnionIndex::build(points.clone()).unwrap();
@@ -1549,6 +1707,31 @@ mod tests {
             let fast = onion.top_k_max(&dir, k).unwrap();
             let slow = scan_top_k(&points, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
             prop_assert!(fast.score_equivalent(&slow, 1e-9));
+        }
+
+        #[test]
+        fn prop_batched_walk_bit_identical_to_solo(
+            seed in 0u64..500,
+            n in 10usize..250,
+            d in 1usize..5,
+            m in 1usize..6,
+            k in 1usize..10,
+            dir_seed in 0u64..100,
+        ) {
+            let points = gaussian_points(seed.wrapping_add(3_000), n, d);
+            let onion = OnionIndex::build(points).unwrap();
+            let mut s = dir_seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let dirs: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..d).map(|_| next() * 4.0).collect())
+                .collect();
+            let batched = onion.top_k_max_multi(&dirs, k).unwrap();
+            for (q, dir) in dirs.iter().enumerate() {
+                prop_assert_eq!(&batched[q], &onion.top_k_max(dir, k).unwrap());
+            }
         }
 
         #[test]

@@ -300,6 +300,203 @@ pub fn scan_top_k_quant(
     )
 }
 
+/// Batched flat scan: one streaming pass over the store serves every
+/// direction in the batch. Each query gets its own [`TopKHeap`] and
+/// cached floor; rows are scored for all queries at once through
+/// [`kernels::score_block_multi_transposed_into`], so the store's bytes
+/// are read from memory once per batch instead of once per query.
+///
+/// `results[q]` is bit-identical to `scan_top_k_flat(store,
+/// &directions[q], k)`: the multi kernel's column `q` matches the solo
+/// kernel bit for bit, rows are offered in the same order, and each
+/// query's floor precheck consults only that query's own heap.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or any direction length does not match the store.
+pub fn scan_top_k_flat_multi(
+    store: &PointStore,
+    directions: &[Vec<f64>],
+    k: usize,
+) -> Vec<TopKResult> {
+    let dims = store.dims();
+    let m = directions.len();
+    let mut transposed = vec![0.0f64; m * dims];
+    for (q, dir) in directions.iter().enumerate() {
+        assert_eq!(dir.len(), dims, "direction length must match store dims");
+        for (j, &v) in dir.iter().enumerate() {
+            transposed[j * m + q] = v;
+        }
+    }
+    let mut heaps: Vec<TopKHeap> = (0..m).map(|_| TopKHeap::new(k)).collect();
+    let mut floors: Vec<Option<f64>> = vec![None; m];
+    let mut scores: Vec<f64> = Vec::new();
+    let mut base = 0usize;
+    for block in store.flat().chunks(SCAN_BLOCK_ROWS * dims) {
+        kernels::score_block_multi_transposed_into(block, dims, &transposed, m, &mut scores);
+        let rows = block.len() / dims;
+        for offset in 0..rows {
+            let row_scores = &scores[offset * m..(offset + 1) * m];
+            for (q, &score) in row_scores.iter().enumerate() {
+                if let Some(f) = floors[q] {
+                    if score < f {
+                        continue;
+                    }
+                }
+                if heaps[q].offer(ScoredItem {
+                    index: base + offset,
+                    score,
+                }) {
+                    floors[q] = heaps[q].floor();
+                }
+            }
+        }
+        base += rows;
+    }
+    heaps
+        .into_iter()
+        .map(|heap| TopKResult {
+            results: heap.into_sorted(),
+            stats: QueryStats {
+                tuples_examined: store.len() as u64,
+                nodes_visited: 0,
+                comparisons: store.len() as u64,
+            },
+        })
+        .collect()
+}
+
+/// Batched quantized coarse-pass scan: one i8 decode pass serves the
+/// whole batch. A 512-row block is skipped — its f64 rows never touched
+/// — only when **every** query's quantized upper bound falls strictly
+/// below that query's floor, i.e. the block survives iff it survives
+/// *any* query's floor. Surviving sub-blocks are exact-scored once
+/// through the multi kernel and offered to every query under its own
+/// cached-floor precheck.
+///
+/// `results[q]` is bit-identical to the solo
+/// [`scan_top_k_quant`] (and hence [`scan_top_k_flat`]) run: a block
+/// that query `q` alone would have pruned contains only scores strictly
+/// below `q`'s floor (the quantized bound soundly dominates the exact
+/// kernel score), so the extra rows `q` sees on behalf of other queries
+/// are all rejected by its precheck — the shared traversal can only
+/// *add* row visits, never change what a query keeps.
+///
+/// The returned [`QuantPruneReport`] is batch-wide: `rows_exact` counts
+/// rows decoded once for the whole batch, which is the amortization this
+/// path exists to deliver.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, any direction length does not match, or `quant`
+/// was not built over a store of the same shape.
+pub fn scan_top_k_quant_multi(
+    store: &PointStore,
+    quant: &QuantizedStore,
+    directions: &[Vec<f64>],
+    k: usize,
+) -> (Vec<TopKResult>, QuantPruneReport) {
+    assert_eq!(quant.dims(), store.dims(), "quantized store dims mismatch");
+    assert_eq!(quant.rows(), store.len(), "quantized store rows mismatch");
+    let dims = store.dims();
+    let m = directions.len();
+    let mut transposed = vec![0.0f64; m * dims];
+    for (q, dir) in directions.iter().enumerate() {
+        assert_eq!(dir.len(), dims, "direction length must match store dims");
+        for (j, &v) in dir.iter().enumerate() {
+            transposed[j * m + q] = v;
+        }
+    }
+    let qqs: Vec<_> = directions.iter().map(|dir| quant.prepare(dir)).collect();
+    let mut heaps: Vec<TopKHeap> = (0..m).map(|_| TopKHeap::new(k)).collect();
+    let mut floors: Vec<Option<f64>> = vec![None; m];
+    let mut report = QuantPruneReport {
+        blocks_total: quant.blocks() as u64,
+        ..QuantPruneReport::default()
+    };
+    let mut sub_ubs: Vec<Vec<f64>> = vec![Vec::new(); m];
+    let mut scores: Vec<f64> = Vec::new();
+    let flat = store.flat();
+    for b in 0..quant.blocks() {
+        let (_, rows_in_block) = quant.block_range(b);
+        // Snapshot of every floor for this block's prune decisions; floors
+        // only rise, so stale snapshots are merely less tight.
+        let f0 = floors.clone();
+        // The block is fetched iff it survives ANY query's floor.
+        let block_dead = m > 0
+            && (0..m).all(|q| match f0[q] {
+                Some(f) => qqs[q].block_upper_bound(b) < f,
+                None => false,
+            });
+        if block_dead {
+            report.blocks_pruned += 1;
+            report.rows_pruned += rows_in_block as u64;
+            continue;
+        }
+        let any_floor = f0.iter().any(|f| f.is_some());
+        if any_floor {
+            for q in 0..m {
+                if f0[q].is_some() {
+                    qqs[q].sub_upper_bounds(quant, b, &mut sub_ubs[q]);
+                }
+            }
+        }
+        // `s` indexes the *inner* per-sub-block dimension of `sub_ubs`
+        // (the outer is per-query), so the iterator rewrite clippy wants
+        // would obscure the shape.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..quant.subs(b) {
+            let (sub_start, sub_m) = quant.sub_range(b, s);
+            let sub_dead = m > 0
+                && (0..m).all(|q| match f0[q] {
+                    Some(f) => sub_ubs[q][s] < f,
+                    None => false,
+                });
+            if sub_dead {
+                report.subblocks_pruned += 1;
+                report.rows_pruned += sub_m as u64;
+                continue;
+            }
+            // Exact scoring of the surviving sub-block, once for the
+            // whole batch, with each query's own cached-floor precheck.
+            let sub = &flat[sub_start * dims..(sub_start + sub_m) * dims];
+            kernels::score_block_multi_transposed_into(sub, dims, &transposed, m, &mut scores);
+            report.rows_exact += sub_m as u64;
+            for i in 0..sub_m {
+                let row_scores = &scores[i * m..(i + 1) * m];
+                for (q, &score) in row_scores.iter().enumerate() {
+                    if let Some(cur) = floors[q] {
+                        if score < cur {
+                            continue;
+                        }
+                    }
+                    if heaps[q].offer(ScoredItem {
+                        index: sub_start + i,
+                        score,
+                    }) {
+                        floors[q] = heaps[q].floor();
+                    }
+                }
+            }
+        }
+    }
+    let results = heaps
+        .into_iter()
+        .map(|heap| {
+            let comparisons = heap.comparisons();
+            TopKResult {
+                results: heap.into_sorted(),
+                stats: QueryStats {
+                    tuples_examined: report.rows_exact,
+                    nodes_visited: 0,
+                    comparisons,
+                },
+            }
+        })
+        .collect();
+    (results, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,7 +653,131 @@ mod tests {
         );
     }
 
+    #[test]
+    fn multi_flat_scan_matches_solo_runs() {
+        let rows: Vec<Vec<f64>> = (0..700)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos(), i as f64])
+            .collect();
+        let store = PointStore::from_rows(&rows).unwrap();
+        let dirs: Vec<Vec<f64>> = vec![
+            vec![2.0, -1.5, 0.01],
+            vec![-1.0, 0.25, 0.5],
+            vec![0.0, 0.0, -1.0],
+        ];
+        for k in [1usize, 7, 50] {
+            let batched = scan_top_k_flat_multi(&store, &dirs, k);
+            assert_eq!(batched.len(), dirs.len());
+            for (q, dir) in dirs.iter().enumerate() {
+                let solo = scan_top_k_flat(&store, dir, k);
+                assert_eq!(batched[q], solo, "k={k} q={q}");
+            }
+        }
+        assert!(scan_top_k_flat_multi(&store, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn multi_quant_scan_matches_solo_and_amortizes_decodes() {
+        let mut state = 77u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let rows: Vec<Vec<f64>> = (0..6000)
+            .map(|_| (0..3).map(|_| next() * 20.0).collect())
+            .collect();
+        let store = PointStore::from_rows(&rows).unwrap();
+        let quant = QuantizedStore::build(&store);
+        // Perturbations of one hot direction: overlapping survivors, the
+        // regime batching is built for.
+        let dirs: Vec<Vec<f64>> = (0..8)
+            .map(|q| {
+                vec![
+                    0.443 + q as f64 * 0.001,
+                    0.222 - q as f64 * 0.001,
+                    0.153 + q as f64 * 0.0005,
+                ]
+            })
+            .collect();
+        for k in [1usize, 10] {
+            let (batched, breport) = scan_top_k_quant_multi(&store, &quant, &dirs, k);
+            let mut solo_exact = 0u64;
+            for (q, dir) in dirs.iter().enumerate() {
+                let (solo, sreport) = scan_top_k_quant(&store, &quant, dir, k);
+                assert_eq!(batched[q].results, solo.results, "k={k} q={q}");
+                solo_exact += sreport.rows_exact;
+            }
+            assert_eq!(
+                breport.rows_pruned + breport.rows_exact,
+                store.len() as u64,
+                "every row is accounted for"
+            );
+            // One decode serves the batch: batched exact rows can't exceed
+            // the sum of solo decodes (and for overlapping queries should
+            // be far below it).
+            assert!(
+                breport.rows_exact <= solo_exact,
+                "batched decodes {} exceed solo sum {}",
+                breport.rows_exact,
+                solo_exact
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_multi_flat_scan_bit_identical_to_solo(
+            n in 1usize..400,
+            d in 1usize..5,
+            m in 1usize..6,
+            k in 1usize..8,
+            seed in 0u64..3_000,
+        ) {
+            let mut state = seed ^ 0xbac4;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| next() * 20.0).collect())
+                .collect();
+            let dirs: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..d).map(|_| next() * 4.0).collect())
+                .collect();
+            let store = PointStore::from_rows(&rows).unwrap();
+            let batched = scan_top_k_flat_multi(&store, &dirs, k);
+            for (q, dir) in dirs.iter().enumerate() {
+                prop_assert_eq!(&batched[q], &scan_top_k_flat(&store, dir, k));
+            }
+        }
+
+        #[test]
+        fn prop_multi_quant_scan_bit_identical_to_solo(
+            n in 1usize..1000,
+            d in 1usize..5,
+            m in 1usize..5,
+            k in 1usize..8,
+            seed in 0u64..2_000,
+        ) {
+            let mut state = seed ^ 0x9bad;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| next() * 20.0).collect())
+                .collect();
+            let dirs: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..d).map(|_| next() * 4.0).collect())
+                .collect();
+            let store = PointStore::from_rows(&rows).unwrap();
+            let quant = QuantizedStore::build(&store);
+            let (batched, _) = scan_top_k_quant_multi(&store, &quant, &dirs, k);
+            for (q, dir) in dirs.iter().enumerate() {
+                let (solo, _) = scan_top_k_quant(&store, &quant, dir, k);
+                prop_assert_eq!(&batched[q].results, &solo.results);
+            }
+        }
+
         #[test]
         fn prop_quant_scan_bit_identical_to_flat(
             n in 1usize..1200,

@@ -7,8 +7,9 @@ Two modes:
   times from a ``cargo bench`` log (used to refresh EXPERIMENTS.md's
   wall-clock appendix).
 * ``extract_bench.py --summaries [dir]`` — discovers every
-  ``BENCH_*.json`` the repro harnesses write (chaos, kernels, overload,
-  parallel, shard, ...) by glob instead of a hard-coded file list, and
+  ``BENCH_*.json`` the repro harnesses write (batch, chaos, kernels,
+  overload, parallel, shard, ...) by glob instead of a hard-coded file
+  list, and
   prints one Markdown table per artifact with its scalar headline
   metrics. Nested objects are flattened with dotted keys; lists of
   scalars are inlined and other lists summarized by length, so new

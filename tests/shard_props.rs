@@ -382,6 +382,9 @@ proptest! {
                         hedged_reads: draw(s * 13 + 8, 20),
                         pages_read: draw(s * 13 + 9, 200),
                         quarantined_pages: draw(s * 13 + 10, 20),
+                        cache_hits: draw(s * 13 + 12, 100),
+                        cache_misses: draw(s * 13 + 13, 100),
+                        cache_dedup_waits: draw(s * 13 + 14, 20),
                     },
                     1 + draw(s * 13 + 11, 499),
                 )
@@ -411,6 +414,12 @@ proptest! {
             parts.iter().map(|(s, _)| s.cancelled_queries).sum::<u64>()
         );
         prop_assert_eq!(merged.hedged_reads, parts.iter().map(|(s, _)| s.hedged_reads).sum::<u64>());
+        prop_assert_eq!(merged.cache_hits, parts.iter().map(|(s, _)| s.cache_hits).sum::<u64>());
+        prop_assert_eq!(merged.cache_misses, parts.iter().map(|(s, _)| s.cache_misses).sum::<u64>());
+        prop_assert_eq!(
+            merged.cache_dedup_waits,
+            parts.iter().map(|(s, _)| s.cache_dedup_waits).sum::<u64>()
+        );
         prop_assert_eq!(merged.budget_stopped, parts.iter().any(|(s, _)| s.budget_stopped));
         let widest = parts.iter().map(|(s, _)| s.widest_bound).fold(0.0f64, f64::max);
         prop_assert_eq!(merged.widest_bound, widest);
