@@ -1,6 +1,6 @@
 //! Regenerates every experiment table of the paper reproduction.
 //!
-//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|r6|r7|r8|all]
+//! Usage: `repro [e1|e2|e3|e4|e5|e6|e7|f1|f3|f4|f5|a1|a2|r1|r2|r3|r4|r5|r6|r7|r8|r9|all]
 //! [--threads N] [--legacy] [--seed N] [--load L] [--shards S]
 //! [--kill-shards F] [--small]` (default: all). Output is
 //! Markdown, pasted into EXPERIMENTS.md. The R2 experiment additionally
@@ -35,7 +35,14 @@
 //! runs, gates on >= 3x fewer pages and >= 2x aggregate throughput,
 //! surfaces the page-cache hit/miss/dedup counters, and writes
 //! `BENCH_batch.json`; `--small` shrinks the world for CI (identity
-//! still asserted, the perf gates become informational).
+//! still asserted, the perf gates become informational). The R9 resharding
+//! harness drives an epoch-fenced live topology change (splitting the
+//! winner's band) through Planned → Copying → DualRead → CutOver →
+//! Retired with chaos injected in every state, gating on healthy
+//! bit-identity to both the pre-migration plan and a directly built
+//! destination topology, zero wrong answers under copy faults and
+//! shard kills, typed epoch fencing, and a wall-deadline abort that
+//! rolls back bit-identically; writes `BENCH_reshard.json`.
 
 use mbir_archive::fault::{FaultProfile, ResilienceConfig, RetryPolicy};
 use mbir_archive::grid::Grid2;
@@ -45,8 +52,8 @@ use mbir_archive::weather::WeatherGenerator;
 use mbir_archive::welllog::WellLog;
 use mbir_bench::{
     classification_world, hps_paged_world, hps_world, onion_workload, parallel_world,
-    quant_workload, replicated_world, sharded_world, sproc_workload, texture_world,
-    wide_model_world,
+    quant_workload, replicated_world, sharded_world, sharded_world_for_plan, sproc_workload,
+    texture_world, wide_model_world,
 };
 use mbir_core::coarse::CoarseGrid;
 use mbir_core::engine::{combined_top_k, naive_grid_top_k, pyramid_top_k, staged_top_k};
@@ -222,6 +229,9 @@ fn main() {
     }
     if run("r8") {
         r8_batch(seed, threads, small);
+    }
+    if run("r9") {
+        r9_reshard(seed);
     }
 }
 
@@ -1032,7 +1042,7 @@ fn r6_shard(seed: u64, shards: usize, kill_shards: usize) {
             .contains(&s)
             .then(|| (0..page_count).fold(FaultProfile::new(seed), |p, pg| p.permanent(pg)))
     };
-    let mut chaos_table: Vec<(usize, ShardOutcome, f64, usize, u64, u64, bool)> = Vec::new();
+    let mut chaos_table: Vec<mbir_core::shard::ShardReport> = Vec::new();
     let mut chaos_completeness = 1.0f64;
     let mut quorum_tally = (0usize, 0usize);
     for threads in identity_threads {
@@ -1148,32 +1158,11 @@ fn r6_shard(seed: u64, shards: usize, kill_shards: usize) {
             // sequential wave makes run-to-run reproducible.
             if threads == 1 {
                 chaos_completeness = r.completeness;
-                chaos_table = r
-                    .shards
-                    .iter()
-                    .map(|s| {
-                        (
-                            s.shard,
-                            s.outcome,
-                            s.completeness,
-                            s.exact_hits,
-                            s.pages_read,
-                            s.ticks,
-                            s.hedged,
-                        )
-                    })
-                    .collect();
+                chaos_table = r.shards.clone();
             }
         });
     }
-    println!("| shard | outcome | completeness | exact hits | pages read | ticks | hedged |");
-    println!("|---|---|---|---|---|---|---|");
-    for (s, outcome, completeness, exact, pages, ticks, hedged) in &chaos_table {
-        println!(
-            "| {s} | {outcome} | {completeness:.3} | {exact} | {pages} | {ticks} | {} |",
-            if *hedged { "yes" } else { "no" },
-        );
-    }
+    print!("{}", mbir_core::shard::ShardTable::new(&chaos_table));
     println!(
         "\nkilled shards {killed:?} (winner domain {winner_shard}): zero wrong answers at \
          threads {identity_threads:?}; require-all failed typed ({} of {} responded); \
@@ -1221,22 +1210,7 @@ fn r6_shard(seed: u64, shards: usize, kill_shards: usize) {
     });
 
     // Machine-readable output (hand-rolled JSON; std only).
-    let shard_json = |&(s, outcome, completeness, exact, pages, ticks, hedged): &(
-        usize,
-        ShardOutcome,
-        f64,
-        usize,
-        u64,
-        u64,
-        bool,
-    )|
-     -> String {
-        format!(
-            "{{\"shard\":{s},\"outcome\":\"{outcome}\",\"completeness\":{completeness:.6},\
-             \"exact_hits\":{exact},\"pages_read\":{pages},\"ticks\":{ticks},\"hedged\":{hedged}}}"
-        )
-    };
-    let per_shard: Vec<String> = chaos_table.iter().map(shard_json).collect();
+    let per_shard: Vec<String> = chaos_table.iter().map(shard_report_json).collect();
     let killed_list: Vec<String> = killed.iter().map(usize::to_string).collect();
     let json = format!(
         "{{\n  \"experiment\": \"r6_shard\",\n  \"seed\": {seed},\n  \"world\": {{\"rows\": {rows}, \
@@ -1256,6 +1230,706 @@ fn r6_shard(seed: u64, shards: usize, kill_shards: usize) {
     match std::fs::write("BENCH_shard.json", &json) {
         Ok(()) => println!("\nwrote BENCH_shard.json"),
         Err(e) => eprintln!("\ncould not write BENCH_shard.json: {e}"),
+    }
+}
+
+/// One `ShardReport` as a hand-rolled JSON object (std only) — shared by
+/// the r6 and r9 harnesses.
+fn shard_report_json(s: &mbir_core::shard::ShardReport) -> String {
+    format!(
+        "{{\"shard\":{},\"outcome\":\"{}\",\"completeness\":{:.6},\"exact_hits\":{},\
+         \"skipped_pages\":{},\"pages_read\":{},\"ticks\":{},\"hedged\":{}}}",
+        s.shard,
+        s.outcome,
+        s.completeness,
+        s.exact_hits,
+        s.skipped_pages.len(),
+        s.pages_read,
+        s.ticks,
+        s.hedged,
+    )
+}
+
+/// R9 — live resharding: epoch-fenced topology changes with chaos-proof
+/// migration. The winner's source band is split in two through the
+/// coordinator's Planned → Copying → DualRead → CutOver → Retired state
+/// machine. Gates, in order: (a) the healthy migration is invisible —
+/// dual-read answers are bit-identical to the pre-migration plan, and the
+/// post-cut-over archive (carried-over source bands + migrated copies) is
+/// bit-identical to a destination topology built directly from the raw
+/// grids; (b) chaos injected in every migration state — transient,
+/// corrupt, and latency copy faults during Copying (healed by retries,
+/// caught by checksums, quarantined, then recopied from a clean replica),
+/// the migrating source shard killed during DualRead (covered wholesale
+/// by its destination copies), both sides killed (degraded but sound),
+/// and a post-cut-over kill — yields zero wrong answers: the true winner
+/// always stays inside some reported bound; (c) a wall-deadline abort
+/// rolls back to the source epoch with results bit-identical to never
+/// having started. Epoch fencing is typed end to end: a query pinned to
+/// the destination epoch against the source archive fails with
+/// `EpochMismatch`, and a mid-migration quorum failure is an
+/// `InsufficientShards` stamped with the serving epoch. Writes
+/// `BENCH_reshard.json`.
+fn r9_reshard(seed: u64) {
+    use mbir_archive::shard::EpochedShardPlan;
+    use mbir_core::reshard::{
+        AbortReason, CopyOutcome, MigrationState, ReshardCoordinator, ReshardPolicy,
+    };
+    use mbir_core::shard::{scatter_gather_top_k_dual, ShardTable};
+    use mbir_core::source::QuarantineScrub;
+
+    println!("\n## R9 — Live resharding: epoch-fenced topology change under chaos (seed {seed})\n");
+    let (rows, cols, tile, k) = (256usize, 256usize, 16usize, 10usize);
+    let budget = ExecutionBudget::unlimited();
+    let identity_threads = [1usize, 2, 4];
+
+    let (_, model, worlds, from_plan) = sharded_world(seed, rows, cols, tile, 4, 1);
+    let page_count = worlds[0].groups[0].0[0].page_count();
+
+    // Source-epoch archive over plain tile sources (one replica group).
+    let source_stores: Vec<&[TileStore]> =
+        worlds.iter().map(|w| w.groups[0].0.as_slice()).collect();
+    let source_sources: Vec<TileSource<'_>> = source_stores
+        .iter()
+        .map(|g| TileSource::new(g).expect("aligned stores"))
+        .collect();
+    let source_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = worlds
+        .iter()
+        .zip(&source_sources)
+        .map(|(w, src)| ArchiveShard::new(&w.pyramids, src, w.row_offset))
+        .collect();
+    let source_archive = ShardedArchive::new(source_handles).expect("contiguous bands");
+    let pool = WorkerPool::new(1);
+    let reference = scatter_gather_top_k(
+        model.model(),
+        &source_archive,
+        k,
+        &budget,
+        &ScatterPolicy::require_all(),
+        &pool,
+    )
+    .expect("healthy source scatter");
+    let truth = reference.results[0].score;
+    let winner_shard = from_plan
+        .shard_of_row(reference.results[0].cell.row)
+        .expect("winner inside the grid");
+
+    // The topology change: split the winner's band in two.
+    let dest_plan = from_plan.split_band(winner_shard).expect("band splits");
+    let mut coord = ReshardCoordinator::new(
+        EpochedShardPlan::initial(from_plan.clone()),
+        dest_plan.clone(),
+        ReshardPolicy::default(),
+    )
+    .expect("same shape and tile");
+    println!(
+        "migration: split band {winner_shard} ({} -> {} shards), epoch {} -> {}\n",
+        from_plan.shard_count(),
+        dest_plan.shard_count(),
+        coord.from_epoch(),
+        coord.to_epoch(),
+    );
+
+    // --- Copying-state chaos: transient + latency faults heal through
+    // coordinator retries; a corrupt page is caught by the checksum,
+    // quarantines the band, and a clean-replica recopy completes it.
+    let chaos_copy: Vec<Vec<TileStore>> = worlds
+        .iter()
+        .enumerate()
+        .map(|(s, w)| {
+            w.groups[0]
+                .0
+                .iter()
+                .enumerate()
+                .map(|(a, st)| {
+                    if s == winner_shard && a == 0 {
+                        st.clone().with_faults(
+                            FaultProfile::new(seed)
+                                .transient(0, 2)
+                                .latency(1, 5)
+                                .corrupt(2),
+                        )
+                    } else {
+                        st.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let chaos_refs: Vec<&[TileStore]> = chaos_copy.iter().map(Vec::as_slice).collect();
+    coord.begin_copy().expect("planned -> copying");
+    let outcome = coord.run_copy(&chaos_refs, None).expect("copy runs");
+    let quarantined_bands = match &outcome {
+        CopyOutcome::Quarantined(bands) => bands.clone(),
+        other => panic!("corrupt page must quarantine its band, got {other:?}"),
+    };
+    let checksum_failures: u64 = coord
+        .copy_reports()
+        .iter()
+        .map(|b| b.checksum_failures)
+        .sum();
+    let copy_retries: u64 = coord.copy_reports().iter().map(|b| b.retries).sum();
+    assert!(
+        checksum_failures > 0,
+        "silent corruption must be caught in flight"
+    );
+    assert!(copy_retries > 0, "transient faults must be retried");
+    coord.clear_copy_quarantine();
+    let clean_outcome = coord.run_copy(&source_stores, None).expect("clean recopy");
+    assert_eq!(
+        clean_outcome,
+        CopyOutcome::Complete,
+        "clean replica completes the copy"
+    );
+    let copy_ticks = coord.ticks_spent();
+    println!(
+        "copy chaos: bands {quarantined_bands:?} quarantined after {checksum_failures} checksum \
+         catches and {copy_retries} retries; clean-replica recopy complete ({copy_ticks} ticks).\n"
+    );
+
+    // --- DualRead: both sides live. Healthy dual-read must be
+    // bit-identical to the pre-migration plan at every thread count.
+    coord.enter_dual_read().expect("all bands copied");
+    let groups = coord.dual_read_groups().expect("in dual-read");
+    let migrated = coord.migrated_bands();
+    let dual_sources: Vec<TileSource<'_>> = migrated
+        .iter()
+        .map(|b| TileSource::new(b.stores()).expect("aligned copies"))
+        .collect();
+    let dest_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = migrated
+        .iter()
+        .zip(&dual_sources)
+        .map(|(b, src)| ArchiveShard::new(b.pyramids(), src, b.row_offset()))
+        .collect();
+    for threads in identity_threads {
+        let pool = WorkerPool::new(threads);
+        let r = scatter_gather_top_k_dual(
+            model.model(),
+            &source_archive,
+            &dest_handles,
+            &groups,
+            k,
+            &budget,
+            &ScatterPolicy::require_all(),
+            &pool,
+        )
+        .expect("healthy dual-read");
+        assert_eq!(
+            r.results, reference.results,
+            "healthy dual-read must be bit-identical to the pre-migration plan (threads {threads})"
+        );
+        assert_eq!(r.completeness, 1.0);
+    }
+    println!(
+        "healthy dual-read bit-identical to the pre-migration plan at threads \
+         {identity_threads:?}: yes\n"
+    );
+
+    // Epoch fence: a query pinned to the destination epoch is rejected
+    // typed before any shard runs.
+    let fence_err = scatter_gather_top_k(
+        model.model(),
+        &source_archive,
+        k,
+        &budget,
+        &ScatterPolicy::require_all().at_epoch(coord.to_epoch()),
+        &pool,
+    );
+    let fence_typed =
+        matches!(&fence_err, Err(ShardError::Epoch(e)) if e.requested == coord.to_epoch());
+    assert!(
+        fence_typed,
+        "epoch fence must fail typed, got {fence_err:?}"
+    );
+
+    // DualRead chaos: kill the migrating source shard. Its rows are
+    // covered wholesale by the destination copies — zero wrong answers,
+    // and the winner (who lives in the killed band) stays in bounds.
+    let kill_all = || (0..page_count).fold(FaultProfile::new(seed), |p, pg| p.permanent(pg));
+    let killed_stores: Vec<Vec<TileStore>> = worlds
+        .iter()
+        .enumerate()
+        .map(|(s, w)| {
+            w.groups[0]
+                .0
+                .iter()
+                .map(|st| {
+                    if s == winner_shard {
+                        st.clone().with_faults(kill_all())
+                    } else {
+                        st.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let killed_sources: Vec<TileSource<'_>> = killed_stores
+        .iter()
+        .map(|g| TileSource::new(g).expect("aligned stores"))
+        .collect();
+    let killed_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = worlds
+        .iter()
+        .zip(&killed_sources)
+        .map(|(w, src)| ArchiveShard::new(&w.pyramids, src, w.row_offset))
+        .collect();
+    let killed_archive = ShardedArchive::new(killed_handles).expect("contiguous bands");
+    let mut covered_table: Vec<mbir_core::shard::ShardReport> = Vec::new();
+    let mut covered_completeness = 0.0f64;
+    for threads in identity_threads {
+        let pool = WorkerPool::new(threads);
+        let r = scatter_gather_top_k_dual(
+            model.model(),
+            &killed_archive,
+            &dest_handles,
+            &groups,
+            k,
+            &budget,
+            &ScatterPolicy::best_effort(),
+            &pool,
+        )
+        .expect("covered dual-read");
+        for hit in &r.results {
+            assert!(
+                hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi,
+                "hit score outside its own bounds"
+            );
+        }
+        assert!(
+            r.results
+                .iter()
+                .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+            "true winner must stay inside some reported bound under source kill"
+        );
+        assert_eq!(
+            r.shards[winner_shard].outcome,
+            ShardOutcome::Covered,
+            "the killed migrating shard must be covered by its destination copies"
+        );
+        assert_eq!(
+            r.results, reference.results,
+            "a fully covered kill serves bit-identical results from the copies (threads {threads})"
+        );
+        if threads == 1 {
+            covered_table = r.shards.clone();
+            covered_completeness = r.completeness;
+        }
+    }
+    print!("{}", ShardTable::new(&covered_table));
+    println!(
+        "\nsource shard {winner_shard} killed during dual-read: covered by destination copies, \
+         completeness {covered_completeness:.3}, zero wrong answers at threads {identity_threads:?}.\n"
+    );
+
+    // Kill both sides of the migration group: no cover is possible, the
+    // merge degrades — but soundly, and require-all fails typed with the
+    // serving epoch stamped.
+    let killed_dest_stores: Vec<Vec<TileStore>> = migrated
+        .iter()
+        .map(|b| {
+            b.stores()
+                .iter()
+                .map(|st| {
+                    st.clone().with_faults(
+                        (0..st.page_count()).fold(FaultProfile::new(seed), |p, pg| p.permanent(pg)),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let killed_dest_sources: Vec<TileSource<'_>> = killed_dest_stores
+        .iter()
+        .map(|g| TileSource::new(g).expect("aligned copies"))
+        .collect();
+    let killed_dest_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = migrated
+        .iter()
+        .zip(&killed_dest_sources)
+        .map(|(b, src)| ArchiveShard::new(b.pyramids(), src, b.row_offset()))
+        .collect();
+    let both = scatter_gather_top_k_dual(
+        model.model(),
+        &killed_archive,
+        &killed_dest_handles,
+        &groups,
+        k,
+        &budget,
+        &ScatterPolicy::best_effort(),
+        &pool,
+    )
+    .expect("uncovered dual-read still answers best-effort");
+    assert!(
+        both.is_degraded(),
+        "killing both sides must degrade the answer"
+    );
+    assert!(
+        both.results
+            .iter()
+            .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+        "true winner must stay inside some reported bound even with both sides dead"
+    );
+    let quorum = scatter_gather_top_k_dual(
+        model.model(),
+        &killed_archive,
+        &killed_dest_handles,
+        &groups,
+        k,
+        &budget,
+        &ScatterPolicy::require_all(),
+        &pool,
+    );
+    let (q_responded, q_required) = match quorum {
+        Err(ShardError::Insufficient(e)) => {
+            assert!(e.failed.contains(&winner_shard));
+            assert_eq!(
+                e.epoch,
+                coord.from_epoch(),
+                "quorum error carries the serving epoch"
+            );
+            (e.responded, e.required)
+        }
+        other => panic!(
+            "uncovered kill under require-all must fail typed, got {:?}",
+            other.map(|r| r.results.len())
+        ),
+    };
+    println!(
+        "both sides of the migration group killed: degraded-but-sound best-effort answer; \
+         require-all failed typed ({q_responded} of {q_required} responded at epoch {}).\n",
+        coord.from_epoch(),
+    );
+
+    // --- CutOver: the destination epoch goes live atomically. The mixed
+    // archive (carried-over source bands + migrated copies) must be
+    // bit-identical to a destination topology built directly from the
+    // raw grids.
+    coord.cut_over().expect("dual-read -> cut-over");
+    assert_eq!(coord.active_epoch(), coord.to_epoch());
+    let migrated = coord.migrated_bands();
+    let (_, _, direct_worlds) = sharded_world_for_plan(seed, &dest_plan, 1);
+    let direct_sources: Vec<TileSource<'_>> = direct_worlds
+        .iter()
+        .map(|w| TileSource::new(&w.groups[0].0).expect("aligned stores"))
+        .collect();
+    let direct_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = direct_worlds
+        .iter()
+        .zip(&direct_sources)
+        .map(|(w, src)| ArchiveShard::new(&w.pyramids, src, w.row_offset))
+        .collect();
+    let direct_archive = ShardedArchive::new(direct_handles)
+        .expect("contiguous bands")
+        .with_epoch(coord.to_epoch());
+    let direct = scatter_gather_top_k(
+        model.model(),
+        &direct_archive,
+        k,
+        &budget,
+        &ScatterPolicy::require_all().at_epoch(coord.to_epoch()),
+        &pool,
+    )
+    .expect("healthy direct destination scatter");
+
+    // Assemble the post-cut-over archive: carried-over bands keep their
+    // source pyramids and stores; migrating bands use the copies.
+    enum BandRef<'a> {
+        Carried(usize),
+        Migrated(&'a mbir_core::reshard::MigratedBand),
+    }
+    let mut band_refs: Vec<BandRef<'_>> = Vec::new();
+    for b in 0..dest_plan.shard_count() {
+        if let Some(&(_, src)) = coord.carried_over().iter().find(|&&(d, _)| d == b) {
+            band_refs.push(BandRef::Carried(src));
+        } else {
+            let pos = coord
+                .migrating_dest_bands()
+                .iter()
+                .position(|&m| m == b)
+                .expect("band is carried or migrating");
+            band_refs.push(BandRef::Migrated(migrated[pos]));
+        }
+    }
+    let cutover_sources: Vec<TileSource<'_>> = band_refs
+        .iter()
+        .map(|r| match r {
+            BandRef::Carried(s) => {
+                TileSource::new(&worlds[*s].groups[0].0).expect("aligned stores")
+            }
+            BandRef::Migrated(b) => TileSource::new(b.stores()).expect("aligned copies"),
+        })
+        .collect();
+    let cutover_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = band_refs
+        .iter()
+        .zip(&cutover_sources)
+        .enumerate()
+        .map(|(b, (r, src))| {
+            let offset = dest_plan.bands()[b].row_offset;
+            match r {
+                BandRef::Carried(s) => ArchiveShard::new(&worlds[*s].pyramids, src, offset),
+                BandRef::Migrated(m) => ArchiveShard::new(m.pyramids(), src, offset),
+            }
+        })
+        .collect();
+    let cutover_archive = ShardedArchive::new(cutover_handles)
+        .expect("contiguous bands")
+        .with_epoch(coord.active_epoch());
+    for threads in identity_threads {
+        let pool = WorkerPool::new(threads);
+        let r = scatter_gather_top_k(
+            model.model(),
+            &cutover_archive,
+            k,
+            &budget,
+            &ScatterPolicy::require_all().at_epoch(coord.to_epoch()),
+            &pool,
+        )
+        .expect("healthy post-cut-over scatter");
+        assert_eq!(
+            r.results, direct.results,
+            "post-cut-over archive must be bit-identical to the directly built destination \
+             topology (threads {threads})"
+        );
+        assert_eq!(r.completeness, 1.0);
+    }
+    println!(
+        "cut over to epoch {}: migrated archive bit-identical to the directly built \
+         destination topology at threads {identity_threads:?}: yes\n",
+        coord.to_epoch(),
+    );
+
+    // Post-cut-over chaos: kill one of the new bands — plain r6-style
+    // degradation, no dual-read needed any more.
+    let post_kill_shard = coord.migrating_dest_bands()[0];
+    let post_stores: Vec<Vec<TileStore>> = band_refs
+        .iter()
+        .enumerate()
+        .map(|(b, r)| {
+            let base: Vec<TileStore> = match r {
+                BandRef::Carried(s) => worlds[*s].groups[0].0.clone(),
+                BandRef::Migrated(m) => m.stores().to_vec(),
+            };
+            if b == post_kill_shard {
+                base.into_iter()
+                    .map(|st| {
+                        let pages = st.page_count();
+                        st.with_faults(
+                            (0..pages).fold(FaultProfile::new(seed), |p, pg| p.permanent(pg)),
+                        )
+                    })
+                    .collect()
+            } else {
+                base
+            }
+        })
+        .collect();
+    let post_sources: Vec<TileSource<'_>> = post_stores
+        .iter()
+        .map(|g| TileSource::new(g).expect("aligned stores"))
+        .collect();
+    let post_handles: Vec<ArchiveShard<'_, TileSource<'_>>> = band_refs
+        .iter()
+        .zip(&post_sources)
+        .enumerate()
+        .map(|(b, (r, src))| {
+            let offset = dest_plan.bands()[b].row_offset;
+            match r {
+                BandRef::Carried(s) => ArchiveShard::new(&worlds[*s].pyramids, src, offset),
+                BandRef::Migrated(m) => ArchiveShard::new(m.pyramids(), src, offset),
+            }
+        })
+        .collect();
+    let post_archive = ShardedArchive::new(post_handles)
+        .expect("contiguous bands")
+        .with_epoch(coord.active_epoch());
+    let post = scatter_gather_top_k(
+        model.model(),
+        &post_archive,
+        k,
+        &budget,
+        &ScatterPolicy::best_effort(),
+        &pool,
+    )
+    .expect("post-cut-over best effort");
+    assert!(
+        post.results
+            .iter()
+            .any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+        "true winner must stay inside some reported bound after a post-cut-over kill"
+    );
+    assert_eq!(post.shards[post_kill_shard].outcome, ShardOutcome::Failed);
+    println!(
+        "post-cut-over kill of new band {post_kill_shard}: degraded-but-sound \
+         (completeness {:.3}), winner still covered.\n",
+        post.completeness,
+    );
+
+    // --- Retire: scrub the retired source owners' page quarantine (it is
+    // keyed by the old band layout and would suppress healthy reads when
+    // the stores are reused). A pre-quarantined page proves the scrub.
+    let retiring = coord.retiring_source_bands();
+    let scrub_stores: Vec<Vec<TileStore>> = retiring
+        .iter()
+        .map(|&s| {
+            let stores: Vec<TileStore> = worlds[s].groups[0]
+                .0
+                .iter()
+                .map(|st| {
+                    st.clone()
+                        .with_faults(FaultProfile::new(seed).permanent(0))
+                        .with_resilience(ResilienceConfig::new(RetryPolicy::none(), Some(1)))
+                })
+                .collect();
+            // Trip the quarantine: one failing read per store.
+            for st in &stores {
+                let _ = st.read_page(0);
+            }
+            stores
+        })
+        .collect();
+    let scrub_sources: Vec<TileSource<'_>> = scrub_stores
+        .iter()
+        .map(|g| TileSource::new(g).expect("aligned stores"))
+        .collect();
+    let scrub_refs: Vec<&dyn QuarantineScrub> = scrub_sources
+        .iter()
+        .map(|s| s as &dyn QuarantineScrub)
+        .collect();
+    let quarantined_before: u64 = scrub_sources.iter().map(|s| s.quarantined_pages()).sum();
+    let cleared = coord.retire(&scrub_refs).expect("cut-over -> retired");
+    assert_eq!(coord.state(), MigrationState::Retired);
+    assert_eq!(
+        cleared, quarantined_before,
+        "retire reports every cleared page"
+    );
+    assert!(cleared > 0, "the staged quarantine must be scrubbed");
+    assert_eq!(
+        scrub_sources
+            .iter()
+            .map(|s| s.quarantined_pages())
+            .sum::<u64>(),
+        0,
+        "no stale quarantine survives retirement"
+    );
+    println!("retired source bands {retiring:?}: scrubbed {cleared} stale quarantined pages.\n");
+    let migration_report = coord.report();
+
+    // --- Abort path: a second migration hits a wall deadline mid-copy
+    // and rolls back; the source epoch answers bit-identically to never
+    // having started.
+    let mut abort_coord = ReshardCoordinator::new(
+        EpochedShardPlan::initial(from_plan.clone()),
+        from_plan.split_band(winner_shard).expect("band splits"),
+        ReshardPolicy::default().with_wall_deadline_ticks(10),
+    )
+    .expect("same shape and tile");
+    let slow_copy: Vec<Vec<TileStore>> = worlds
+        .iter()
+        .enumerate()
+        .map(|(s, w)| {
+            w.groups[0]
+                .0
+                .iter()
+                .map(|st| {
+                    if s == winner_shard {
+                        st.clone().with_faults(
+                            (0..page_count)
+                                .fold(FaultProfile::new(seed), |p, pg| p.latency(pg, 500)),
+                        )
+                    } else {
+                        st.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let slow_refs: Vec<&[TileStore]> = slow_copy.iter().map(Vec::as_slice).collect();
+    abort_coord.begin_copy().expect("planned -> copying");
+    let abort_outcome = abort_coord.run_copy(&slow_refs, None).expect("copy runs");
+    assert_eq!(abort_outcome, CopyOutcome::DeadlineExceeded);
+    assert_eq!(abort_coord.state(), MigrationState::Aborted);
+    assert_eq!(abort_coord.abort_reason(), Some(AbortReason::WallDeadline));
+    assert_eq!(abort_coord.active_epoch(), abort_coord.from_epoch());
+    assert!(
+        abort_coord.migrated_bands().is_empty(),
+        "partial copies dropped on abort"
+    );
+    let after_abort = scatter_gather_top_k(
+        model.model(),
+        &source_archive,
+        k,
+        &budget,
+        &ScatterPolicy::require_all().at_epoch(abort_coord.from_epoch()),
+        &pool,
+    )
+    .expect("source epoch still serves after abort");
+    assert_eq!(
+        after_abort.results, reference.results,
+        "aborted migration must leave source-epoch answers bit-identical to never having started"
+    );
+    println!(
+        "wall-deadline abort after {} ticks: rolled back to epoch {}, source answers \
+         bit-identical to never having started.\n",
+        abort_coord.ticks_spent(),
+        abort_coord.from_epoch(),
+    );
+
+    // Machine-readable output (hand-rolled JSON; std only).
+    let per_band: Vec<String> = migration_report
+        .bands
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"dest_band\":{},\"attempts\":{},\"pages_copied\":{},\"retries\":{},\
+                 \"io_failures\":{},\"checksum_failures\":{},\"quarantined\":{},\"complete\":{}}}",
+                b.dest_band,
+                b.attempts,
+                b.pages_copied,
+                b.retries,
+                b.io_failures,
+                b.checksum_failures,
+                b.quarantined,
+                b.complete,
+            )
+        })
+        .collect();
+    let covered_json: Vec<String> = covered_table.iter().map(shard_report_json).collect();
+    let migrating_list: Vec<String> = migration_report
+        .migrating_dest_bands
+        .iter()
+        .map(usize::to_string)
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"r9_reshard\",\n  \"seed\": {seed},\n  \"world\": {{\"rows\": {rows}, \
+         \"cols\": {cols}, \"tile\": {tile}, \"source_shards\": {}, \"dest_shards\": {}, \
+         \"pages_per_shard\": {page_count}}},\n  \"migration\": {{\"from_epoch\": {}, \"to_epoch\": {}, \
+         \"state\": \"{}\", \"split_band\": {winner_shard}, \"migrating_dest_bands\": [{}], \
+         \"ticks_spent\": {},\n    \"per_band\": [\n      {}\n    ]}},\n  \"copy_chaos\": \
+         {{\"quarantined_bands\": {}, \"checksum_failures\": {checksum_failures}, \"retries\": \
+         {copy_retries}, \"clean_recopy_complete\": true}},\n  \"dual_read\": {{\"healthy_bit_identical\": \
+         true, \"covered_kill_bit_identical\": true, \"covered_completeness\": \
+         {covered_completeness:.6}, \"both_sides_killed_sound\": true, \"quorum_error\": \
+         {{\"responded\": {q_responded}, \"required\": {q_required}, \"epoch\": {}}},\n    \
+         \"per_shard\": [\n      {}\n    ]}},\n  \"cut_over\": {{\"bit_identical_to_direct_build\": \
+         true, \"post_kill_sound\": true, \"post_kill_completeness\": {:.6}}},\n  \"retire\": \
+         {{\"retired_bands\": {}, \"scrubbed_quarantined_pages\": {cleared}}},\n  \"abort\": \
+         {{\"reason\": \"wall-deadline\", \"ticks_spent\": {}, \"rolled_back_to_epoch\": {}, \
+         \"rollback_bit_identical\": true}},\n  \"fence\": {{\"typed_epoch_mismatch\": true}}\n}}\n",
+        from_plan.shard_count(),
+        dest_plan.shard_count(),
+        migration_report.from_epoch.get(),
+        migration_report.to_epoch.get(),
+        migration_report.state,
+        migrating_list.join(", "),
+        migration_report.ticks_spent,
+        per_band.join(",\n      "),
+        format!("[{}]", quarantined_bands.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")),
+        coord.from_epoch().get(),
+        covered_json.join(",\n      "),
+        post.completeness,
+        format!("[{}]", retiring.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")),
+        abort_coord.ticks_spent(),
+        abort_coord.from_epoch().get(),
+    );
+    match std::fs::write("BENCH_reshard.json", &json) {
+        Ok(()) => println!("wrote BENCH_reshard.json"),
+        Err(e) => eprintln!("could not write BENCH_reshard.json: {e}"),
     }
 }
 

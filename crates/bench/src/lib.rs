@@ -286,18 +286,40 @@ pub fn sharded_world(
     Vec<ShardWorld>,
     mbir_archive::shard::ShardPlan,
 ) {
+    let plan = mbir_archive::shard::ShardPlan::row_bands(rows, cols, shards, tile)
+        .expect("valid shard plan");
+    let (global_pyramids, model, worlds) = sharded_world_for_plan(seed, &plan, replicas);
+    (global_pyramids, model, worlds, plan)
+}
+
+/// The HPS attribute grids (TM4/TM5/TM7 reflectances plus elevation) the
+/// sharded worlds are built from — deterministic in `seed`.
+pub fn hps_attribute_grids(seed: u64, rows: usize, cols: usize) -> Vec<Grid2<f64>> {
     let scene = SyntheticScene::new(seed, rows, cols).generate();
     let dem = Dem::synthetic(seed + 1, rows, cols, 0.0, 2500.0);
-    let bands: Vec<Grid2<f64>> = vec![
+    vec![
         scene.band(BandId::TM4).expect("band present").clone(),
         scene.band(BandId::TM5).expect("band present").clone(),
         scene.band(BandId::TM7).expect("band present").clone(),
         dem.grid().clone(),
-    ];
+    ]
+}
+
+/// Like [`sharded_world`], but over a caller-supplied [`ShardPlan`](mbir_archive::shard::ShardPlan)
+/// — the R9 resharding harness uses this to build the *destination*
+/// topology directly as the bit-identity reference for a completed
+/// migration.
+#[allow(clippy::type_complexity)]
+pub fn sharded_world_for_plan(
+    seed: u64,
+    plan: &mbir_archive::shard::ShardPlan,
+    replicas: usize,
+) -> (Vec<AggregatePyramid>, HpsRiskModel, Vec<ShardWorld>) {
+    let (rows, cols) = plan.shape();
+    let tile = plan.tile_size();
+    let bands = hps_attribute_grids(seed, rows, cols);
     let global_pyramids: Vec<AggregatePyramid> =
         bands.iter().map(AggregatePyramid::build).collect();
-    let plan = mbir_archive::shard::ShardPlan::row_bands(rows, cols, shards, tile)
-        .expect("valid shard plan");
     let worlds = plan
         .bands()
         .iter()
@@ -327,7 +349,7 @@ pub fn sharded_world(
             }
         })
         .collect();
-    (global_pyramids, HpsRiskModel::paper(), worlds, plan)
+    (global_pyramids, HpsRiskModel::paper(), worlds)
 }
 
 /// A wide linear model (many attributes, skewed coefficients) over smooth

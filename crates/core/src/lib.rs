@@ -50,6 +50,13 @@
 //!   Every per-query answer is bit-identical to its solo
 //!   [`resilient`](crate::resilient) run; threaded through the parallel
 //!   workers and the sharded scatter-gather.
+//! * [`reshard`] — epoch-fenced live resharding: a [`ReshardCoordinator`]
+//!   drives split/merge/move of tile-aligned row bands through
+//!   Planned → Copying → DualRead → CutOver → Retired, with
+//!   checksum-verified band copies, retry/backoff and copy quarantine,
+//!   wall-deadline abort back to the source epoch, and a dual-read
+//!   scatter that keeps degraded merges sound while healthy queries stay
+//!   bit-identical to the pre-migration plan.
 //!
 //! ```
 //! use mbir_archive::grid::Grid2;
@@ -75,6 +82,7 @@ pub mod parallel;
 pub mod plan;
 pub mod query;
 pub mod replica;
+pub mod reshard;
 pub mod resilient;
 pub mod shard;
 pub mod source;
@@ -112,6 +120,10 @@ pub use plan::{
 };
 pub use query::{Objective, TopKQuery};
 pub use replica::{BreakerState, ReplicaConfig, ReplicaHealth, ReplicatedSource};
+pub use reshard::{
+    AbortReason, BandCopyReport, CopyOutcome, MigratedBand, MigrationState, ReshardCoordinator,
+    ReshardPolicy, ReshardReport,
+};
 pub use resilient::{
     resilient_top_k, resilient_top_k_cancellable, resilient_top_k_coarse,
     resilient_top_k_coarse_with_scratch, BudgetStop, ExecutionBudget, ResilientHit, ResilientTopK,
@@ -119,9 +131,10 @@ pub use resilient::{
 };
 pub use shard::{
     batched_scatter_gather_top_k, batched_scatter_gather_top_k_cancellable, scatter_gather_top_k,
-    scatter_gather_top_k_cancellable, ArchiveShard, BatchedShardedTopK, CompletionPolicy,
-    InsufficientShards, ScatterPolicy, ShardError, ShardOutcome, ShardReport, ShardedArchive,
-    ShardedTopK,
+    scatter_gather_top_k_cancellable, scatter_gather_top_k_dual,
+    scatter_gather_top_k_dual_cancellable, ArchiveShard, BatchedShardedTopK, CompletionPolicy,
+    DualReadGroup, EpochMismatch, InsufficientShards, ScatterPolicy, ShardError, ShardOutcome,
+    ShardReport, ShardTable, ShardedArchive, ShardedTopK,
 };
-pub use source::{CachedTileSource, CellSource, PyramidSource, TileSource};
+pub use source::{CachedTileSource, CellSource, PyramidSource, QuarantineScrub, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

@@ -347,6 +347,20 @@ impl<'a> ReplicatedSource<'a> {
             .sum()
     }
 
+    /// Clears the per-page quarantine of every store of every replica,
+    /// so future reads attempt the pages again. Invoked through
+    /// [`QuarantineScrub`] when a topology change retires this source's
+    /// band from its shard: quarantine page ids are only meaningful for
+    /// the band layout they were recorded under, and a stale entry would
+    /// otherwise suppress reads of healthy data when the stores are
+    /// reused. Circuit breakers are a *replica*-level ledger and keep
+    /// their state — see [`reset_breakers`](Self::reset_breakers).
+    pub fn clear_quarantine(&self) {
+        for store in self.replicas.iter().flat_map(|r| r.iter()) {
+            store.clear_quarantine();
+        }
+    }
+
     /// The breaker cooldown clock: total virtual I/O ticks accrued across
     /// all replicas (each replica's first store carries its group's
     /// shared stats). Deterministic under deterministic fault profiles.
@@ -602,6 +616,16 @@ impl<'a> ReplicatedSource<'a> {
             let Some((_, page)) = victim else { return };
             state.slots.remove(&page);
         }
+    }
+}
+
+impl crate::source::QuarantineScrub for ReplicatedSource<'_> {
+    fn clear_quarantine(&self) {
+        ReplicatedSource::clear_quarantine(self);
+    }
+
+    fn quarantined_pages(&self) -> u64 {
+        ReplicatedSource::quarantined_pages(self)
     }
 }
 

@@ -61,6 +61,7 @@ use crate::resilient::{
 use crate::source::CellSource;
 use mbir_archive::error::ArchiveError;
 use mbir_archive::extent::CellCoord;
+use mbir_archive::shard::TopologyEpoch;
 use mbir_index::scan::TopKHeap;
 use mbir_index::stats::{sort_desc, ScoredItem};
 use mbir_models::linear::LinearModel;
@@ -141,6 +142,7 @@ pub struct ShardedArchive<'a, S> {
     shards: Vec<ArchiveShard<'a, S>>,
     rows: usize,
     cols: usize,
+    epoch: TopologyEpoch,
 }
 
 impl<'a, S: CellSource> ShardedArchive<'a, S> {
@@ -183,7 +185,22 @@ impl<'a, S: CellSource> ShardedArchive<'a, S> {
             shards,
             rows: next_row,
             cols,
+            epoch: TopologyEpoch::ZERO,
         })
+    }
+
+    /// Stamps the archive with the [`TopologyEpoch`] it serves (builder
+    /// style). Queries whose [`ScatterPolicy`] pins a different epoch are
+    /// rejected with a typed [`EpochMismatch`] before any shard is
+    /// touched. A fresh archive serves [`TopologyEpoch::ZERO`].
+    pub fn with_epoch(mut self, epoch: TopologyEpoch) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The topology epoch this archive serves.
+    pub fn epoch(&self) -> TopologyEpoch {
+        self.epoch
     }
 
     /// The per-shard handles, in band order.
@@ -258,15 +275,22 @@ pub struct ScatterPolicy {
     /// re-dispatch (first clean finish wins; the loser's output is
     /// discarded wholesale).
     pub hedge_stragglers: bool,
+    /// The [`TopologyEpoch`] the query was planned against. When set,
+    /// the scatter step rejects an archive serving any other epoch with
+    /// a typed [`EpochMismatch`] — the live-resharding fence that keeps
+    /// a query from silently spanning two topologies mid-migration.
+    /// `None` accepts whatever epoch the archive serves.
+    pub epoch_fence: Option<TopologyEpoch>,
 }
 
 impl ScatterPolicy {
-    /// `RequireAll`, no soft deadline, no hedging.
+    /// `RequireAll`, no soft deadline, no hedging, no epoch fence.
     pub fn require_all() -> Self {
         ScatterPolicy {
             completion: CompletionPolicy::RequireAll,
             shard_soft_deadline_ticks: None,
             hedge_stragglers: false,
+            epoch_fence: None,
         }
     }
 
@@ -298,6 +322,14 @@ impl ScatterPolicy {
         self.hedge_stragglers = true;
         self
     }
+
+    /// Pins the query to a [`TopologyEpoch`] (builder style); the query
+    /// fails with [`EpochMismatch`] unless the archive serves exactly
+    /// that epoch.
+    pub fn at_epoch(mut self, epoch: TopologyEpoch) -> Self {
+        self.epoch_fence = Some(epoch);
+        self
+    }
 }
 
 impl Default for ScatterPolicy {
@@ -312,34 +344,66 @@ impl Default for ScatterPolicy {
 /// [`Overloaded`](crate::lifecycle::Overloaded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InsufficientShards {
-    /// Shards that produced a usable response.
+    /// Shards that produced a usable response (during a dual-read this
+    /// includes migrating source shards whose rows were fully covered by
+    /// responding destination copies).
     pub responded: usize,
     /// Responding shards the completion policy requires.
     pub required: usize,
     /// Total shards queried.
     pub total: usize,
-    /// Indices of the failed shards, ascending.
+    /// Indices of the failed shards, ascending. During a dual-read a
+    /// shard only lands here when its destination cover failed too.
     pub failed: Vec<usize>,
+    /// The topology epoch the tally was taken against, so a caller
+    /// retrying around a live migration can tell a quorum loss at the
+    /// source epoch from one at the destination epoch.
+    pub epoch: TopologyEpoch,
 }
 
 impl fmt::Display for InsufficientShards {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "only {} of {} shards responded ({} required); failed shards: {:?}",
-            self.responded, self.total, self.required, self.failed
+            "only {} of {} shards responded at epoch {} ({} required); failed shards: {:?}",
+            self.responded, self.total, self.epoch, self.required, self.failed
         )
     }
 }
 
 impl Error for InsufficientShards {}
 
-/// Error from a scatter-gather query: either a typed quorum failure or a
-/// propagated engine error (input validation, engine bugs).
+/// Typed epoch-fence rejection: the query pinned a [`TopologyEpoch`]
+/// that the archive does not serve. Raised before any shard is touched,
+/// so a fenced query never mixes answers from two topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMismatch {
+    /// The epoch the query pinned via [`ScatterPolicy::at_epoch`].
+    pub requested: TopologyEpoch,
+    /// The epoch the archive currently serves.
+    pub serving: TopologyEpoch,
+}
+
+impl fmt::Display for EpochMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query pinned topology epoch {} but the archive serves {}",
+            self.requested, self.serving
+        )
+    }
+}
+
+impl Error for EpochMismatch {}
+
+/// Error from a scatter-gather query: a typed quorum failure, a typed
+/// epoch-fence rejection, or a propagated engine error.
 #[derive(Debug)]
 pub enum ShardError {
     /// Fewer shards responded than the completion policy requires.
     Insufficient(InsufficientShards),
+    /// The query pinned a topology epoch the archive does not serve.
+    Epoch(EpochMismatch),
     /// An engine error that is not a shard fault (e.g. invalid inputs).
     Core(CoreError),
 }
@@ -348,6 +412,7 @@ impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShardError::Insufficient(e) => e.fmt(f),
+            ShardError::Epoch(e) => e.fmt(f),
             ShardError::Core(e) => e.fmt(f),
         }
     }
@@ -357,6 +422,7 @@ impl Error for ShardError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ShardError::Insufficient(e) => Some(e),
+            ShardError::Epoch(e) => Some(e),
             ShardError::Core(e) => Some(e),
         }
     }
@@ -365,6 +431,12 @@ impl Error for ShardError {
 impl From<InsufficientShards> for ShardError {
     fn from(e: InsufficientShards) -> Self {
         ShardError::Insufficient(e)
+    }
+}
+
+impl From<EpochMismatch> for ShardError {
+    fn from(e: EpochMismatch) -> Self {
+        ShardError::Epoch(e)
     }
 }
 
@@ -384,6 +456,10 @@ pub enum ShardOutcome {
     /// Stopped on the per-shard soft deadline (straggler), and no hedge
     /// attempt cleared it.
     TimedOut,
+    /// Dual-read only: the shard's rows were served by the responding
+    /// destination copies of its migration group instead (its own
+    /// attempt's output was discarded wholesale). Counts as responded.
+    Covered,
     /// Errored, or every attempted page read failed: contributed no
     /// evaluated data. Counts against the completion quorum.
     Failed,
@@ -395,6 +471,7 @@ impl fmt::Display for ShardOutcome {
             ShardOutcome::Complete => "complete",
             ShardOutcome::Degraded => "degraded",
             ShardOutcome::TimedOut => "timed-out",
+            ShardOutcome::Covered => "covered",
             ShardOutcome::Failed => "failed",
         })
     }
@@ -426,6 +503,69 @@ pub struct ShardReport {
     pub hedge_won: bool,
     /// Base cells in the shard's band.
     pub cells: u64,
+}
+
+/// Compact markdown table over a slice of [`ShardReport`]s, one row per
+/// shard — the shared per-shard rendering of the r6 and r9 repro
+/// harnesses (and anything else that wants to log a scatter verdict).
+///
+/// ```
+/// # use mbir_core::shard::{ShardOutcome, ShardReport, ShardTable};
+/// let reports = vec![ShardReport {
+///     shard: 0,
+///     outcome: ShardOutcome::Complete,
+///     completeness: 1.0,
+///     exact_hits: 5,
+///     skipped_pages: vec![],
+///     budget_stop: None,
+///     pages_read: 12,
+///     ticks: 48,
+///     hedged: false,
+///     hedge_won: false,
+///     cells: 4096,
+/// }];
+/// let table = ShardTable::new(&reports).to_string();
+/// assert!(table.contains("| 0 | complete | 1.000 | 5 | 0 | 12 | 48 | no |"));
+/// ```
+pub struct ShardTable<'a>(&'a [ShardReport]);
+
+impl<'a> ShardTable<'a> {
+    /// Wraps the reports to render (typically [`ShardedTopK::shards`]).
+    pub fn new(reports: &'a [ShardReport]) -> Self {
+        ShardTable(reports)
+    }
+}
+
+impl fmt::Display for ShardTable<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "| shard | outcome | completeness | exact hits | skipped pages | pages read | ticks | hedged |"
+        )?;
+        writeln!(f, "|---|---|---|---|---|---|---|---|")?;
+        for r in self.0 {
+            let hedged = if r.hedge_won {
+                "won"
+            } else if r.hedged {
+                "lost"
+            } else {
+                "no"
+            };
+            writeln!(
+                f,
+                "| {} | {} | {:.3} | {} | {} | {} | {} | {} |",
+                r.shard,
+                r.outcome,
+                r.completeness,
+                r.exact_hits,
+                r.skipped_pages.len(),
+                r.pages_read,
+                r.ticks,
+                hedged,
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Merged scatter-gather result: a sound top-K with per-shard
@@ -683,6 +823,24 @@ fn scatter_wave<S: CellSource + Sync>(
     .collect()
 }
 
+/// Rejects a query whose pinned epoch differs from the one the archive
+/// serves — checked before any shard attempt runs.
+fn check_epoch_fence<S>(
+    policy: &ScatterPolicy,
+    archive: &ShardedArchive<'_, S>,
+) -> Result<(), ShardError> {
+    if let Some(requested) = policy.epoch_fence {
+        if requested != archive.epoch {
+            return Err(EpochMismatch {
+                requested,
+                serving: archive.epoch,
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
 /// Severity order used to merge per-shard stop reasons into one:
 /// Cancelled > WallClock > Deadline > PageReads > MultiplyAdds.
 fn stop_severity(stop: BudgetStop) -> u8 {
@@ -751,6 +909,7 @@ fn scatter_gather_inner<S: CellSource + Sync>(
     cancel: Option<&CancelToken>,
     pool: &WorkerPool,
 ) -> Result<ShardedTopK, ShardError> {
+    check_epoch_fence(policy, archive)?;
     let shards = archive.shards();
     for shard in shards {
         validate_grid_inputs(model, shard.pyramids, k).map_err(ShardError::Core)?;
@@ -854,6 +1013,7 @@ fn scatter_gather_inner<S: CellSource + Sync>(
             required,
             total: shards.len(),
             failed,
+            epoch: archive.epoch,
         }
         .into());
     }
@@ -1016,6 +1176,624 @@ fn scatter_gather_inner<S: CellSource + Sync>(
     // Rank by upper bound first — the shared final comparator of the
     // resilient engines: exact hits have hi == score, and truncation can
     // never drop the only candidate that might still be the true winner.
+    hits.sort_by(|a, b| {
+        b.bounds
+            .hi
+            .total_cmp(&a.bounds.hi)
+            .then_with(|| b.score.total_cmp(&a.score))
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
+    hits.truncate(k);
+
+    Ok(ShardedTopK {
+        results: hits,
+        effort,
+        completeness: 1.0 - unresolved as f64 / total_cells as f64,
+        skipped_pages: skipped,
+        budget_stop: merged_stop,
+        shards: reports,
+    })
+}
+
+/// One migration group of a dual-read: the source shards whose rows are
+/// migrating, and the destination shards (band copies) covering exactly
+/// the same contiguous row range. Produced by
+/// [`ReshardCoordinator::dual_read_groups`](crate::reshard::ReshardCoordinator::dual_read_groups);
+/// the row-coverage invariant is validated again by the dual-read
+/// scatter before any shard runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualReadGroup {
+    /// Indices into the source archive's shards, in band order.
+    pub source_shards: Vec<usize>,
+    /// Indices into the dual-read destination slice, in band order.
+    pub dest_shards: Vec<usize>,
+}
+
+/// Validates the dual-read group structure: indices in range and used at
+/// most once, every destination shard claimed by exactly one group, and
+/// each group's source rows covering exactly its destination rows.
+fn validate_dual_groups<S: CellSource, D: CellSource>(
+    archive: &ShardedArchive<'_, S>,
+    dest: &[ArchiveShard<'_, D>],
+    groups: &[DualReadGroup],
+) -> Result<(), ShardError> {
+    let invalid = |msg: String| ShardError::Core(CoreError::Query(msg));
+    let shards = archive.shards();
+    let mut source_used = vec![false; shards.len()];
+    let mut dest_used = vec![false; dest.len()];
+    for (g, group) in groups.iter().enumerate() {
+        if group.source_shards.is_empty() || group.dest_shards.is_empty() {
+            return Err(invalid(format!("dual-read group {g} is one-sided")));
+        }
+        let range =
+            |offset: usize, rows: usize, lo: &mut usize, hi: &mut usize, sum: &mut usize| {
+                *lo = (*lo).min(offset);
+                *hi = (*hi).max(offset + rows);
+                *sum += rows;
+            };
+        let (mut s_lo, mut s_hi, mut s_sum) = (usize::MAX, 0usize, 0usize);
+        for &s in &group.source_shards {
+            let shard = shards
+                .get(s)
+                .ok_or_else(|| invalid(format!("group {g}: source shard {s} out of range")))?;
+            if std::mem::replace(&mut source_used[s], true) {
+                return Err(invalid(format!("source shard {s} appears in two groups")));
+            }
+            range(
+                shard.row_offset,
+                shard.rows(),
+                &mut s_lo,
+                &mut s_hi,
+                &mut s_sum,
+            );
+        }
+        let (mut d_lo, mut d_hi, mut d_sum) = (usize::MAX, 0usize, 0usize);
+        for &d in &group.dest_shards {
+            let shard = dest
+                .get(d)
+                .ok_or_else(|| invalid(format!("group {g}: dest shard {d} out of range")))?;
+            if std::mem::replace(&mut dest_used[d], true) {
+                return Err(invalid(format!("dest shard {d} appears in two groups")));
+            }
+            range(
+                shard.row_offset,
+                shard.rows(),
+                &mut d_lo,
+                &mut d_hi,
+                &mut d_sum,
+            );
+        }
+        if s_sum != s_hi - s_lo || d_sum != d_hi - d_lo {
+            return Err(invalid(format!("dual-read group {g} has a row gap")));
+        }
+        if (s_lo, s_hi) != (d_lo, d_hi) {
+            return Err(invalid(format!(
+                "dual-read group {g} covers source rows {s_lo}..{s_hi} but dest rows {d_lo}..{d_hi}"
+            )));
+        }
+    }
+    if let Some(d) = dest_used.iter().position(|used| !used) {
+        return Err(invalid(format!("dest shard {d} belongs to no group")));
+    }
+    Ok(())
+}
+
+/// Dual-read scatter-gather: [`scatter_gather_top_k`] over the *source*
+/// topology, additionally fanning out to the destination band copies of
+/// an in-flight migration (state `DualRead` of
+/// [`crate::reshard::ReshardCoordinator`]). Per migration group, the
+/// merge uses the source shards' contributions — so a healthy dual-read
+/// stays bit-identical to the plain pre-migration scatter — unless a
+/// migrating source shard fails *and* every destination copy of its
+/// group responded, in which case the whole group's rows are served from
+/// the destination side instead. Group substitution is wholesale (the
+/// suppressed source attempts leave no state in the merge, like a
+/// hedging loser), and a group's destination rows equal its source rows,
+/// so no cell is merged twice and every lost or unrefined destination
+/// region degrades through the same ulp-guarded candidate machinery as
+/// any other shard: bounds stay sound no matter which side served a row.
+///
+/// Quorum accounting is epoch-aware: a migrating source shard served by
+/// its destination cover counts as responded, and only uncovered
+/// failures appear in [`InsufficientShards::failed`], stamped with the
+/// source epoch.
+///
+/// # Errors
+///
+/// [`ShardError::Core`] for invalid inputs or malformed groups;
+/// [`ShardError::Epoch`] when `policy` pins an epoch the archive does
+/// not serve; [`ShardError::Insufficient`] on a quorum miss after
+/// destination covers are credited.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_gather_top_k_dual<S: CellSource + Sync, D: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    dest: &[ArchiveShard<'_, D>],
+    groups: &[DualReadGroup],
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    scatter_gather_dual_inner(model, archive, dest, groups, k, budget, policy, None, pool)
+}
+
+/// [`scatter_gather_top_k_dual`] polling a [`CancelToken`] at every
+/// attempt's page-granular checkpoints — source and destination alike —
+/// so a query cancelled mid-migration degrades with sound bounds on
+/// both sides.
+///
+/// # Errors
+///
+/// Same as [`scatter_gather_top_k_dual`].
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_gather_top_k_dual_cancellable<S: CellSource + Sync, D: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    dest: &[ArchiveShard<'_, D>],
+    groups: &[DualReadGroup],
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: &CancelToken,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    scatter_gather_dual_inner(
+        model,
+        archive,
+        dest,
+        groups,
+        k,
+        budget,
+        policy,
+        Some(cancel),
+        pool,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scatter_gather_dual_inner<S: CellSource + Sync, D: CellSource + Sync>(
+    model: &LinearModel,
+    archive: &ShardedArchive<'_, S>,
+    dest: &[ArchiveShard<'_, D>],
+    groups: &[DualReadGroup],
+    k: usize,
+    budget: &ExecutionBudget,
+    policy: &ScatterPolicy,
+    cancel: Option<&CancelToken>,
+    pool: &WorkerPool,
+) -> Result<ShardedTopK, ShardError> {
+    check_epoch_fence(policy, archive)?;
+    let shards = archive.shards();
+    for shard in shards {
+        validate_grid_inputs(model, shard.pyramids, k).map_err(ShardError::Core)?;
+    }
+    for shard in dest {
+        validate_grid_inputs(model, shard.pyramids, k).map_err(ShardError::Core)?;
+        if shard.cols() != archive.shape().1 {
+            return Err(ShardError::Core(CoreError::Query(format!(
+                "dest shard has {} columns, the archive has {}",
+                shard.cols(),
+                archive.shape().1
+            ))));
+        }
+    }
+    validate_dual_groups(archive, dest, groups)?;
+
+    let n = model.arity() as u64;
+    let total_cells = archive.total_cells();
+    let cols = archive.shape().1;
+    let deadline = WallDeadline::starting_now(budget);
+    let bound = SharedBound::new();
+
+    let soft_engaged = policy
+        .shard_soft_deadline_ticks
+        .is_some_and(|soft| budget.deadline_ticks.is_none_or(|d| soft < d));
+    let primary_budget = if soft_engaged {
+        ExecutionBudget {
+            deadline_ticks: policy.shard_soft_deadline_ticks,
+            ..*budget
+        }
+    } else {
+        *budget
+    };
+
+    // Source wave + hedged straggler re-dispatch: exactly the plain
+    // scatter's discipline.
+    let primary_ctx = ScatterCtx {
+        model,
+        k,
+        cols,
+        budget: primary_budget,
+        deadline: &deadline,
+        cancel,
+        bound: &bound,
+    };
+    let all: Vec<usize> = (0..shards.len()).collect();
+    let mut attempts: Vec<Option<ShardAttempt>> = (0..shards.len()).map(|_| None).collect();
+    for (i, attempt) in scatter_wave(&primary_ctx, shards, &all, pool) {
+        attempts[i] = Some(attempt);
+    }
+    let mut hedged = vec![false; shards.len()];
+    let mut hedge_won = vec![false; shards.len()];
+    if policy.hedge_stragglers && soft_engaged && !cancel.is_some_and(CancelToken::is_cancelled) {
+        let stragglers: Vec<usize> = attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.as_ref().is_some_and(|a| match &a.out {
+                    Ok(o) => o.budget_stop == Some(BudgetStop::Deadline),
+                    Err(_) => false,
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !stragglers.is_empty() {
+            let hedge_ctx = ScatterCtx {
+                budget: *budget,
+                ..primary_ctx
+            };
+            for (i, hedge) in scatter_wave(&hedge_ctx, shards, &stragglers, pool) {
+                hedged[i] = true;
+                let primary = attempts[i].as_ref().expect("primary attempt present");
+                let wins = match (&primary.out, &hedge.out) {
+                    (_, Err(_)) => false,
+                    (Err(_), Ok(_)) => true,
+                    (Ok(p), Ok(h)) => {
+                        h.budget_stop.is_none()
+                            || h.lost.len() + h.leftover.len() < p.lost.len() + p.leftover.len()
+                    }
+                };
+                if wins {
+                    hedge_won[i] = true;
+                    attempts[i] = Some(hedge);
+                }
+            }
+        }
+    }
+
+    // Destination wave: after the source wave, against the caller's own
+    // budget (no soft deadline — the copies are fresh and local), with
+    // the same shared bound. The mature cross-shard floors make most
+    // healthy destination descents exclude their band near the root, so
+    // the dual fan-out costs little extra when nothing is failing.
+    let dest_ctx = ScatterCtx {
+        model,
+        k,
+        cols,
+        budget: *budget,
+        deadline: &deadline,
+        cancel,
+        bound: &bound,
+    };
+    let all_dest: Vec<usize> = (0..dest.len()).collect();
+    let mut dest_attempts: Vec<Option<ShardAttempt>> = (0..dest.len()).map(|_| None).collect();
+    for (i, attempt) in scatter_wave(&dest_ctx, dest, &all_dest, pool) {
+        dest_attempts[i] = Some(attempt);
+    }
+
+    // Per-group substitution verdicts.
+    let attempt_failed = |a: &ShardAttempt| match &a.out {
+        Err(_) => true,
+        Ok(o) => o.resolved_reads == 0 && !o.lost.is_empty(),
+    };
+    let source_failed: Vec<bool> = attempts
+        .iter()
+        .map(|a| attempt_failed(a.as_ref().expect("attempt present")))
+        .collect();
+    let dest_failed: Vec<bool> = dest_attempts
+        .iter()
+        .map(|a| attempt_failed(a.as_ref().expect("attempt present")))
+        .collect();
+    let mut covered_group = vec![false; groups.len()];
+    let mut suppressed = vec![false; shards.len()];
+    let mut group_of_source: Vec<Option<usize>> = vec![None; shards.len()];
+    for (g, group) in groups.iter().enumerate() {
+        for &s in &group.source_shards {
+            group_of_source[s] = Some(g);
+        }
+        let any_source_failed = group.source_shards.iter().any(|&s| source_failed[s]);
+        let all_dest_ok = group.dest_shards.iter().all(|&d| !dest_failed[d]);
+        if any_source_failed && all_dest_ok {
+            covered_group[g] = true;
+            for &s in &group.source_shards {
+                suppressed[s] = true;
+            }
+        }
+    }
+
+    // Epoch-aware quorum: a migrating shard whose rows the destination
+    // copies fully served counts as responded; only uncovered failures
+    // count against the policy.
+    let failed: Vec<usize> = (0..shards.len())
+        .filter(|&i| source_failed[i] && !suppressed[i])
+        .collect();
+    let responded = shards.len() - failed.len();
+    let required = policy.completion.required(shards.len());
+    if responded < required {
+        return Err(InsufficientShards {
+            responded,
+            required,
+            total: shards.len(),
+            failed,
+            epoch: archive.epoch,
+        }
+        .into());
+    }
+
+    let widen = |bounds: ScoreBounds| -> ScoreBounds {
+        let pad = bounds.hi.abs().max(bounds.lo.abs()).max(1.0) * f64::EPSILON * 16.0;
+        ScoreBounds {
+            lo: bounds.lo - pad,
+            hi: bounds.hi + pad,
+        }
+    };
+
+    // Merge pool: every non-suppressed source contribution plus the
+    // destination contributions of covered groups. A group's rows come
+    // from exactly one side, so no cell can be merged twice.
+    let mut effort = EffortReport {
+        multiply_adds: 0,
+        naive_multiply_adds: n * total_cells,
+    };
+    let mut items: Vec<ScoredItem> = Vec::new();
+    for (i, attempt) in attempts.iter().enumerate() {
+        if suppressed[i] {
+            continue;
+        }
+        if let Ok(o) = &attempt.as_ref().expect("attempt present").out {
+            effort.multiply_adds += o.effort.multiply_adds;
+            items.extend(o.items.iter().copied());
+        }
+    }
+    for (g, group) in groups.iter().enumerate() {
+        if !covered_group[g] {
+            continue;
+        }
+        for &d in &group.dest_shards {
+            if let Ok(o) = &dest_attempts[d].as_ref().expect("attempt present").out {
+                effort.multiply_adds += o.effort.multiply_adds;
+                items.extend(o.items.iter().copied());
+            }
+        }
+    }
+    sort_desc(&mut items);
+    items.truncate(k);
+    let floor = if items.len() == k {
+        items.last().map(|i| i.score)
+    } else {
+        None
+    };
+    let excluded = |hi: f64| floor.is_some_and(|f| f >= hi);
+
+    let mut hits: Vec<ResilientHit> = items
+        .into_iter()
+        .map(|item| ResilientHit {
+            cell: CellCoord::new(item.index / cols, item.index % cols),
+            level: 0,
+            score: item.score,
+            bounds: ScoreBounds::exact(item.score),
+            exact: true,
+        })
+        .collect();
+
+    let mut unresolved = 0u64;
+    let mut skipped: Vec<(usize, usize)> = Vec::new();
+    let mut merged_stop: Option<BudgetStop> = None;
+    let bump_stop = |merged: &mut Option<BudgetStop>, stop: Option<BudgetStop>| {
+        if let Some(stop) = stop {
+            if merged.is_none_or(|m| stop_severity(stop) > stop_severity(m)) {
+                *merged = Some(stop);
+            }
+        }
+    };
+
+    // Destination-side accounting, one ledger per covered group; its
+    // losses and leftovers degrade through the same candidate machinery
+    // as any shard's. During cover, skipped page ids are
+    // destination-local (the source pages were never the ones read).
+    struct GroupLedger {
+        unresolved: u64,
+        skipped: BTreeSet<usize>,
+        exact_hits: usize,
+        pages: u64,
+        ticks: u64,
+        stop: Option<BudgetStop>,
+        cells: u64,
+    }
+    let mut ledgers: Vec<Option<GroupLedger>> = (0..groups.len()).map(|_| None).collect();
+    for (g, group) in groups.iter().enumerate() {
+        if !covered_group[g] {
+            continue;
+        }
+        let mut ledger = GroupLedger {
+            unresolved: 0,
+            skipped: BTreeSet::new(),
+            exact_hits: 0,
+            pages: 0,
+            ticks: 0,
+            stop: None,
+            cells: group.source_shards.iter().map(|&s| shards[s].cells()).sum(),
+        };
+        for &d in &group.dest_shards {
+            let attempt = dest_attempts[d].as_ref().expect("attempt present");
+            ledger.pages += attempt.pages;
+            ledger.ticks += attempt.ticks;
+            let shard = &dest[d];
+            let Ok(o) = &attempt.out else {
+                continue; // Covered groups have no errored dest attempts.
+            };
+            ledger.exact_hits += o.items.len();
+            bump_stop(&mut ledger.stop, o.budget_stop);
+            for region in &o.leftover {
+                let (mut candidate, count) = region_candidate(
+                    model,
+                    shard.pyramids,
+                    region.level,
+                    region.row,
+                    region.col,
+                    &mut effort,
+                )
+                .map_err(ShardError::Core)?;
+                candidate.cell =
+                    CellCoord::new(candidate.cell.row + shard.row_offset, candidate.cell.col);
+                if excluded(candidate.bounds.hi) {
+                    continue;
+                }
+                ledger.unresolved += count;
+                candidate.bounds = widen(candidate.bounds);
+                hits.push(candidate);
+            }
+            let parent_level = 1.min(shard.pyramids[0].levels() - 1);
+            for (region, page) in &o.lost {
+                if excluded(region.ub) {
+                    continue;
+                }
+                ledger.skipped.insert(*page);
+                let (mut candidate, _) = region_candidate(
+                    model,
+                    shard.pyramids,
+                    parent_level,
+                    region.row >> parent_level,
+                    region.col >> parent_level,
+                    &mut effort,
+                )
+                .map_err(ShardError::Core)?;
+                candidate.cell = CellCoord::new(region.row + shard.row_offset, region.col);
+                candidate.level = 0;
+                ledger.unresolved += 1;
+                candidate.bounds = widen(candidate.bounds);
+                hits.push(candidate);
+            }
+        }
+        unresolved += ledger.unresolved;
+        bump_stop(&mut merged_stop, ledger.stop);
+        ledgers[g] = Some(ledger);
+    }
+
+    let mut reports: Vec<ShardReport> = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.iter().enumerate() {
+        let attempt = attempts[i].as_ref().expect("attempt present");
+        let shard_cells = shard.cells();
+        if suppressed[i] {
+            // The group ledger lands on the group's first band; every
+            // member shares the group's completeness (cell-weighted, the
+            // per-shard fractions sum back to the group's).
+            let g = group_of_source[i].expect("suppressed shard has a group");
+            let group = &groups[g];
+            let ledger = ledgers[g].as_ref().expect("covered group has a ledger");
+            let first = group.source_shards.iter().min() == Some(&i);
+            if first {
+                skipped.extend(ledger.skipped.iter().map(|&p| (i, p)));
+            }
+            reports.push(ShardReport {
+                shard: i,
+                outcome: ShardOutcome::Covered,
+                completeness: 1.0 - ledger.unresolved as f64 / ledger.cells as f64,
+                exact_hits: if first { ledger.exact_hits } else { 0 },
+                skipped_pages: if first {
+                    ledger.skipped.iter().copied().collect()
+                } else {
+                    Vec::new()
+                },
+                budget_stop: if first { ledger.stop } else { None },
+                pages_read: if first { ledger.pages } else { 0 },
+                ticks: if first { ledger.ticks } else { 0 },
+                hedged: hedged[i],
+                hedge_won: hedge_won[i],
+                cells: shard_cells,
+            });
+            continue;
+        }
+        let mut shard_unresolved = 0u64;
+        let mut shard_skipped: BTreeSet<usize> = BTreeSet::new();
+        let mut exact_hits = 0usize;
+        let mut shard_stop = None;
+        match &attempt.out {
+            Ok(o) => {
+                exact_hits = o.items.len();
+                shard_stop = o.budget_stop;
+                for region in &o.leftover {
+                    let (mut candidate, count) = region_candidate(
+                        model,
+                        shard.pyramids,
+                        region.level,
+                        region.row,
+                        region.col,
+                        &mut effort,
+                    )
+                    .map_err(ShardError::Core)?;
+                    candidate.cell =
+                        CellCoord::new(candidate.cell.row + shard.row_offset, candidate.cell.col);
+                    if excluded(candidate.bounds.hi) {
+                        continue;
+                    }
+                    shard_unresolved += count;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+                let parent_level = 1.min(shard.pyramids[0].levels() - 1);
+                for (region, page) in &o.lost {
+                    if excluded(region.ub) {
+                        continue;
+                    }
+                    shard_skipped.insert(*page);
+                    let (mut candidate, _) = region_candidate(
+                        model,
+                        shard.pyramids,
+                        parent_level,
+                        region.row >> parent_level,
+                        region.col >> parent_level,
+                        &mut effort,
+                    )
+                    .map_err(ShardError::Core)?;
+                    candidate.cell = CellCoord::new(region.row + shard.row_offset, region.col);
+                    candidate.level = 0;
+                    shard_unresolved += 1;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+            }
+            Err(_) => {
+                let top = shard.pyramids[0].levels() - 1;
+                let (mut candidate, count) =
+                    region_candidate(model, shard.pyramids, top, 0, 0, &mut effort)
+                        .map_err(ShardError::Core)?;
+                candidate.cell = CellCoord::new(shard.row_offset, 0);
+                if !excluded(candidate.bounds.hi) {
+                    shard_unresolved += count;
+                    candidate.bounds = widen(candidate.bounds);
+                    hits.push(candidate);
+                }
+            }
+        }
+        bump_stop(&mut merged_stop, shard_stop);
+        let outcome = if source_failed[i] {
+            ShardOutcome::Failed
+        } else if soft_engaged && !hedge_won[i] && shard_stop == Some(BudgetStop::Deadline) {
+            ShardOutcome::TimedOut
+        } else if shard_unresolved > 0 || shard_stop.is_some() {
+            ShardOutcome::Degraded
+        } else {
+            ShardOutcome::Complete
+        };
+        unresolved += shard_unresolved;
+        skipped.extend(shard_skipped.iter().map(|&p| (i, p)));
+        reports.push(ShardReport {
+            shard: i,
+            outcome,
+            completeness: 1.0 - shard_unresolved as f64 / shard_cells as f64,
+            exact_hits,
+            skipped_pages: shard_skipped.into_iter().collect(),
+            budget_stop: shard_stop,
+            pages_read: attempt.pages,
+            ticks: attempt.ticks,
+            hedged: hedged[i],
+            hedge_won: hedge_won[i],
+            cells: shard_cells,
+        });
+    }
+
     hits.sort_by(|a, b| {
         b.bounds
             .hi
@@ -1472,6 +2250,7 @@ fn batched_scatter_gather_inner<S: CellSource + Sync>(
             bound_requests: 0,
         });
     }
+    check_epoch_fence(policy, archive)?;
     let shards = archive.shards();
     for shard in shards {
         validate_grid_inputs(&models[0], shard.pyramids, k).map_err(ShardError::Core)?;
@@ -1583,6 +2362,7 @@ fn batched_scatter_gather_inner<S: CellSource + Sync>(
             required,
             total: shards.len(),
             failed,
+            epoch: archive.epoch,
         }
         .into());
     }
@@ -2336,17 +3116,27 @@ mod tests {
         assert_eq!(CompletionPolicy::Quorum(3).to_string(), "quorum(3)");
         assert_eq!(CompletionPolicy::BestEffort.to_string(), "best-effort");
         assert_eq!(ShardOutcome::TimedOut.to_string(), "timed-out");
+        assert_eq!(ShardOutcome::Covered.to_string(), "covered");
         let err = InsufficientShards {
             responded: 1,
             required: 3,
             total: 4,
             failed: vec![1, 2, 3],
+            epoch: TopologyEpoch::new(2),
         };
+        assert!(err.to_string().contains("epoch e2"));
         let wrapped: ShardError = err.clone().into();
         assert!(Error::source(&wrapped).is_some());
         assert_eq!(wrapped.to_string(), err.to_string());
         let core_err: ShardError = CoreError::Query("bad".into()).into();
         assert!(Error::source(&core_err).is_some());
+        let fence: ShardError = EpochMismatch {
+            requested: TopologyEpoch::new(1),
+            serving: TopologyEpoch::ZERO,
+        }
+        .into();
+        assert!(Error::source(&fence).is_some());
+        assert!(fence.to_string().contains("pinned topology epoch e1"));
     }
 
     /// A spread of query directions over `arity` shared attributes, like

@@ -125,6 +125,55 @@ impl<'a> TileSource<'a> {
     }
 }
 
+/// Sources whose per-page quarantine ledger can be scrubbed.
+///
+/// Quarantine is keyed by *page id within the owning store*, so it is
+/// only meaningful for the band layout the store was built for. After a
+/// topology change hands a row band to a new owner, the retired side's
+/// quarantine entries describe pages nobody routes to anymore — and if
+/// the stores are later re-banded or reused, a stale entry would
+/// suppress reads of perfectly healthy data. The reshard coordinator
+/// scrubs retired sources through this trait at the `Retired`
+/// transition (see [`crate::reshard`]).
+pub trait QuarantineScrub {
+    /// Clears every quarantined page so future reads attempt the page
+    /// again (healing transient faults, re-verifying checksums).
+    fn clear_quarantine(&self);
+
+    /// Pages currently quarantined, summed over the source's stores.
+    fn quarantined_pages(&self) -> u64;
+}
+
+impl QuarantineScrub for TileSource<'_> {
+    fn clear_quarantine(&self) {
+        for store in self.stores {
+            store.clear_quarantine();
+        }
+    }
+
+    fn quarantined_pages(&self) -> u64 {
+        self.stores
+            .iter()
+            .map(|s| s.quarantined_pages().count() as u64)
+            .sum()
+    }
+}
+
+impl QuarantineScrub for CachedTileSource<'_> {
+    fn clear_quarantine(&self) {
+        for store in self.stores {
+            store.clear_quarantine();
+        }
+    }
+
+    fn quarantined_pages(&self) -> u64 {
+        self.stores
+            .iter()
+            .map(|s| s.quarantined_pages().count() as u64)
+            .sum()
+    }
+}
+
 impl CellSource for TileSource<'_> {
     fn base_cell(&self, attr: usize, row: usize, col: usize) -> Result<f64, ArchiveError> {
         self.stores[attr].read(row, col)

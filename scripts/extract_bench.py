@@ -13,10 +13,14 @@ Two modes:
   prints one Markdown table per artifact with its scalar headline
   metrics. Nested objects are flattened with dotted keys; lists of
   scalars are inlined and other lists summarized by length, so new
-  experiments need no parser changes. Top-level lists of objects (the
-  ``schema_version`` >= 2 ``configs`` array the R7 quantization sweep
-  writes into ``BENCH_kernels.json``) additionally get their own
-  per-entry table, one row per variant with flattened dotted columns.
+  experiments need no parser changes. Every list of objects — at any
+  nesting depth, named by its dotted path — additionally gets its own
+  per-entry table, one row per entry with flattened dotted columns:
+  the top-level ``configs`` array of ``BENCH_kernels.json``, the
+  ``queries`` list of ``BENCH_batch.json``, and the nested
+  ``migration.per_band`` / ``dual_read.per_shard`` lists of
+  ``BENCH_reshard.json`` all render fully instead of collapsing to an
+  ``N entries`` placeholder.
 """
 import json
 import re
@@ -80,6 +84,16 @@ def entry_table(name, entries):
         print("| " + " | ".join(str(flat.get(c, "")) for c in columns) + " |")
 
 
+def entry_lists(value, prefix=""):
+    """Finds every non-empty list of objects in the tree, at any depth,
+    yielding (dotted-path, entries) in document order."""
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            yield from entry_lists(inner, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(value, list) and value and all(isinstance(v, dict) for v in value):
+        yield prefix, value
+
+
 def summaries_tables(root):
     artifacts = sorted(Path(root).glob("BENCH_*.json"))
     if not artifacts:
@@ -96,14 +110,8 @@ def summaries_tables(root):
         print("|---|---|")
         for key, value in flatten(data):
             print(f"| `{key}` | {value} |")
-        if isinstance(data, dict):
-            for key, value in data.items():
-                if (
-                    isinstance(value, list)
-                    and value
-                    and all(isinstance(v, dict) for v in value)
-                ):
-                    entry_table(key, value)
+        for name, entries in entry_lists(data):
+            entry_table(name, entries)
     return 0
 
 

@@ -437,4 +437,151 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&merged.completeness));
         }
     }
+
+    /// Degenerate summary merges: the empty shard list is vacuously
+    /// complete, a single part merges to itself, and an all-failed fleet
+    /// (zero completeness, zero pages read, everything skipped) merges to
+    /// zero completeness with the skip ledger conserved.
+    #[test]
+    fn prop_degenerate_summary_merges(
+        part_seed in 0u64..100_000,
+        part_count in 1usize..8,
+    ) {
+        let empty = merge_shard_summaries(&[]);
+        prop_assert_eq!(empty.completeness, 1.0);
+        prop_assert_eq!(empty.pages_read, 0);
+        prop_assert_eq!(empty.skipped_pages, 0);
+        prop_assert!(!empty.budget_stopped);
+
+        let draw = |salt: u64, modulus: u64| page_hash(part_seed.wrapping_add(salt * 6151), 1) % modulus;
+        let single = (
+            DegradationSummary {
+                completeness: draw(1, 1001) as f64 / 1000.0,
+                skipped_pages: draw(2, 50) as usize,
+                inexact_hits: draw(3, 10) as usize,
+                widest_bound: draw(4, 800) as f64 / 100.0,
+                budget_stopped: draw(5, 2) == 1,
+                shed_queries: draw(6, 20),
+                cancelled_queries: draw(7, 20),
+                hedged_reads: draw(8, 20),
+                pages_read: draw(9, 200),
+                quarantined_pages: draw(10, 20),
+                cache_hits: draw(12, 100),
+                cache_misses: draw(13, 100),
+                cache_dedup_waits: draw(14, 20),
+            },
+            1 + draw(11, 499),
+        );
+        let merged_single = merge_shard_summaries(std::slice::from_ref(&single));
+        prop_assert!((merged_single.completeness - single.0.completeness).abs() < 1e-12);
+        prop_assert_eq!(merged_single.pages_read, single.0.pages_read);
+        prop_assert_eq!(merged_single.skipped_pages, single.0.skipped_pages);
+        prop_assert_eq!(merged_single.widest_bound, single.0.widest_bound);
+        prop_assert_eq!(merged_single.budget_stopped, single.0.budget_stopped);
+
+        let all_failed: Vec<(DegradationSummary, u64)> = (0..part_count)
+            .map(|i| {
+                (
+                    DegradationSummary {
+                        completeness: 0.0,
+                        skipped_pages: 1 + draw(i as u64 * 17 + 15, 40) as usize,
+                        inexact_hits: 0,
+                        widest_bound: 0.0,
+                        budget_stopped: false,
+                        shed_queries: 0,
+                        cancelled_queries: 0,
+                        hedged_reads: 0,
+                        pages_read: 0,
+                        quarantined_pages: draw(i as u64 * 17 + 16, 5),
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_dedup_waits: 0,
+                    },
+                    1 + draw(i as u64 * 17 + 18, 499),
+                )
+            })
+            .collect();
+        let merged = merge_shard_summaries(&all_failed);
+        prop_assert_eq!(merged.completeness, 0.0, "all-failed fleet merges to zero completeness");
+        prop_assert_eq!(merged.pages_read, 0);
+        prop_assert_eq!(
+            merged.skipped_pages,
+            all_failed.iter().map(|(s, _)| s.skipped_pages).sum::<usize>()
+        );
+    }
+
+    /// Every fault domain dead at once: the best-effort scatter still
+    /// answers, `sharded_degradation_summary` reports zero completeness
+    /// with a zero page ledger, and the true winner stays covered by the
+    /// widened root-level bounds — degraded, never wrong.
+    #[test]
+    fn prop_all_dead_shards_summarize_soundly(
+        seed in 0u64..120,
+        side_pow in 4u32..6,
+        tile in 2usize..6,
+        shards_raw in 0usize..16,
+        k in 1usize..7,
+        threads_idx in 0usize..4,
+    ) {
+        let side = 1usize << side_pow;
+        let shards = shard_count_for(side, tile, shards_raw);
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let (model, pyramids, grids) = world(seed, side);
+        let strict = pyramid_top_k(&model, &pyramids, k).unwrap();
+        let truth = strict.results[0].score;
+
+        let fates = vec![ShardFate::Dead; shards];
+        let fixture = build_shards(&grids, tile, shards, seed, &fates);
+        let r = run_scatter(&fixture, &model, k, &ScatterPolicy::best_effort(), threads).unwrap();
+
+        prop_assert!(r.shards.iter().all(|s| s.outcome == ShardOutcome::Failed));
+        prop_assert!(r.is_degraded());
+        let summary = mbir::core::metrics::sharded_degradation_summary(&r);
+        prop_assert_eq!(summary.completeness, 0.0, "nothing resolved anywhere");
+        prop_assert_eq!(summary.completeness, r.completeness);
+        prop_assert_eq!(summary.pages_read, 0);
+        prop_assert!(
+            r.results.iter().any(|h| h.bounds.lo <= truth && truth <= h.bounds.hi),
+            "winner score {} escaped all bounds with every domain dead", truth
+        );
+        for hit in &r.results {
+            prop_assert!(!hit.exact, "no exact hit can exist without base reads");
+            prop_assert!(hit.bounds.lo <= hit.score && hit.score <= hit.bounds.hi);
+        }
+    }
+
+    /// Degenerate plan geometry: single-row bands under `tile = 1`.
+    /// `from_band_rows` accepts them, `extract_band` returns each row
+    /// byte-for-byte, and `band_slices` routes any row range through the
+    /// right owners.
+    #[test]
+    fn prop_single_row_bands_extract_and_slice(
+        seed in 0u64..120,
+        rows in 2usize..10,
+        cols in 1usize..12,
+        lo_raw in 0usize..10,
+        len_raw in 0usize..10,
+    ) {
+        let heights = vec![1usize; rows];
+        let plan = mbir_archive::shard::ShardPlan::from_band_rows(&heights, cols, 1).unwrap();
+        prop_assert_eq!(plan.shard_count(), rows);
+        let grid = Grid2::from_fn(rows, cols, |r, c| (seed as f64) + (r * cols + c) as f64);
+        for s in 0..rows {
+            let band = plan.extract_band(&grid, s).unwrap();
+            prop_assert_eq!(band.rows(), 1);
+            for c in 0..cols {
+                prop_assert_eq!(band.at(0, c).to_bits(), grid.at(s, c).to_bits());
+            }
+        }
+        let lo = lo_raw % rows;
+        let len = 1 + len_raw % (rows - lo);
+        let slices = plan.band_slices(lo, len).unwrap();
+        prop_assert_eq!(slices.len(), len, "one slice per single-row band");
+        for (i, slice) in slices.iter().enumerate() {
+            prop_assert_eq!(slice.shard, lo + i);
+            prop_assert_eq!(slice.global_row, lo + i);
+            prop_assert_eq!(slice.local_row, 0);
+            prop_assert_eq!(slice.rows, 1);
+        }
+    }
 }
