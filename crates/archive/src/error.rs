@@ -51,6 +51,20 @@ pub enum ArchiveError {
         /// Page index whose payload failed verification.
         page: usize,
     },
+    /// The append journal's writer crashed mid-write (a torn write, a
+    /// partial record, or a device that stopped persisting at a byte
+    /// offset — see [`crate::fault::WriteFault`]). The in-memory state is
+    /// gone; only the bytes persisted before the crash survive, and
+    /// recovery ([`crate::journal::recover`]) restores exactly the
+    /// committed prefix.
+    JournalCrashed {
+        /// Number of journal bytes that made it to stable storage.
+        persisted_bytes: usize,
+    },
+    /// An append was rejected before any byte was written: the band does
+    /// not fit the archive (wrong width, non-tile-aligned height, or a
+    /// non-contiguous row offset in a replayed record).
+    AppendMisaligned(String),
 }
 
 impl fmt::Display for ArchiveError {
@@ -76,6 +90,13 @@ impl fmt::Display for ArchiveError {
             ArchiveError::PageCorrupt { page } => {
                 write!(f, "page {page} payload failed checksum verification")
             }
+            ArchiveError::JournalCrashed { persisted_bytes } => {
+                write!(
+                    f,
+                    "journal writer crashed; {persisted_bytes} bytes persisted"
+                )
+            }
+            ArchiveError::AppendMisaligned(what) => write!(f, "append misaligned: {what}"),
         }
     }
 }

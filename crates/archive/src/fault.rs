@@ -22,6 +22,28 @@
 //!
 //! The default configuration (no faults, no retries, breaker disabled)
 //! reproduces the pre-resilience store bit for bit.
+//!
+//! # Fault interaction matrix
+//!
+//! A page carries at most **one** [`FaultKind`] (the builder is
+//! last-wins: `.corrupt(p).transient(p, 2)` leaves `p` transient, the
+//! corruption is *replaced*, not stacked — see [`FaultProfile::kind_of`])
+//! plus an orthogonal latency. When several mechanisms apply to the same
+//! access, precedence is fixed and tested:
+//!
+//! | combination | behavior |
+//! |---|---|
+//! | Quarantine × anything | quarantine wins: the access fails fast with no attempt, **no latency ticks**, and no fault-state movement — even on a `Corruption` page. |
+//! | Corruption × Latency | the access "succeeds" slow: [`AttemptOutcome::Corrupted`] carries the page's latency ticks, charged on **every** (re-)read since nothing heals. |
+//! | Corruption × breaker | silent at the attempt level — the breaker only advances when a verifying reader feeds detections back through `note_checksum_failure`, which shares the same consecutive-failure run as I/O failures. |
+//! | Transient × Latency | failing *and* healed accesses both pay the latency; healing is counted in accesses, not ticks. |
+//! | Transient × breaker | heal progress (`failed_accesses`) survives both quarantine and [`clear_quarantine`](crate::tile::TileStore::clear_quarantine); a healed page stays healed after the breaker reopens. |
+//! | Permanent/Probabilistic × Latency | identical to Transient × Latency: the latency rides on both outcomes. |
+//!
+//! Read-side kinds model a faulty *device*; [`WriteFault`] models a dying
+//! *writer* — the process crashes mid-append and takes all volatile state
+//! with it, leaving a possibly-torn byte prefix for
+//! [`crate::journal::recover`] to truncate.
 
 use crate::randx;
 use rand::rngs::StdRng;
@@ -51,6 +73,44 @@ pub enum FaultKind {
     /// itself cannot tell — only checksum verification catches it. Models
     /// silent bit rot on an untrusted replica.
     Corruption,
+}
+
+/// How an append-journal write dies mid-flight.
+///
+/// Read faults ([`FaultKind`]) model a device that misbehaves while the
+/// process lives; write faults model the *process* dying while bytes are
+/// in flight. All three kinds crash the writer: the journal latches a
+/// crashed state, the in-memory archive is lost, and only the persisted
+/// byte prefix survives for [`crate::journal::recover`] to replay.
+/// Frames are numbered from 0 in append order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Frame `frame` persists only its first `persisted_bytes` bytes —
+    /// the classic torn write, cut at an arbitrary byte (possibly mid
+    /// header, mid value, or mid checksum).
+    TornWrite {
+        /// 0-based index of the append that tears.
+        frame: u64,
+        /// Bytes of that frame that reach stable storage.
+        persisted_bytes: usize,
+    },
+    /// Frame `frame` persists its header and the first `tuples` payload
+    /// values but never the trailing checksum — a partial record cut at
+    /// a tuple boundary, so every persisted byte is individually
+    /// plausible.
+    PartialRecord {
+        /// 0-based index of the append that is cut short.
+        frame: u64,
+        /// Payload values of that frame that reach stable storage.
+        tuples: usize,
+    },
+    /// The device stops persisting at absolute journal byte `offset`;
+    /// whichever append is in flight when the high-water mark is hit
+    /// crashes there.
+    CrashAtOffset {
+        /// Absolute journal offset after which nothing persists.
+        offset: usize,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -138,6 +198,21 @@ impl FaultProfile {
     pub fn latency(mut self, page: usize, ticks: u64) -> Self {
         self.spec_mut(page).latency_ticks = ticks;
         self
+    }
+
+    /// The fault kind currently assigned to `page`, if any. Because the
+    /// builder is last-wins, this is always the *most recent* kind set —
+    /// the documented way to check what a chain of builder calls left
+    /// behind.
+    pub fn kind_of(&self, page: usize) -> Option<FaultKind> {
+        self.specs.get(&page).and_then(|s| s.kind)
+    }
+
+    /// Injected latency ticks charged on every access of `page` (0 for
+    /// unmentioned pages). Latency is orthogonal to the kind and
+    /// survives kind replacement.
+    pub fn latency_of(&self, page: usize) -> u64 {
+        self.specs.get(&page).map_or(0, |s| s.latency_ticks)
     }
 
     /// Pages with a fault kind assigned (latency-only pages excluded),
@@ -369,6 +444,12 @@ impl FaultRuntime {
     /// Evaluates one access attempt against the profile, updating
     /// transient counters and the circuit breaker. Returns whether the
     /// attempt succeeded and how many injected latency ticks it cost.
+    ///
+    /// Precedence (see the module-level interaction matrix): quarantine
+    /// wins over everything and costs no ticks; corruption comes next and
+    /// "succeeds" with latency but without touching transient or breaker
+    /// state; the failing kinds are evaluated last, with latency riding
+    /// on both outcomes.
     pub(crate) fn attempt(&mut self, page: usize) -> AttemptOutcome {
         if self.is_quarantined(page) {
             return AttemptOutcome::Quarantined;
@@ -384,6 +465,8 @@ impl FaultRuntime {
         }
         let state = self.states.entry(page).or_default();
         let fails = match spec.kind {
+            // Corruption returned above; the arm is kept only for match
+            // exhaustiveness and is unreachable.
             None | Some(FaultKind::Corruption) => false,
             Some(FaultKind::Permanent) => true,
             Some(FaultKind::Transient { fails_before_heal }) => {
@@ -595,5 +678,74 @@ mod tests {
         let mut rt = FaultRuntime::new(profile, ResilienceConfig::none());
         assert_eq!(rt.attempt(5), AttemptOutcome::Ok { latency_ticks: 9 });
         assert_eq!(rt.attempt(6), AttemptOutcome::Ok { latency_ticks: 0 });
+    }
+
+    // ---- interaction matrix (Corruption × Latency × Transient) ----
+
+    #[test]
+    fn builder_kind_is_last_wins_and_latency_survives() {
+        let p = FaultProfile::new(0)
+            .corrupt(3)
+            .latency(3, 5)
+            .transient(3, 2);
+        // The corruption was *replaced* by the transient kind, not stacked…
+        assert_eq!(
+            p.kind_of(3),
+            Some(FaultKind::Transient {
+                fails_before_heal: 2
+            })
+        );
+        // …while the orthogonal latency survived the replacement.
+        assert_eq!(p.latency_of(3), 5);
+        assert_eq!(p.kind_of(0), None);
+        assert_eq!(p.latency_of(0), 0);
+    }
+
+    #[test]
+    fn transient_with_latency_charges_failures_and_heals_alike() {
+        let profile = FaultProfile::new(0).transient(2, 2).latency(2, 7);
+        let mut rt = FaultRuntime::new(profile, ResilienceConfig::none());
+        // Failing accesses pay the latency…
+        assert_eq!(rt.attempt(2), AttemptOutcome::Failed { latency_ticks: 7 });
+        assert_eq!(rt.attempt(2), AttemptOutcome::Failed { latency_ticks: 7 });
+        // …and so does the healed page: latency is a device property, not
+        // a failure property.
+        assert_eq!(rt.attempt(2), AttemptOutcome::Ok { latency_ticks: 7 });
+    }
+
+    #[test]
+    fn quarantine_beats_corruption_and_costs_no_ticks() {
+        let profile = FaultProfile::new(0).corrupt(4).latency(4, 9);
+        let cfg = ResilienceConfig::new(RetryPolicy::none(), Some(2));
+        let mut rt = FaultRuntime::new(profile, cfg);
+        // Two detected corruptions trip the breaker…
+        assert!(!rt.note_checksum_failure(4));
+        assert!(rt.note_checksum_failure(4));
+        // …after which even the slow corrupt page fails fast, latency-free.
+        assert_eq!(rt.attempt(4), AttemptOutcome::Quarantined);
+        // Reopening the page re-exposes the corruption (with its latency):
+        // clearing quarantine never silently "heals" bit rot.
+        rt.clear_quarantine();
+        assert_eq!(
+            rt.attempt(4),
+            AttemptOutcome::Corrupted { latency_ticks: 9 }
+        );
+    }
+
+    #[test]
+    fn corruption_never_advances_transient_style_heal_state() {
+        // A corrupt page re-corrupts forever: unlike Transient, repeated
+        // accesses do not burn toward a heal, and the runtime tracks no
+        // failed accesses for it at the attempt level.
+        let profile = FaultProfile::new(0).corrupt(1);
+        let mut rt =
+            FaultRuntime::new(profile, ResilienceConfig::new(RetryPolicy::none(), Some(8)));
+        for _ in 0..16 {
+            assert!(matches!(rt.attempt(1), AttemptOutcome::Corrupted { .. }));
+        }
+        assert!(
+            !rt.is_quarantined(1),
+            "attempts alone never trip the breaker"
+        );
     }
 }

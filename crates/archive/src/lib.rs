@@ -28,6 +28,7 @@
 //! assert_eq!(grid.cols(), 64);
 //! ```
 
+pub mod append;
 pub mod archive;
 pub mod catalog;
 pub mod dem;
@@ -37,6 +38,7 @@ pub mod fault;
 pub mod gis;
 pub mod grid;
 pub mod integrity;
+pub mod journal;
 pub mod lithology;
 pub mod randx;
 pub mod region;
@@ -50,15 +52,17 @@ pub mod tile;
 pub mod weather;
 pub mod welllog;
 
+pub use append::{AppendCommit, AppendableArchive, RecoveryReport};
 pub use archive::Archive;
 pub use catalog::{Catalog, DatasetId, DatasetMeta, Modality};
 pub use dem::Dem;
 pub use error::ArchiveError;
 pub use extent::{CellCoord, GeoExtent};
-pub use fault::{FaultKind, FaultProfile, ResilienceConfig, RetryPolicy};
+pub use fault::{FaultKind, FaultProfile, ResilienceConfig, RetryPolicy, WriteFault};
 pub use gis::{PointFeature, PointLayer};
 pub use grid::Grid2;
 pub use integrity::{fnv1a64, PageEnvelope};
+pub use journal::{AppendJournal, AppendRecord, RecoveredJournal, TruncationReason};
 pub use lithology::{ColumnGenerator, Layer, Lithology};
 pub use region::{Polygon, Region, RegionLayer};
 pub use scene::{BandId, Scene};

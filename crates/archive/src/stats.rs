@@ -44,6 +44,8 @@ struct Counters {
     cache_misses: AtomicU64,
     cache_dedup_waits: AtomicU64,
     hedges: AtomicU64,
+    cache_invalidations: AtomicU64,
+    appended_pages_seen: AtomicU64,
 }
 
 impl AccessStats {
@@ -121,6 +123,22 @@ impl AccessStats {
         self.inner.hedges.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` cached pages dropped because a snapshot-epoch advance
+    /// made them stale (append-side cache invalidation).
+    pub fn record_cache_invalidations(&self, n: u64) {
+        self.inner
+            .cache_invalidations
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` page reads that touched pages committed by an append
+    /// (pages past the reader's original high-water mark).
+    pub fn record_appended_pages_seen(&self, n: u64) {
+        self.inner
+            .appended_pages_seen
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Tuples touched so far.
     pub fn tuples_touched(&self) -> u64 {
         self.inner.tuples.load(Ordering::Relaxed)
@@ -184,6 +202,16 @@ impl AccessStats {
         self.inner.hedges.load(Ordering::Relaxed)
     }
 
+    /// Cached pages invalidated by snapshot-epoch advances so far.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.inner.cache_invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Appended (post-high-water-mark) pages seen by readers so far.
+    pub fn appended_pages_seen(&self) -> u64 {
+        self.inner.appended_pages_seen.load(Ordering::Relaxed)
+    }
+
     /// Fraction of cached lookups served from the cache, or `None` when no
     /// cached lookups happened at all.
     pub fn cache_hit_rate(&self) -> Option<f64> {
@@ -209,6 +237,8 @@ impl AccessStats {
         self.inner.cache_misses.store(0, Ordering::Relaxed);
         self.inner.cache_dedup_waits.store(0, Ordering::Relaxed);
         self.inner.hedges.store(0, Ordering::Relaxed);
+        self.inner.cache_invalidations.store(0, Ordering::Relaxed);
+        self.inner.appended_pages_seen.store(0, Ordering::Relaxed);
     }
 
     /// Speedup of `self` relative to `baseline` in tuples touched
@@ -334,6 +364,19 @@ mod tests {
         assert_eq!(s.cache_hits(), 0);
         assert_eq!(s.cache_dedup_waits(), 0);
         assert_eq!(s.cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn append_counters_accumulate_and_reset() {
+        let s = AccessStats::new();
+        s.record_cache_invalidations(3);
+        s.record_appended_pages_seen(2);
+        s.record_appended_pages_seen(5);
+        assert_eq!(s.cache_invalidations(), 3);
+        assert_eq!(s.appended_pages_seen(), 7);
+        s.reset();
+        assert_eq!(s.cache_invalidations(), 0);
+        assert_eq!(s.appended_pages_seen(), 0);
     }
 
     #[test]

@@ -50,6 +50,18 @@
 //!   Every per-query answer is bit-identical to its solo
 //!   [`resilient`](crate::resilient) run; threaded through the parallel
 //!   workers and the sharded scatter-gather.
+//! * [`snapshot`] — crash-consistent live appends: a [`LiveArchive`]
+//!   grows by journaled, tile-row-aligned appends (one checksummed frame
+//!   per attribute per commit) and publishes every committed state as an
+//!   immutable, `Arc`-shared [`EpochSnapshot`] — journal-durable, then
+//!   build, then one atomic swap. Queries of any engine family run
+//!   against a snapshot and therefore one committed prefix; recovery
+//!   replays the journal to exactly the committed epochs, bit-identical
+//!   to an archive that never crashed.
+//! * [`continuous`] — standing continuous queries: a
+//!   [`ContinuousQueryDriver`] re-arms the paper's Fig. 1 fire-ants FSM
+//!   over each snapshot's newly committed rows, with alerts provably
+//!   independent of the poll schedule.
 //! * [`reshard`] — epoch-fenced live resharding: a [`ReshardCoordinator`]
 //!   drives split/merge/move of tile-aligned row bands through
 //!   Planned → Copying → DualRead → CutOver → Retired, with
@@ -74,6 +86,7 @@
 
 pub mod batched;
 pub mod coarse;
+pub mod continuous;
 pub mod engine;
 pub mod error;
 pub mod lifecycle;
@@ -85,6 +98,7 @@ pub mod replica;
 pub mod reshard;
 pub mod resilient;
 pub mod shard;
+pub mod snapshot;
 pub mod source;
 pub mod temporal;
 pub mod workflow;
@@ -94,6 +108,7 @@ pub use batched::{
     BatchScratch, BatchedTopK,
 };
 pub use coarse::CoarseGrid;
+pub use continuous::{ContinuousDetector, ContinuousQueryDriver};
 pub use engine::{
     combined_top_k, combined_top_k_with_source, grid_query, pyramid_top_k,
     pyramid_top_k_with_source, staged_grid_top_k, staged_top_k, EffortReport,
@@ -136,5 +151,6 @@ pub use shard::{
     DualReadGroup, EpochMismatch, InsufficientShards, ScatterPolicy, ShardError, ShardOutcome,
     ShardReport, ShardTable, ShardedArchive, ShardedTopK,
 };
+pub use snapshot::{EpochSnapshot, LiveArchive, LiveRecoveryReport, SnapshotEpoch, SnapshotHandle};
 pub use source::{CachedTileSource, CellSource, PyramidSource, QuarantineScrub, TileSource};
 pub use temporal::{FrameTopK, TemporalRiskTracker};

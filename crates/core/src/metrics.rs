@@ -369,6 +369,18 @@ pub struct DegradationSummary {
     /// outcome). Always 0 from [`degradation_summary`]; folded in via
     /// [`with_cache`](Self::with_cache).
     pub cache_dedup_waits: u64,
+    /// Page materializations past the reader's original append high-water
+    /// mark — reads that touched pages committed by an append (see
+    /// [`AccessStats::appended_pages_seen`](mbir_archive::stats::AccessStats::appended_pages_seen)).
+    /// Always 0 from [`degradation_summary`]; folded in via
+    /// [`with_append`](Self::with_append).
+    pub appended_pages_seen: u64,
+    /// Cached pages dropped because a snapshot-epoch advance made them
+    /// stale (see
+    /// [`CachedTileSource::advance_epoch`](crate::source::CachedTileSource::advance_epoch)).
+    /// Always 0 from [`degradation_summary`]; folded in via
+    /// [`with_append`](Self::with_append).
+    pub epoch_invalidated_cache_entries: u64,
 }
 
 impl DegradationSummary {
@@ -406,6 +418,18 @@ impl DegradationSummary {
         self.cache_dedup_waits = dedup_waits;
         self
     }
+
+    /// Folds append-side counters into the scorecard (builder style):
+    /// pages seen past the original append high-water mark and cache
+    /// entries invalidated by snapshot-epoch advances. Together they make
+    /// live-append churn observable next to the fault-degradation fields —
+    /// a run that re-read its whole cache after every commit shows it
+    /// here, not as a mysteriously low hit rate.
+    pub fn with_append(mut self, appended_seen: u64, invalidated: u64) -> Self {
+        self.appended_pages_seen = appended_seen;
+        self.epoch_invalidated_cache_entries = invalidated;
+        self
+    }
 }
 
 /// Summarizes a [`ResilientTopK`](crate::resilient::ResilientTopK) for
@@ -431,6 +455,8 @@ pub fn degradation_summary(report: &crate::resilient::ResilientTopK) -> Degradat
         cache_hits: 0,
         cache_misses: 0,
         cache_dedup_waits: 0,
+        appended_pages_seen: 0,
+        epoch_invalidated_cache_entries: 0,
     }
 }
 
@@ -458,6 +484,8 @@ pub fn sharded_degradation_summary(report: &crate::shard::ShardedTopK) -> Degrad
         cache_hits: 0,
         cache_misses: 0,
         cache_dedup_waits: 0,
+        appended_pages_seen: 0,
+        epoch_invalidated_cache_entries: 0,
     }
 }
 
@@ -484,6 +512,8 @@ pub fn merge_shard_summaries(parts: &[(DegradationSummary, u64)]) -> Degradation
         cache_hits: 0,
         cache_misses: 0,
         cache_dedup_waits: 0,
+        appended_pages_seen: 0,
+        epoch_invalidated_cache_entries: 0,
     };
     if total_cells == 0 {
         return merged;
@@ -503,6 +533,8 @@ pub fn merge_shard_summaries(parts: &[(DegradationSummary, u64)]) -> Degradation
         merged.cache_hits += part.cache_hits;
         merged.cache_misses += part.cache_misses;
         merged.cache_dedup_waits += part.cache_dedup_waits;
+        merged.appended_pages_seen += part.appended_pages_seen;
+        merged.epoch_invalidated_cache_entries += part.epoch_invalidated_cache_entries;
     }
     merged.completeness = weighted / total_cells as f64;
     merged
@@ -748,6 +780,20 @@ mod tests {
         assert_eq!(folded.pages_read, 41);
         assert_eq!(folded.completeness, s.completeness);
 
+        // And the append-side counters.
+        assert_eq!(
+            (
+                folded.appended_pages_seen,
+                folded.epoch_invalidated_cache_entries
+            ),
+            (0, 0)
+        );
+        let folded = folded.with_append(5, 2);
+        assert_eq!(folded.appended_pages_seen, 5);
+        assert_eq!(folded.epoch_invalidated_cache_entries, 2);
+        assert_eq!(folded.cache_hits, 60);
+        assert_eq!(folded.completeness, s.completeness);
+
         let exact = ResilientTopK {
             results: vec![hit(5.0, 5.0, 5.0, true)],
             effort: EffortReport::default(),
@@ -778,6 +824,8 @@ mod tests {
                 cache_hits: read * 2,
                 cache_misses: read,
                 cache_dedup_waits: quarantined,
+                appended_pages_seen: read / 2,
+                epoch_invalidated_cache_entries: quarantined * 2,
             };
         let parts = [
             (part(1.0, 0, 10, 0), 100u64),
@@ -805,6 +853,13 @@ mod tests {
                 merged.cache_dedup_waits
             ),
             (32, 16, 10)
+        );
+        assert_eq!(
+            (
+                merged.appended_pages_seen,
+                merged.epoch_invalidated_cache_entries
+            ),
+            (8, 20)
         );
         // Completeness is the cell-weighted mean: (100 + 50 + 0) / 400.
         assert!((merged.completeness - 0.375).abs() < 1e-12);

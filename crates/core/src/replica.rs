@@ -198,6 +198,13 @@ enum Slot {
 struct CacheState {
     slots: HashMap<usize, Slot>,
     clock: u64,
+    /// Bumped by [`ReplicatedSource::advance_epoch`]; loads that straddle
+    /// an advance are served but not cached (see
+    /// [`crate::source::CachedTileSource`], which shares the protocol).
+    epoch: u64,
+    /// Smallest `first_dirty_page` across epoch advances — the original
+    /// append high-water mark for `appended_pages_seen` accounting.
+    appended_from: Option<usize>,
 }
 
 /// N-way replicated [`CellSource`] with checksum verification, ordered
@@ -359,6 +366,59 @@ impl<'a> ReplicatedSource<'a> {
         for store in self.replicas.iter().flat_map(|r| r.iter()) {
             store.clear_quarantine();
         }
+    }
+
+    /// Publishes a snapshot-epoch advance to the replica cache: cached
+    /// pages at or past `first_dirty_page` are dropped and in-flight
+    /// loads are demoted to serve-without-caching, exactly like
+    /// [`CachedTileSource::advance_epoch`](crate::source::CachedTileSource::advance_epoch).
+    /// Returns the number of resident pages dropped; the count is also
+    /// recorded on the preferred replica's stats.
+    pub fn advance_epoch(&self, first_dirty_page: usize) -> usize {
+        let mut state = self.cache.lock().expect("replica cache lock");
+        state.epoch += 1;
+        state.appended_from = Some(match state.appended_from {
+            Some(prev) => prev.min(first_dirty_page),
+            None => first_dirty_page,
+        });
+        let stale: Vec<usize> = state
+            .slots
+            .iter()
+            .filter(|(&page, slot)| page >= first_dirty_page && matches!(slot, Slot::Ready { .. }))
+            .map(|(&page, _)| page)
+            .collect();
+        for &page in &stale {
+            state.slots.remove(&page);
+        }
+        if !stale.is_empty() {
+            self.replicas[0][0]
+                .stats()
+                .record_cache_invalidations(stale.len() as u64);
+        }
+        stale.len()
+    }
+
+    /// Cached pages dropped by epoch advances so far, summed across
+    /// replicas. Feeds
+    /// [`DegradationSummary::with_append`](crate::metrics::DegradationSummary::with_append)
+    /// so append churn shows up on the chaos scorecard next to the
+    /// fault-degradation fields.
+    pub fn epoch_invalidated_cache_entries(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r[0].stats().cache_invalidations())
+            .sum()
+    }
+
+    /// Page materializations past the original append high-water mark so
+    /// far, summed across replicas — the other half of the
+    /// [`with_append`](crate::metrics::DegradationSummary::with_append)
+    /// fold.
+    pub fn appended_pages_seen(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r[0].stats().appended_pages_seen())
+            .sum()
     }
 
     /// The breaker cooldown clock: total virtual I/O ticks accrued across
@@ -557,10 +617,14 @@ impl<'a> ReplicatedSource<'a> {
                 None => {
                     state.slots.insert(page, Slot::Loading);
                     stats.record_cache_misses(1);
+                    if state.appended_from.is_some_and(|from| page >= from) {
+                        stats.record_appended_pages_seen(1);
+                    }
                     break;
                 }
             }
         }
+        let epoch_at_load = state.epoch;
         drop(state);
         // Failover runs without the cache lock: replica loads may retry
         // and back off, and readers of other pages must not wait on that.
@@ -569,16 +633,21 @@ impl<'a> ReplicatedSource<'a> {
         match loaded {
             Ok(block) => {
                 let block = std::sync::Arc::new(block);
-                state.clock += 1;
-                let recency = state.clock;
-                state.slots.insert(
-                    page,
-                    Slot::Ready {
-                        block: std::sync::Arc::clone(&block),
-                        recency,
-                    },
-                );
-                self.evict_excess(&mut state);
+                if state.epoch == epoch_at_load {
+                    state.clock += 1;
+                    let recency = state.clock;
+                    state.slots.insert(
+                        page,
+                        Slot::Ready {
+                            block: std::sync::Arc::clone(&block),
+                            recency,
+                        },
+                    );
+                    self.evict_excess(&mut state);
+                } else {
+                    // Epoch advanced mid-load: serve without caching.
+                    state.slots.remove(&page);
+                }
                 self.loaded.notify_all();
                 Ok(block)
             }
@@ -706,6 +775,26 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_and_counts_append_side_reads() {
+        let (a, a_stats) = replica(2);
+        let (b, _) = replica(2);
+        let src = ReplicatedSource::new(vec![&a, &b], ReplicaConfig::default()).unwrap();
+        src.base_cell(0, 0, 0).unwrap(); // page 0
+        src.base_cell(0, 4, 4).unwrap(); // page 3
+        assert_eq!(src.advance_epoch(2), 1, "page 3 dropped, page 0 kept");
+        assert_eq!(src.epoch_invalidated_cache_entries(), 1);
+        let hits = a_stats.cache_hits();
+        src.base_cell(1, 0, 0).unwrap();
+        assert_eq!(a_stats.cache_hits(), hits + 1, "page 0 still resident");
+        src.base_cell(1, 4, 4).unwrap();
+        assert_eq!(src.appended_pages_seen(), 1, "page 3 re-read past the mark");
+        // The re-materialized page caches normally again.
+        let hits = a_stats.cache_hits();
+        src.base_cell(0, 4, 4).unwrap();
+        assert_eq!(a_stats.cache_hits(), hits + 1);
     }
 
     #[test]

@@ -214,6 +214,15 @@ enum Slot {
 struct CacheState {
     slots: HashMap<usize, Slot>,
     clock: u64,
+    /// Bumped by [`CachedTileSource::advance_epoch`]. Loads that straddle
+    /// an advance are served to their caller but never inserted, so a
+    /// block materialized against a pre-advance view cannot shadow the
+    /// post-advance contents of a dirtied page.
+    epoch: u64,
+    /// Smallest `first_dirty_page` across all epoch advances — the
+    /// original high-water mark. Materializations at or past it are
+    /// append-side reads and counted as `appended_pages_seen`.
+    appended_from: Option<usize>,
 }
 
 /// A [`TileSource`] behind a small shared LRU page cache.
@@ -274,6 +283,46 @@ impl<'a> CachedTileSource<'a> {
         self.capacity
     }
 
+    /// Number of epoch advances this cache has observed.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().expect("cache lock").epoch
+    }
+
+    /// Publishes a snapshot-epoch advance to the cache: every cached page
+    /// at or past `first_dirty_page` is dropped, and any load currently in
+    /// flight is demoted to serve-without-caching (its block was
+    /// materialized against the pre-advance view). Returns the number of
+    /// resident pages dropped; the count is also recorded on the first
+    /// store's stats as
+    /// [`cache_invalidations`](mbir_archive::stats::AccessStats::cache_invalidations).
+    ///
+    /// Appends are tile-row aligned, so committed pages below the dirty
+    /// boundary are immutable and stay cached; only the append frontier
+    /// (and, after crash recovery, any truncated tail) is invalidated.
+    pub fn advance_epoch(&self, first_dirty_page: usize) -> usize {
+        let mut state = self.state.lock().expect("cache lock");
+        state.epoch += 1;
+        state.appended_from = Some(match state.appended_from {
+            Some(prev) => prev.min(first_dirty_page),
+            None => first_dirty_page,
+        });
+        let stale: Vec<usize> = state
+            .slots
+            .iter()
+            .filter(|(&page, slot)| page >= first_dirty_page && matches!(slot, Slot::Ready { .. }))
+            .map(|(&page, _)| page)
+            .collect();
+        for &page in &stale {
+            state.slots.remove(&page);
+        }
+        if !stale.is_empty() {
+            self.stores[0]
+                .stats()
+                .record_cache_invalidations(stale.len() as u64);
+        }
+        stale.len()
+    }
+
     /// Returns the cached page, materializing it (all attributes) on a
     /// miss. Blocks while another thread is materializing the same page.
     fn fetch_page(&self, page: usize) -> Result<Arc<PageBlock>, ArchiveError> {
@@ -306,10 +355,14 @@ impl<'a> CachedTileSource<'a> {
                 None => {
                     state.slots.insert(page, Slot::Loading);
                     stats.record_cache_misses(1);
+                    if state.appended_from.is_some_and(|from| page >= from) {
+                        stats.record_appended_pages_seen(1);
+                    }
                     break;
                 }
             }
         }
+        let epoch_at_load = state.epoch;
         drop(state);
         // Read from the stores *without* holding the cache lock: page
         // reads may retry, back off, or block on the stores' own fault
@@ -319,16 +372,24 @@ impl<'a> CachedTileSource<'a> {
         match loaded {
             Ok(block) => {
                 let block = Arc::new(block);
-                state.clock += 1;
-                let recency = state.clock;
-                state.slots.insert(
-                    page,
-                    Slot::Ready {
-                        block: Arc::clone(&block),
-                        recency,
-                    },
-                );
-                self.evict_excess(&mut state);
+                if state.epoch == epoch_at_load {
+                    state.clock += 1;
+                    let recency = state.clock;
+                    state.slots.insert(
+                        page,
+                        Slot::Ready {
+                            block: Arc::clone(&block),
+                            recency,
+                        },
+                    );
+                    self.evict_excess(&mut state);
+                } else {
+                    // An epoch advance landed while this page was in
+                    // flight: the block reflects the pre-advance view, so
+                    // serve it to the caller that started the read but do
+                    // not cache it. Later readers re-materialize.
+                    state.slots.remove(&page);
+                }
                 self.loaded.notify_all();
                 Ok(block)
             }
@@ -614,6 +675,48 @@ mod tests {
         assert_eq!(stats.ticks_elapsed(), ticks_after_fill);
         assert_eq!(stats.failures(), 1, "only the original transient failure");
         assert_eq!(stats.cache_hits(), 16);
+    }
+
+    #[test]
+    fn epoch_advance_drops_only_pages_past_the_dirty_boundary() {
+        let (stores, stats) = cached_world();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        src.base_cell(0, 0, 0).unwrap(); // page 0
+        src.base_cell(0, 4, 4).unwrap(); // page 3
+        assert_eq!(src.epoch(), 0);
+        // Pages >= 2 dirtied: page 3 drops, page 0 stays resident.
+        assert_eq!(src.advance_epoch(2), 1);
+        assert_eq!(src.epoch(), 1);
+        assert_eq!(stats.cache_invalidations(), 1);
+        let hits_before = stats.cache_hits();
+        src.base_cell(1, 0, 0).unwrap();
+        assert_eq!(stats.cache_hits(), hits_before + 1, "page 0 still cached");
+        let misses_before = stats.cache_misses();
+        src.base_cell(1, 4, 4).unwrap();
+        assert_eq!(stats.cache_misses(), misses_before + 1, "page 3 re-read");
+        // The re-materialization was past the original high-water mark.
+        assert_eq!(stats.appended_pages_seen(), 1);
+        // Nothing resident past page 4: a further advance drops nothing.
+        assert_eq!(src.advance_epoch(4), 0);
+        assert_eq!(stats.cache_invalidations(), 1);
+    }
+
+    #[test]
+    fn epoch_advance_leaves_in_flight_loads_to_their_readers() {
+        let (stores, stats) = cached_world();
+        let src = CachedTileSource::new(&stores, 4).unwrap();
+        // Mark page 0 as in flight, exactly as fetch_page does before it
+        // releases the lock to read the stores.
+        src.state.lock().unwrap().slots.insert(0, Slot::Loading);
+        // The advance must not drop the Loading marker (its readers hold
+        // no block yet) and must not count it as an invalidation...
+        assert_eq!(src.advance_epoch(0), 0);
+        assert_eq!(stats.cache_invalidations(), 0);
+        let st = src.state.lock().unwrap();
+        assert!(matches!(st.slots.get(&0), Some(Slot::Loading)));
+        // ...but the epoch bump demotes the straddling load: fetch_page
+        // compares its pre-load epoch on completion and skips the insert.
+        assert_eq!(st.epoch, 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod sproc;
 pub mod stats;
 pub mod store;
 
-pub use onion::OnionIndex;
+pub use onion::{OnionAppendReport, OnionIndex};
 pub use quant::{QuantPruneReport, QuantQuery, QuantizedStore};
 pub use rstar::RStarTree;
 pub use scan::{scan_top_k, scan_top_k_flat, scan_top_k_quant};

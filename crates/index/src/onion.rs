@@ -177,6 +177,26 @@ impl BoundingBox {
         self.radius = self.radius.max(d2.sqrt());
     }
 
+    /// Whether the enclosure's bounds already cover `point` — inside the
+    /// box **and** inside the sphere, so both halves of
+    /// [`upper_bound`](Self::upper_bound) stay sound if the point joins
+    /// the enclosed set.
+    fn contains(&self, point: &[f64]) -> bool {
+        let in_box = point
+            .iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (lo, hi))| *v >= *lo && *v <= *hi);
+        if !in_box {
+            return false;
+        }
+        let d2: f64 = point
+            .iter()
+            .zip(&self.center)
+            .map(|(v, c)| (v - c) * (v - c))
+            .sum();
+        d2.sqrt() <= self.radius
+    }
+
     /// Sound upper bound on `direction . x` over the enclosed set.
     fn upper_bound(&self, direction: &[f64]) -> f64 {
         let box_bound: f64 = direction
@@ -189,6 +209,19 @@ impl BoundingBox {
         let sphere_bound = centered + norm * self.radius;
         box_bound.min(sphere_bound)
     }
+}
+
+/// What an incremental [`OnionIndex::append_points`] did: how much of the
+/// layer structure survived and how much was re-peeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnionAppendReport {
+    /// Tuples appended.
+    pub appended: usize,
+    /// Leading layers kept untouched (the batch was inside their
+    /// enclosures).
+    pub kept_layers: usize,
+    /// Layers re-peeled over the dirtied suffix plus the batch.
+    pub repeeled_layers: usize,
 }
 
 /// The Onion index over a fixed set of d-dimensional tuples.
@@ -575,6 +608,162 @@ impl OnionIndex {
         // exact walk until the next rebuild).
         self.quant = None;
         Ok(idx)
+    }
+
+    /// Appends a batch of tuples, rebuilding **only the dirtied hull
+    /// suffix** — the incremental maintenance path for appendable
+    /// archives, between per-point [`OnionIndex::insert`] (O(1) but
+    /// degrades the outer layer) and a full [`OnionIndex::rebuild`].
+    ///
+    /// Each new point's *depth* is the number of leading remaining-set
+    /// enclosures that already contain it (box **and** sphere); the dirty
+    /// frontier is the minimum depth over the batch, clamped so at least
+    /// the innermost layer re-peels. Layers, enclosures, and hint
+    /// supports before the frontier are kept untouched — sound because
+    /// every new point is inside those enclosures and lands in a deeper
+    /// layer (kept hint supports are maxed with the new points' scores).
+    /// Everything at or past the frontier, plus the batch, is re-peeled
+    /// with the build machinery (exact hulls for d <= 2, direction sweeps
+    /// otherwise).
+    ///
+    /// Query answers after an append match a scratch-built index's scan
+    /// answers (property-tested); only the stopping layer can differ.
+    /// Because enclosure containment does not imply *hull* containment,
+    /// the kept prefix can no longer be certified as exact hulls of the
+    /// augmented set, so the classical-theorem fast path is conservatively
+    /// disabled (`exact_hull_layers = 0`) until the next full rebuild.
+    /// The quantized side structure is likewise dropped (the store grew
+    /// under it); [`OnionIndex::rebuild`] or
+    /// [`OnionIndex::with_quantized`] restores both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] for an empty batch and
+    /// [`ModelError::ArityMismatch`] for wrong-width tuples; the index is
+    /// unchanged on error.
+    pub fn append_points(&mut self, batch: &[Vec<f64>]) -> Result<OnionAppendReport, ModelError> {
+        if batch.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        for p in batch {
+            if p.len() != self.dims {
+                return Err(ModelError::ArityMismatch {
+                    expected: self.dims,
+                    actual: p.len(),
+                });
+            }
+        }
+        // Dirty frontier: deepest kept prefix whose enclosures cover every
+        // new point. Clamped so the innermost layer always re-peels (a
+        // batch deeper than every enclosure joins the core re-peel).
+        let mut dirty = self.layers.len() - 1;
+        for p in batch {
+            let mut depth = 0usize;
+            while depth < dirty && self.remaining_box[depth].contains(p) {
+                depth += 1;
+            }
+            dirty = dirty.min(depth);
+        }
+        // Kept hint supports must also cover the batch: the new points
+        // live in layers >= dirty, i.e. inside every kept remainder.
+        for (h, hint) in self.hints.iter().enumerate() {
+            let batch_max = batch
+                .iter()
+                .map(|p| hint.iter().zip(p).map(|(a, v)| a * v).sum::<f64>())
+                .fold(f64::NEG_INFINITY, f64::max);
+            for support in self.hint_support.iter_mut().take(dirty) {
+                support[h] = support[h].max(batch_max);
+            }
+        }
+        // Grow the store and collect the re-peel subset: dirtied layers
+        // plus the batch.
+        let mut alive = vec![false; self.points.len() + batch.len()];
+        let mut remaining = 0usize;
+        for layer in &self.layers[dirty..] {
+            for &idx in layer {
+                alive[idx] = true;
+                remaining += 1;
+            }
+        }
+        for p in batch {
+            let idx = self.points.push_row(p)?;
+            alive[idx] = true;
+            remaining += 1;
+        }
+        let repeeled_from = dirty;
+        self.layers.truncate(dirty);
+        self.remaining_box.truncate(dirty);
+        self.hint_support.truncate(dirty);
+
+        // Re-peel the suffix with the same machinery as the build.
+        let n = alive.len();
+        let dims = self.dims;
+        let store = &self.points;
+        let sorted_2d: Option<Vec<usize>> = if dims == 2 {
+            let mut order: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+            order.sort_by(|&a, &b| {
+                store.row(a)[0]
+                    .total_cmp(&store.row(b)[0])
+                    .then(store.row(a)[1].total_cmp(&store.row(b)[1]))
+            });
+            Some(order)
+        } else {
+            None
+        };
+        let bundle = DirectionBundle::new(dims, 32, 7).with_extra(&self.hints);
+        let mut layers = Vec::new();
+        let mut remaining_box = Vec::new();
+        let mut hint_support = Vec::new();
+        while remaining > 0 && repeeled_from + layers.len() < 64 {
+            remaining_box.push(
+                BoundingBox::of(|i| store.row(i), (0..n).filter(|&i| alive[i]), dims)
+                    .expect("remaining > 0"),
+            );
+            hint_support.push(
+                self.hints
+                    .iter()
+                    .map(|h| kernels::max_score_alive(store.flat(), dims, &alive, h))
+                    .collect(),
+            );
+            let layer = match (&sorted_2d, dims) {
+                (_, 1) => extremes_1d(store, &alive),
+                (Some(order), 2) => hull_2d(store, &alive, order),
+                _ => sweep_layer_flat_threads(store, &alive, &bundle, 1, None),
+            };
+            debug_assert!(!layer.is_empty(), "peel must remove at least one point");
+            for &idx in &layer {
+                alive[idx] = false;
+            }
+            remaining -= layer.len();
+            layers.push(layer);
+        }
+        if remaining > 0 {
+            remaining_box.push(
+                BoundingBox::of(|i| store.row(i), (0..n).filter(|&i| alive[i]), dims)
+                    .expect("remaining > 0"),
+            );
+            hint_support.push(
+                self.hints
+                    .iter()
+                    .map(|h| kernels::max_score_alive(store.flat(), dims, &alive, h))
+                    .collect(),
+            );
+            layers.push((0..n).filter(|&i| alive[i]).collect());
+        }
+        let repeeled_layers = layers.len();
+        self.layers.extend(layers);
+        self.remaining_box.extend(remaining_box);
+        self.hint_support.extend(hint_support);
+        // Enclosure containment is not hull containment: the kept prefix
+        // can no longer be certified exact, so the classical-theorem stop
+        // is disabled until the next full rebuild.
+        self.exact_hull_layers = 0;
+        self.quant = None;
+        Ok(OnionAppendReport {
+            appended: batch.len(),
+            kept_layers: repeeled_from,
+            repeeled_layers,
+        })
     }
 
     /// Rebuilds the layer structure from scratch with the same hints and
@@ -1564,6 +1753,68 @@ mod tests {
     }
 
     #[test]
+    fn append_points_stays_exact_and_keeps_shallow_layers() {
+        for d in [2usize, 3] {
+            let points = gaussian_points(41 + d as u64, 1200, d);
+            let hint: Vec<f64> = (0..d).map(|i| if i == 0 { 1.0 } else { -0.2 }).collect();
+            let mut onion =
+                OnionIndex::build_with_hints(points.clone(), &[hint.clone()], 64, 32, 7).unwrap();
+            let layers_before = onion.layer_count();
+            // A deep batch: interior points well inside the cloud.
+            let deep: Vec<Vec<f64>> = gaussian_points(77, 40, d)
+                .into_iter()
+                .map(|p| p.iter().map(|v| v * 0.05).collect())
+                .collect();
+            let report = onion.append_points(&deep).unwrap();
+            assert_eq!(report.appended, 40);
+            assert!(
+                report.kept_layers > 0,
+                "d={d}: interior batch must keep shallow layers (of {layers_before})"
+            );
+            let mut all = points;
+            all.extend(deep.iter().cloned());
+            // An outlier batch: new optima that dirty the outermost hull.
+            let outliers: Vec<Vec<f64>> = gaussian_points(88, 8, d)
+                .into_iter()
+                .map(|p| p.iter().map(|v| v * 3.0 + 1.0).collect())
+                .collect();
+            let report = onion.append_points(&outliers).unwrap();
+            assert_eq!(report.kept_layers, 0, "d={d}: outliers re-peel everything");
+            all.extend(outliers.iter().cloned());
+            assert_eq!(onion.len(), all.len());
+            // Exactness against a scan of the full augmented set, for the
+            // hint direction and a generic one.
+            for k in [1usize, 7] {
+                for dir in [hint.clone(), (0..d).map(|i| 0.3 * i as f64 - 0.8).collect()] {
+                    let fast = onion.top_k_max(&dir, k).unwrap();
+                    let slow = scan_top_k(&all, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+                    assert!(
+                        fast.score_equivalent(&slow, 1e-9),
+                        "d={d} k={k} dir={dir:?} diverged after append"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_points_validates_and_drops_quant() {
+        let mut onion = OnionIndex::build_quantized(gaussian_points(5, 300, 3)).unwrap();
+        assert!(onion.is_quantized());
+        assert!(matches!(onion.append_points(&[]), Err(ModelError::Empty)));
+        assert!(onion.append_points(&[vec![1.0]]).is_err());
+        assert_eq!(onion.len(), 300, "failed appends leave the index intact");
+        assert!(
+            onion.is_quantized(),
+            "failed appends keep the quant structure"
+        );
+        onion.append_points(&[vec![0.1, 0.2, 0.3]]).unwrap();
+        assert!(!onion.is_quantized(), "the store changed under the quant");
+        onion.rebuild().unwrap();
+        assert!(onion.is_quantized());
+    }
+
+    #[test]
     fn parallel_build_is_bit_identical() {
         // d >= 3 exercises the threaded direction sweep; the private layer
         // structure (not just query answers) must match exactly.
@@ -1756,6 +2007,38 @@ mod tests {
             let a = kernel.top_k_max(&dir, k).unwrap();
             let b = legacy.top_k_max_legacy(&dir, k).unwrap();
             prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_append_points_equals_scan(
+            seed in 0u64..500,
+            n in 10usize..200,
+            extra in 1usize..40,
+            d in 1usize..5,
+            k in 1usize..10,
+            scale in 0usize..3,
+            dir_seed in 0u64..100,
+        ) {
+            // Batches at three scales: deep interior, in-distribution, and
+            // outliers — the dirty frontier lands at different depths.
+            let mut all = gaussian_points(seed.wrapping_add(11_000), n, d);
+            let factor = [0.05, 1.0, 4.0][scale];
+            let batch: Vec<Vec<f64>> = gaussian_points(seed.wrapping_add(13_000), extra, d)
+                .into_iter()
+                .map(|p| p.iter().map(|v| v * factor).collect())
+                .collect();
+            let mut onion = OnionIndex::build(all.clone()).unwrap();
+            onion.append_points(&batch).unwrap();
+            all.extend(batch);
+            let mut s = dir_seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(29);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let dir: Vec<f64> = (0..d).map(|_| next() * 4.0).collect();
+            let fast = onion.top_k_max(&dir, k).unwrap();
+            let slow = scan_top_k(&all, k, |p| dir.iter().zip(p).map(|(a, v)| a * v).sum());
+            prop_assert!(fast.score_equivalent(&slow, 1e-9));
         }
     }
 }

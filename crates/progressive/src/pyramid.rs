@@ -103,6 +103,85 @@ impl AggregatePyramid {
         AggregatePyramid { levels }
     }
 
+    /// Extends the pyramid for rows appended at the bottom of the base
+    /// grid, recomputing only the dirtied suffix of each level.
+    ///
+    /// Appending `band` below an `R`-row base dirties base rows
+    /// `R..R+band.rows()`; at level `l` the first dirty row follows the
+    /// recurrence `dirty_l = dirty_{l-1} / 2` (a parent is dirty exactly
+    /// when its child block `2r..2r+2` reaches a dirty row, including the
+    /// previously clamped last parent that now covers a second child).
+    /// Rows before the dirty frontier are **copied** from the old level —
+    /// their covered children are unchanged and the merge is
+    /// deterministic — and rows at or past it are recomputed with
+    /// [`build`](Self::build)'s exact fixed `(rr, cc)` merge order, so the
+    /// result is bit-identical to a full rebuild over the extended grid
+    /// (property-tested). New levels appear as the pyramid grows taller.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::Misaligned`] when the band's width differs from
+    /// the base's; [`ArchiveError::EmptyDimension`] for an empty band.
+    pub fn extend_rows(&mut self, band: &Grid2<f64>) -> Result<(), ArchiveError> {
+        let (base_rows, base_cols) = self.base_shape();
+        if band.cols() != base_cols {
+            return Err(ArchiveError::Misaligned(format!(
+                "band width {} != pyramid width {}",
+                band.cols(),
+                base_cols
+            )));
+        }
+        if band.rows() == 0 {
+            return Err(ArchiveError::EmptyDimension);
+        }
+        let mut dirty = base_rows;
+        let old0 = &self.levels[0];
+        let mut new_levels = vec![Grid2::from_fn(
+            base_rows + band.rows(),
+            base_cols,
+            |r, c| {
+                if r < dirty {
+                    *old0.at(r, c)
+                } else {
+                    CellStats::of_value(*band.at(r - dirty, c))
+                }
+            },
+        )];
+        let mut level = 1usize;
+        loop {
+            let prev = new_levels.last().expect("non-empty by construction");
+            if prev.rows() == 1 && prev.cols() == 1 {
+                break;
+            }
+            dirty /= 2;
+            let rows = prev.rows().div_ceil(2);
+            let cols = prev.cols().div_ceil(2);
+            let old = self.levels.get(level);
+            let next = Grid2::from_fn(rows, cols, |r, c| {
+                if r < dirty {
+                    if let Some(old) = old {
+                        return *old.at(r, c);
+                    }
+                }
+                let mut acc: Option<CellStats> = None;
+                for rr in r * 2..(r * 2 + 2).min(prev.rows()) {
+                    for cc in c * 2..(c * 2 + 2).min(prev.cols()) {
+                        let s = prev.at(rr, cc);
+                        acc = Some(match acc {
+                            Some(a) => a.merge(s),
+                            None => *s,
+                        });
+                    }
+                }
+                acc.expect("every parent covers at least one child")
+            });
+            new_levels.push(next);
+            level += 1;
+        }
+        self.levels = new_levels;
+        Ok(())
+    }
+
     /// Number of levels; level 0 is base resolution.
     pub fn levels(&self) -> usize {
         self.levels.len()
@@ -288,6 +367,81 @@ mod tests {
         pyr.children_into(99, 0, 0, &mut buf);
         assert!(buf.is_empty());
         assert_eq!(pyr.children(99, 0, 0), Vec::<CellCoord>::new());
+    }
+
+    fn stats_eq(a: &AggregatePyramid, b: &AggregatePyramid) -> bool {
+        if a.levels() != b.levels() {
+            return false;
+        }
+        for l in 0..a.levels() {
+            let (r, c) = a.level_shape(l);
+            if b.level_shape(l) != (r, c) {
+                return false;
+            }
+            for rr in 0..r {
+                for cc in 0..c {
+                    let x = a.cell(l, rr, cc).unwrap();
+                    let y = b.cell(l, rr, cc).unwrap();
+                    // Bit-identity, not approximate equality.
+                    if x.min.to_bits() != y.min.to_bits()
+                        || x.max.to_bits() != y.max.to_bits()
+                        || x.mean.to_bits() != y.mean.to_bits()
+                        || x.count != y.count
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn extend_rows_matches_full_rebuild_bit_for_bit() {
+        let cell = |r: usize, c: usize| ((r * 131 + c * 17) % 97) as f64 * 0.375 - 11.0;
+        for (base_rows, band_rows, cols) in [(4, 2, 6), (5, 3, 7), (1, 1, 1), (8, 8, 3), (2, 6, 16)]
+        {
+            let base = Grid2::from_fn(base_rows, cols, cell);
+            let band = Grid2::from_fn(band_rows, cols, |r, c| cell(base_rows + r, c));
+            let full = AggregatePyramid::build(&Grid2::from_fn(base_rows + band_rows, cols, cell));
+            let mut incr = AggregatePyramid::build(&base);
+            incr.extend_rows(&band).unwrap();
+            assert!(
+                stats_eq(&incr, &full),
+                "({base_rows}+{band_rows})x{cols} diverged from rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_rows_validates_band() {
+        let mut pyr = AggregatePyramid::build(&Grid2::filled(4, 4, 1.0));
+        assert!(pyr.extend_rows(&Grid2::filled(2, 3, 1.0)).is_err());
+        assert_eq!(pyr.base_shape(), (4, 4), "failed extend left it intact");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_extend_rows_is_rebuild(
+            base_rows in 1usize..24,
+            band_rows in 1usize..12,
+            cols in 1usize..24,
+            seed in 0u64..500,
+        ) {
+            let cell = |r: usize, c: usize| {
+                let h = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((r * 53 + c) as u64);
+                (h % 1000) as f64 - 500.0
+            };
+            let base = Grid2::from_fn(base_rows, cols, cell);
+            let band = Grid2::from_fn(band_rows, cols, |r, c| cell(base_rows + r, c));
+            let full =
+                AggregatePyramid::build(&Grid2::from_fn(base_rows + band_rows, cols, cell));
+            let mut incr = AggregatePyramid::build(&base);
+            incr.extend_rows(&band).unwrap();
+            prop_assert!(stats_eq(&incr, &full));
+        }
     }
 
     proptest! {

@@ -210,6 +210,109 @@ fn col_of(page: usize) -> usize {
 }
 
 #[test]
+fn corruption_with_latency_charges_every_detected_reread() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4)
+        .unwrap()
+        .with_faults(FaultProfile::new(0).corrupt(5).latency(5, 9));
+    // No retries, breaker disabled: every verified read detects the rot
+    // afresh and pays the injected latency again — nothing heals.
+    for round in 1..=3u64 {
+        assert_eq!(
+            store.read_page_verified(5).unwrap_err(),
+            ArchiveError::PageCorrupt { page: 5 }
+        );
+        assert_eq!(store.stats().corruptions(), round);
+        // One base tick plus nine injected, per attempt.
+        assert_eq!(store.stats().ticks_elapsed(), round * 10);
+    }
+    // A trusting reader swallows the same page without an error — the
+    // corruption is silent at the I/O level — but pays the same latency.
+    assert!(store.read_page(5).is_ok());
+    assert_eq!(store.stats().ticks_elapsed(), 40);
+    assert_eq!(store.stats().corruptions(), 3);
+}
+
+#[test]
+fn transient_with_latency_pays_on_failing_and_healed_reads_alike() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4)
+        .unwrap()
+        .with_faults(FaultProfile::new(0).transient(5, 2).latency(5, 9))
+        .with_resilience(ResilienceConfig::new(RetryPolicy::retries(2), None));
+    // One read: two failing attempts plus the healed third, every one of
+    // them paying the injected latency; backoff ticks ride on top.
+    let cells = store.read_page_verified(5).unwrap();
+    assert_eq!(cells.len(), 16);
+    assert_eq!(store.stats().failures(), 2);
+    assert_eq!(store.stats().retries(), 2);
+    let after_heal = store.stats().ticks_elapsed();
+    assert!(after_heal >= 30, "ticks {after_heal}");
+    // The healed page keeps its latency: exactly one more base tick plus
+    // the injected nine, no retries.
+    store.read_page_verified(5).unwrap();
+    assert_eq!(store.stats().ticks_elapsed(), after_heal + 10);
+    assert_eq!(store.stats().retries(), 2);
+}
+
+#[test]
+fn quarantine_outranks_corruption_and_latency() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4)
+        .unwrap()
+        .with_faults(FaultProfile::new(0).corrupt(5).latency(5, 9))
+        .with_resilience(ResilienceConfig::new(RetryPolicy::none(), Some(2)));
+    // Checksum detections feed the breaker like I/O failures: two verified
+    // reads trip the quarantine.
+    assert_eq!(
+        store.read_page_verified(5).unwrap_err(),
+        ArchiveError::PageCorrupt { page: 5 }
+    );
+    assert_eq!(
+        store.read_page_verified(5).unwrap_err(),
+        ArchiveError::PageCorrupt { page: 5 }
+    );
+    assert!(store.is_quarantined(5));
+    let ticks = store.stats().ticks_elapsed();
+    let corruptions = store.stats().corruptions();
+    // Quarantine wins over the corruption *and* its latency: later reads
+    // fail fast with no attempt, no ticks, no new detections.
+    for _ in 0..3 {
+        assert_eq!(
+            store.read_page_verified(5).unwrap_err(),
+            ArchiveError::PageQuarantined { page: 5 }
+        );
+    }
+    assert_eq!(store.stats().ticks_elapsed(), ticks);
+    assert_eq!(store.stats().corruptions(), corruptions);
+}
+
+#[test]
+fn last_wins_fault_kind_governs_the_store_while_latency_survives() {
+    let grid = Grid2::from_fn(16, 16, |r, c| (r * 16 + c) as f64);
+    let store = TileStore::new(grid, 4).unwrap().with_faults(
+        FaultProfile::new(0)
+            .corrupt(5)
+            .transient(5, 1)
+            .latency(5, 9),
+    );
+    // The transient kind replaced the corruption entirely: the first read
+    // is an I/O failure, not a checksum mismatch…
+    assert_eq!(
+        store.read_page_verified(5).unwrap_err(),
+        ArchiveError::PageIo { page: 5 }
+    );
+    assert_eq!(store.stats().corruptions(), 0);
+    // …and the healed page verifies clean, with the latency — orthogonal
+    // to the kind — still charged on both attempts.
+    let cells = store.read_page_verified(5).unwrap();
+    assert!(cells
+        .iter()
+        .all(|(cell, v)| *v == (cell.row * 16 + cell.col) as f64));
+    assert_eq!(store.stats().ticks_elapsed(), 20);
+}
+
+#[test]
 fn lost_pages_yield_honest_partial_results() {
     let (model, pyramids, stores, _) = paged_world(32, 32, 8);
     // Kill the page under the true winner so degradation is forced.

@@ -181,6 +181,83 @@ proptest! {
         prop_assert!(dest_seen.iter().all(|&b| b), "every dest band carried or migrating");
     }
 
+    /// `plan_diff` round-trips through the topology transforms: the
+    /// reverse diff is the exact mirror of the forward one, a
+    /// split-then-merge chain restores the original plan (and diffs to
+    /// the empty change), and the forward diff's carried bands plus
+    /// migration groups reconstruct the destination band layout exactly.
+    #[test]
+    fn prop_plan_diff_round_trips_through_transforms(
+        side_pow in 4u32..6,
+        tile in 1usize..6,
+        shards_raw in 0usize..8,
+        sel in 0u64..1024,
+        chain in 1usize..4,
+    ) {
+        let side = 1usize << side_pow;
+        let shards = 1 + shards_raw % side.div_ceil(tile).min(5);
+        let from = ShardPlan::row_bands(side, side, shards, tile).unwrap();
+
+        // Chain several transforms; the diff properties must hold across
+        // the composition, not just single steps.
+        let mut to = from.clone();
+        for step in 0..chain {
+            let Some(next) = derive_dest(&to, sel.wrapping_add(step as u64 * 37)) else { return; };
+            to = next;
+        }
+
+        // Round-trip 1: diff(B, A) mirrors diff(A, B) — carried pairs
+        // swap, and each group swaps its source and destination sides
+        // over the same row range.
+        let fwd = plan_diff(&from, &to).unwrap();
+        let rev = plan_diff(&to, &from).unwrap();
+        let mut fwd_carried: Vec<(usize, usize)> =
+            fwd.carried_over.iter().map(|&(d, s)| (s, d)).collect();
+        fwd_carried.sort_unstable();
+        let mut rev_carried = rev.carried_over.clone();
+        rev_carried.sort_unstable();
+        prop_assert_eq!(fwd_carried, rev_carried);
+        prop_assert_eq!(fwd.groups.len(), rev.groups.len());
+        for (f, r) in fwd.groups.iter().zip(&rev.groups) {
+            prop_assert_eq!(f.row_offset, r.row_offset);
+            prop_assert_eq!(f.rows, r.rows);
+            prop_assert_eq!(&f.source_bands, &r.dest_bands);
+            prop_assert_eq!(&f.dest_bands, &r.source_bands);
+        }
+
+        // Round-trip 2: the forward diff reconstructs the destination
+        // layout. Carried bands take their source geometry; each group's
+        // destination bands tile the group's row range in order.
+        let mut rebuilt = vec![None; to.shard_count()];
+        for &(d, s) in &fwd.carried_over {
+            rebuilt[d] = Some((from.bands()[s].row_offset, from.bands()[s].rows));
+        }
+        for group in &fwd.groups {
+            let mut row = group.row_offset;
+            for &d in &group.dest_bands {
+                rebuilt[d] = Some((row, to.bands()[d].rows));
+                row += to.bands()[d].rows;
+            }
+            prop_assert_eq!(row, group.row_end());
+        }
+        for (d, band) in to.bands().iter().enumerate() {
+            prop_assert_eq!(rebuilt[d], Some((band.row_offset, band.rows)));
+        }
+
+        // Round-trip 3: split-then-merge is the identity, and the
+        // identity diffs to no migration at all.
+        for b in 0..from.shard_count() {
+            if let Ok(split) = from.split_band(b) {
+                let back = split.merge_bands(b).unwrap();
+                prop_assert_eq!(back.band_rows(), from.band_rows());
+                let idt = plan_diff(&from, &back).unwrap();
+                prop_assert!(idt.groups.is_empty());
+                prop_assert_eq!(idt.carried_over.len(), from.shard_count());
+                break;
+            }
+        }
+    }
+
     /// A healthy copy phase reproduces every migrated band byte-for-byte.
     #[test]
     fn prop_copy_round_trip_is_bit_exact(

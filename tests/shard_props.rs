@@ -385,6 +385,8 @@ proptest! {
                         cache_hits: draw(s * 13 + 12, 100),
                         cache_misses: draw(s * 13 + 13, 100),
                         cache_dedup_waits: draw(s * 13 + 14, 20),
+                        appended_pages_seen: draw(s * 13 + 15, 30),
+                        epoch_invalidated_cache_entries: draw(s * 13 + 16, 30),
                     },
                     1 + draw(s * 13 + 11, 499),
                 )
@@ -419,6 +421,14 @@ proptest! {
         prop_assert_eq!(
             merged.cache_dedup_waits,
             parts.iter().map(|(s, _)| s.cache_dedup_waits).sum::<u64>()
+        );
+        prop_assert_eq!(
+            merged.appended_pages_seen,
+            parts.iter().map(|(s, _)| s.appended_pages_seen).sum::<u64>()
+        );
+        prop_assert_eq!(
+            merged.epoch_invalidated_cache_entries,
+            parts.iter().map(|(s, _)| s.epoch_invalidated_cache_entries).sum::<u64>()
         );
         prop_assert_eq!(merged.budget_stopped, parts.iter().any(|(s, _)| s.budget_stopped));
         let widest = parts.iter().map(|(s, _)| s.widest_bound).fold(0.0f64, f64::max);
@@ -469,6 +479,8 @@ proptest! {
                 cache_hits: draw(12, 100),
                 cache_misses: draw(13, 100),
                 cache_dedup_waits: draw(14, 20),
+                appended_pages_seen: draw(15, 30),
+                epoch_invalidated_cache_entries: draw(16, 30),
             },
             1 + draw(11, 499),
         );
@@ -496,6 +508,8 @@ proptest! {
                         cache_hits: 0,
                         cache_misses: 0,
                         cache_dedup_waits: 0,
+                        appended_pages_seen: 0,
+                        epoch_invalidated_cache_entries: 0,
                     },
                     1 + draw(i as u64 * 17 + 18, 499),
                 )
